@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures at the ``small``
+profile by default (3,019 nodes — minutes, laptop-friendly, exact
+connectivity).  Set ``REPRO_BENCH_SCALE=medium`` (or ``large``/``full``)
+to rerun the whole harness closer to paper scale.
+
+Each benchmark prints the regenerated artifact (run with ``-s`` to see
+them) and asserts the paper's qualitative shape, so a passing benchmark
+run doubles as the reproduction record behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+    return ExperimentConfig(scale=scale, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def warm_graph(config):
+    """Generate the topology once, outside any timed region."""
+    return config.graph()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,11 @@
+"""Bench A4 — ablation: lazy (CELF) vs plain greedy."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ablation_lazy_greedy(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ablation_lazy_greedy", config)
+    print("\n" + result.render())
+    assert result.paper_values["identical"]
+    assert result.paper_values["speedup"] > 2.0

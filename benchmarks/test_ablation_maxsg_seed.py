@@ -1,0 +1,16 @@
+"""Bench A3 — ablation: MaxSG first-vertex sensitivity."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ablation_maxsg_seed(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ablation_maxsg_seed", config)
+    print("\n" + result.render())
+    base = result.paper_values["base"]
+    spread = np.asarray(result.paper_values["spread"])
+    # The greedy region growth makes the seed nearly irrelevant: every
+    # random seed lands within a few points of the max-degree default.
+    assert np.all(np.abs(spread - base) < 0.05)

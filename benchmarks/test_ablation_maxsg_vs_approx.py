@@ -1,0 +1,15 @@
+"""Bench A2 — ablation: MaxSG vs Algorithm 2 (the <0.5% gap claim)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ablation_maxsg_vs_approx(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ablation_maxsg_vs_approx", config)
+    print("\n" + result.render())
+    # Section 5.1: MaxSG trades < 0.5% coverage for a much lower
+    # complexity; at the alliance size the gap must stay tiny and MaxSG
+    # must not be slower than the approximation algorithm.
+    big = result.paper_values["6.8%"]
+    assert abs(big["gap"]) < 0.02
+    assert big["t_maxsg"] <= big["t_approx"] * 2.0

@@ -1,0 +1,13 @@
+"""Bench A7 — Problem 4: epsilon-feasibility of the selected broker sets."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ablation_path_length_constraint(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ablation_path_length", config)
+    print("\n" + result.render())
+    reports = result.paper_values
+    # The MaxSG alliance tracks the free path-length distribution best.
+    assert reports["MaxSG"].max_deviation <= reports["Degree-Based"].max_deviation + 0.01
+    assert reports["MaxSG"].max_deviation < 0.08

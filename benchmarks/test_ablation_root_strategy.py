@@ -1,0 +1,11 @@
+"""Bench A5 — ablation: Algorithm 2's best-root loop vs first-root."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ablation_root_strategy(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ablation_root_strategy", config)
+    print("\n" + result.render())
+    for values in result.paper_values.values():
+        assert len(values["best"].repair) <= len(values["first"].repair)

@@ -1,0 +1,13 @@
+"""Bench A6 — ablation: sampled vs exact connectivity estimation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ablation_sampling(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ablation_sampling", config)
+    print("\n" + result.render())
+    # Single-draw errors are not strictly monotone, but they stay small
+    # and the densest sample is nearly exact.
+    assert all(result.paper_values[s]["error"] < 0.05 for s in (100, 400, 1600))
+    assert result.paper_values[1600]["error"] < 0.01

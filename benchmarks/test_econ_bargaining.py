@@ -1,0 +1,16 @@
+"""Bench E1a — Section 7.1: Nash bargaining table (Theorem 5)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_econ_bargaining(benchmark, config):
+    result = run_once(benchmark, run_experiment, "econ_bargaining", config)
+    print("\n" + result.render())
+    outcomes = result.paper_values
+    # Feasibility boundary p_B > h*c and the closed form p_j* = p_B / h.
+    assert not outcomes[(4, 0.05)].feasible
+    assert outcomes[(4, 1.0)].feasible
+    assert outcomes[(4, 1.0)].employee_price == 0.5
+    # More hops to cover (larger beta) -> lower per-employee price.
+    assert outcomes[(6, 1.0)].employee_price < outcomes[(2, 1.0)].employee_price

@@ -1,0 +1,18 @@
+"""Bench E2 — Section 7.2: Shapley revenue split (Theorems 7-8)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_econ_shapley(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "econ_shapley", config)
+    print("\n" + result.render())
+    values = result.paper_values
+    assert values["efficiency_gap"] < 1e-6
+    assert values["superadditive"]            # Thm 7 hypothesis
+    assert values["individually_rational"]    # Thm 7 conclusion
+    assert values["in_core"]                  # Thm 8 conclusion
+    # The Monte Carlo estimator tracks the exact values.
+    exact, mc = values["exact"], values["mc"]
+    for j, phi in exact.items():
+        assert abs(mc.values[j] - phi) < max(6 * mc.standard_errors[j], 0.3)

@@ -1,0 +1,17 @@
+"""Bench E1b — Section 7.1: Stackelberg equilibrium (Theorem 6)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_econ_stackelberg(benchmark, config):
+    result = run_once(benchmark, run_experiment, "econ_stackelberg", config)
+    print("\n" + result.render())
+    eq = result.paper_values["with"]
+    # Theorem 6: equilibrium exists with positive coalition utility and
+    # interior adoption.
+    assert eq.coalition_utility > 0
+    assert 0.0 < eq.total_adoption
+    # The paper's deployment insight: high-tier ISPs inside B raise
+    # lower-tier willingness to adopt.
+    assert result.paper_values["low_tier_gain"] > 0

@@ -1,0 +1,15 @@
+"""Bench X3 — extension: swap local-search refinement."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ext_localsearch(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ext_localsearch", config)
+    print("\n" + result.render())
+    values = result.paper_values
+    # DB gains at least as much from polishing as greedy does.
+    assert values["Degree-Based"].improvement >= values["greedy"].improvement
+    # Nothing ever loses coverage.
+    for res in values.values():
+        assert res.improvement >= 0

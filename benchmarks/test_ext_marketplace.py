@@ -1,0 +1,19 @@
+"""Bench X6 — extension: the brokered-SLA marketplace."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ext_marketplace(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ext_marketplace", config)
+    print("\n" + result.render())
+    reports = result.paper_values
+    # The alliance serves nearly everything; accounting closes; revenue
+    # scales linearly with price at fixed demand.
+    for report in reports.values():
+        assert report.service_rate > 0.9
+        assert (
+            report.served + report.sla_breaches + report.unroutable
+            == report.requests
+        )
+    assert reports[2.0].revenue > reports[0.25].revenue * 7.9

@@ -1,0 +1,16 @@
+"""Bench X4 — extension: QoS-budgeted coverage."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ext_qos(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ext_qos", config)
+    print("\n" + result.render())
+    values = result.paper_values
+    budgets = sorted(values)
+    # Coverage is monotone in the latency budget and the brokered curve
+    # tracks the free curve within a few points (Table 4's QoS analogue).
+    for lo, hi in zip(budgets, budgets[1:]):
+        assert values[hi]["brokered"] >= values[lo]["brokered"] - 1e-9
+    assert values[budgets[-1]]["free"] - values[budgets[-1]]["brokered"] < 0.05

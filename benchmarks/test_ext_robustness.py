@@ -1,0 +1,15 @@
+"""Bench X1 — extension: broker-failure robustness."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ext_robustness(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ext_robustness", config)
+    print("\n" + result.render())
+    targeted = result.paper_values["targeted"]
+    # Degradation is monotone and substantial under targeted failures.
+    assert targeted.connectivity[0] > targeted.connectivity[-1]
+    # Redundant selection 2-covers more of the graph.
+    two_cover = result.paper_values["two_cover"]
+    assert two_cover["redundant"] >= two_cover["maxsg"] - 1e-9

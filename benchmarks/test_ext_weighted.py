@@ -1,0 +1,20 @@
+"""Bench X2 — extension: traffic-weighted selection."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ext_weighted(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "ext_weighted", config)
+    print("\n" + result.render())
+    values = result.paper_values
+    # Weighted greedy must serve at least as much traffic as unweighted.
+    assert (
+        values["weighted greedy"]["traffic"]
+        >= values["unweighted greedy"]["traffic"] - 1e-9
+    )
+    # ... while the unweighted variant wins (weakly) on vertex coverage.
+    assert (
+        values["unweighted greedy"]["vertex"]
+        >= values["weighted greedy"]["vertex"] - 1e-9
+    )

@@ -1,0 +1,16 @@
+"""Bench F1 — Fig. 1: layered radial structure of the topology."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_fig1_topology_layout(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig1", config)
+    print("\n" + result.render())
+    profiles = result.paper_values["profiles"]
+    # Paper shape: layered disc — tier-1 at the centre, stubs at the rim,
+    # IXPs spread across both core and edge.
+    assert profiles["Tier-1 ASes"].mean_radius < profiles["Stub ASes"].mean_radius
+    assert profiles["Transit ASes"].mean_radius <= profiles["Stub ASes"].mean_radius
+    ixp = profiles["IXPs"]
+    assert ixp.core_fraction > 0.0 or ixp.mean_radius < 0.6  # IXPs reach the core

@@ -1,0 +1,17 @@
+"""Bench F2a — Fig. 2a: CDF of Set-Cover broker-set sizes (300 runs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_fig2a_sc_cdf(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig2a", config)
+    print("\n" + result.render())
+    sizes = result.paper_values["sizes"]
+    n = config.graph().num_nodes
+    # Paper: ~40,000 of 52,079 nodes (~76%).  Shape: the SC dominating
+    # set needs a large constant fraction of all vertices, far beyond the
+    # MaxSG alliance's 6.8%.
+    assert len(sizes) == 300
+    assert sizes.mean() > 0.3 * n
+    assert sizes.min() > 0.068 * n

@@ -1,0 +1,17 @@
+"""Bench F3 — Fig. 3: PageRank-gain correlation decay."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_fig3_pagerank_correlation(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig3", config)
+    print("\n" + result.render())
+    rows = list(result.paper_values.values())
+    small_corr = rows[0]["corr"]
+    large_corr = rows[1]["corr"]
+    # Paper: 0.818 at |B|=100 decaying to 0.227 at |B|=1000.  Shape: the
+    # correlation is clearly positive for the small set and collapses for
+    # the large one.
+    assert small_corr > 0.3
+    assert large_corr < small_corr - 0.2

@@ -1,0 +1,18 @@
+"""Bench F4 — Fig. 4: broker placement, network core vs edge."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_fig4_broker_location(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig4", config)
+    print("\n" + result.render())
+    db = result.paper_values["Degree-Based"]
+    msg = result.paper_values["MaxSG"]
+    # Paper: DB crowds the core and leaves the edge mostly uncovered;
+    # MaxSG spreads outward and covers (almost) everything.
+    assert msg["uncovered_count"] < db["uncovered_count"]
+    assert (
+        db["broker_profile"].mean_radius
+        <= msg["broker_profile"].mean_radius + 0.05
+    )

@@ -1,0 +1,12 @@
+"""Bench F5a — Fig. 5a: alliance composition + broker-only fraction."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_fig5a_composition(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig5a", config)
+    print("\n" + result.render())
+    # Paper: > 90% of E2E connections carried by the alliance without
+    # paying any non-broker node.
+    assert result.paper_values["broker_only_fraction"] > 0.9

@@ -1,0 +1,18 @@
+"""Bench F5b — Fig. 5b: recovery via renegotiated inter-broker links."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_fig5b_bidirectional_recovery(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig5b", config)
+    print("\n" + result.render())
+    # Paper: 1,000 brokers + 30% changes -> 72.5%; 3,540-alliance + 30%
+    # -> 84.68%.  Shape: monotone recovery with the converted fraction,
+    # recovering most of the collapse by 30%.
+    for label in ("1.9%", "6.8%"):
+        series = result.paper_values[label]
+        assert series[0.0] < series[0.3] <= series[1.0] + 1e-9
+        collapse = series["free"] - series[0.0]
+        recovered = series[0.3] - series[0.0]
+        assert recovered > 0.5 * collapse

@@ -1,0 +1,18 @@
+"""Bench F5c — Fig. 5c: collapse under directional business routing."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_fig5c_directional_degradation(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig5c", config)
+    print("\n" + result.render())
+    values = result.paper_values
+    # Paper: sharply decreased E2E connectivity at every broker-set size.
+    big = values[0.068]
+    assert big["directional"] < big["free"] - 0.1
+    # The loss is systematic, not a single-point artifact.
+    losing = sum(
+        1 for v in values.values() if v["directional"] <= v["free"] + 1e-9
+    )
+    assert losing == len(values)

@@ -1,0 +1,14 @@
+"""Bench T2 — Table 2: dataset summary of the synthetic topology."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_table2_dataset_summary(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "table2", config)
+    print("\n" + result.render())
+    summary = result.paper_values["summary"]
+    assert abs(summary.ixp_attached_fraction - 0.402) < 0.02
+    assert abs(summary.average_degree - 15.46) < 1.5
+    assert summary.beta is not None and summary.beta <= 5
+    assert summary.largest_component_size < summary.num_ases + summary.num_ixps

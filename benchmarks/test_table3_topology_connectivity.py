@@ -1,0 +1,16 @@
+"""Bench T3 — Table 3: l-hop connectivity across topology families."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_table3_topology_connectivity(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "table3", config)
+    print("\n" + result.render())
+    curves = result.paper_values["curves"]
+    # Paper shape: the AS graph with IXPs reaches ~99% at l=4; the WS
+    # small-world ring is far slower; removing IXPs costs connectivity at
+    # every l (at full scale ~9 points at l=4).
+    assert curves["ASes with IXPs"].at(4) > 0.95
+    assert curves["ASes with IXPs"].at(4) > curves["WS-Small-World"].at(4) + 0.3
+    assert curves["ASes with IXPs"].at(2) >= curves["ASes without IXPs"].at(2)

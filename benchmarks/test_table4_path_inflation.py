@@ -1,0 +1,17 @@
+"""Bench T4 — Table 4: path inflation of the MaxSG alliance."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_table4_path_inflation(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "table4", config)
+    print("\n" + result.render())
+    # Paper: the alliance's connectivity curve almost overlaps the free
+    # curve (bidirectional internal links) while DB falls further behind.
+    free = result.paper_values["free"].saturated
+    alliance = result.paper_values["alliance"].saturated
+    db = result.paper_values["db"].saturated
+    assert free - alliance < 0.05
+    assert alliance >= db - 1e-9
+    assert result.paper_values["max_inflation"] < 0.08

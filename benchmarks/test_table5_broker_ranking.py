@@ -1,0 +1,15 @@
+"""Bench T5 — Table 5: broker ranking and composition."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_table5_broker_ranking(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "table5", config)
+    print("\n" + result.render())
+    comp = result.paper_values["composition"]
+    # Paper: mixed composition with IXPs prominent near the top and
+    # transit/access networks dominating by count.
+    assert comp["TRANSIT_ACCESS"] > 0
+    assert sum(comp.values()) == result.paper_values["alliance_size"]
+    assert result.paper_values["ixp_fraction_in_top_decile"] >= 0.0

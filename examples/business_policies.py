@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""What business relationships do to brokered routing (Section 6.2).
+
+Walks the Fig. 5b/5c story: measure the brokered E2E connectivity under
+(1) the idealized bidirectional policy, (2) classic valley-free routing,
+(3) the strict delivery-only reading of peering contracts, and (4) the
+paper's DIRECTIONAL regime — then sweep the fraction of inter-broker
+links the coalition renegotiates and watch the connectivity recover.
+
+Run:  python examples/business_policies.py
+"""
+
+from repro.core import maxsg, saturated_connectivity
+from repro.datasets import load_internet
+from repro.routing import DirectionalPolicy, policy_connectivity_curve
+
+
+def main() -> None:
+    graph = load_internet("small", seed=1)
+    n = graph.num_nodes
+
+    for label, fraction in (("1.9%", 0.019), ("6.8%", 0.068)):
+        budget = max(1, round(fraction * n))
+        brokers = maxsg(graph, budget)
+        print(f"=== MaxSG {label} broker set (k = {len(brokers)}) ===")
+
+        free = saturated_connectivity(graph, brokers)
+        print(f"  bidirectional (selection-time assumption): {100 * free:.1f}%")
+
+        for policy, name in (
+            (DirectionalPolicy.BUSINESS, "valley-free (classic Gao-Rexford)"),
+            (DirectionalPolicy.STRICT_BUSINESS, "strict (peering = delivery only)"),
+            (DirectionalPolicy.DIRECTIONAL, "directional (paper's Fig. 5c regime)"),
+        ):
+            curve = policy_connectivity_curve(
+                graph, brokers, policy=policy, max_hops=10, seed=0
+            )
+            print(f"  {name}: {100 * curve.saturated:.1f}%")
+
+        print("  renegotiating inter-broker links to coalition terms (Fig. 5b):")
+        for q in (0.0, 0.1, 0.3, 1.0):
+            curve = policy_connectivity_curve(
+                graph,
+                brokers,
+                policy=DirectionalPolicy.DIRECTIONAL,
+                bidirectional_fraction=q,
+                max_hops=10,
+                seed=0,
+            )
+            print(f"    {int(100 * q):3d}% converted -> {100 * curve.saturated:.1f}%")
+        print()
+
+    print("Paper reference points: 1,000 brokers + 30% changes -> 72.5%;")
+    print("3,540-alliance + 30% changes -> 84.68% (of a 99.29% free ceiling).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+PEP 660 editable installs require `wheel`; this offline environment ships
+setuptools without it, so `pip install -e . --no-use-pep517` falls back to
+this legacy path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

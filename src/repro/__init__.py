@@ -1,0 +1,39 @@
+"""repro — reproduction of "Inter-Domain Routing via a Small Broker Set".
+
+A production-quality Python implementation of the broker-set selection
+framework of Liu, Lui, Lin and Hui: the MCBG problem family, the greedy /
+approximation / MaxSubGraph-Greedy algorithms and their baselines, the
+l-hop E2E connectivity evaluation on AS-level Internet topologies, the
+business-relationship routing policies, and the economic incentive models
+(Nash bargaining, Stackelberg pricing, Shapley revenue sharing).
+
+Quickstart::
+
+    from repro import load_internet, BrokerSelector
+
+    graph = load_internet("small", seed=0)
+    result = BrokerSelector(graph).select("maxsg", budget=60)
+    print(result.broker_set, result.saturated_connectivity)
+"""
+
+from repro._version import __version__
+from repro.datasets import load_internet, summarize
+from repro.graph import ASGraph
+
+__all__ = [
+    "__version__",
+    "ASGraph",
+    "load_internet",
+    "summarize",
+    "BrokerSelector",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import: repro.core pulls in the full algorithm stack; keep the
+    # bare `import repro` cheap for tooling.
+    if name == "BrokerSelector":
+        from repro.core.selector import BrokerSelector
+
+        return BrokerSelector
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,178 @@
+"""Command-line interface: ``repro-broker`` / ``python -m repro``.
+
+Subcommands:
+
+* ``generate`` — build a synthetic Internet topology and save it to disk.
+* ``summarize`` — print the Table-2 style summary of a saved topology.
+* ``select`` — run a broker-selection algorithm on a scale profile.
+* ``experiment`` — run one (or all) of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.loader import available_scales, load_internet
+from repro.datasets.stats import summarize
+from repro.exceptions import ReproError
+from repro.graph.io import load_graph, save_graph
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_internet(args.scale, seed=args.seed)
+    save_graph(graph, args.output)
+    print(f"wrote {graph!r} to {args.output}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    if args.path:
+        graph = load_graph(args.path)
+    else:
+        graph = load_internet(args.scale, seed=args.seed)
+    summary = summarize(graph, estimate_short_paths=True, seed=args.seed)
+    print(summary.as_table())
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.core.selector import ALL_ALGORITHMS, BrokerSelector
+
+    if args.algorithm not in ALL_ALGORITHMS:
+        print(f"unknown algorithm {args.algorithm!r}; choose from {ALL_ALGORITHMS}")
+        return 2
+    graph = load_internet(args.scale, seed=args.seed)
+    selector = BrokerSelector(graph)
+    result = selector.select(args.algorithm, args.budget, seed=args.seed)
+    print(result.summary())
+    if args.show_brokers:
+        names = [graph.name_of(b) for b in result.broker_set[: args.show_brokers]]
+        print("top brokers:", ", ".join(names))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, list_experiments, run_experiment
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Scale: `{args.scale}` (seed {args.seed}), "
+        f"{config.graph().num_nodes} nodes.",
+        "",
+    ]
+    names = list_experiments() if not args.experiments else args.experiments
+    for name in names:
+        result = run_experiment(name, config)
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append("")
+    text = "\n".join(lines)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote report for {len(names)} experiments to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.graph.export import write_dot, write_gexf
+
+    graph = load_internet(args.scale, seed=args.seed)
+    brokers: list[int] = []
+    if args.brokers:
+        from repro.core.maxsg import maxsg
+
+        brokers = maxsg(graph, args.brokers)
+    if args.format == "dot":
+        write_dot(graph, args.output, brokers=brokers, max_nodes=args.max_nodes)
+    else:
+        write_gexf(graph, args.output, brokers=brokers)
+    print(f"wrote {graph!r} ({len(brokers)} brokers highlighted) to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, list_experiments, run_experiment
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    names = list_experiments() if args.name == "all" else [args.name]
+    for name in names:
+        result = run_experiment(name, config)
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-broker",
+        description="Inter-domain routing via a small broker set — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate and save a synthetic topology")
+    p.add_argument("--scale", choices=available_scales(), default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="internet.json.gz")
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("summarize", help="Table-2 style dataset summary")
+    p.add_argument("--scale", choices=available_scales(), default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--path", default=None, help="load a saved topology instead")
+    p.set_defaults(fn=_cmd_summarize)
+
+    p = sub.add_parser("select", help="run a broker-selection algorithm")
+    p.add_argument("algorithm")
+    p.add_argument("--budget", type=int, default=None)
+    p.add_argument("--scale", choices=available_scales(), default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--show-brokers", type=int, default=0)
+    p.set_defaults(fn=_cmd_select)
+
+    p = sub.add_parser("experiment", help="reproduce a paper table/figure")
+    p.add_argument("name", help="experiment id (e.g. table1, fig5b) or 'all'")
+    p.add_argument("--scale", choices=available_scales(), default="small")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("report", help="render experiments as a markdown report")
+    p.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    p.add_argument("--scale", choices=available_scales(), default="small")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--output", default=None, help="write to file instead of stdout")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("export", help="export the topology for Graphviz/Gephi")
+    p.add_argument("--format", choices=("dot", "gexf"), default="gexf")
+    p.add_argument("--scale", choices=available_scales(), default="tiny")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--brokers", type=int, default=0,
+                   help="highlight a MaxSG broker set of this size")
+    p.add_argument("--max-nodes", type=int, default=2000)
+    p.add_argument("--output", default="topology.gexf")
+    p.set_defaults(fn=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Baseline broker-selection algorithms (Section 5.1 / Fig. 2).
+
+* **SC** — the randomized Set-Cover-style dominating-set heuristic of the
+  paper's [31]: scan vertices in random order, adding each vertex that is
+  not yet dominated.  Guarantees a dominating set (100 % saturated
+  coverage) but with no size control — Fig. 2a shows it needs ~76 % of all
+  vertices.
+* **IXPB** — IXPs whose degree exceeds a threshold, modelling the
+  CXP-style proposals that rely solely on exchange points.
+* **Tier1Only** — only tier-1 ISPs.
+* **DB** — top-k vertices by degree.
+* **PRB** — top-k vertices by PageRank.
+* **Random** — uniform sample (sanity floor).
+
+All return broker lists compatible with the connectivity engine so every
+algorithm is evaluated under identical metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.graph.metrics import pagerank
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def set_cover_dominating(
+    graph: ASGraph, *, seed: SeedLike = None, order: np.ndarray | None = None
+) -> list[int]:
+    """Randomized dominating-set heuristic (the SC baseline).
+
+    Processes vertices in a random permutation and adds every vertex that
+    is not yet dominated (neither itself nor any neighbour is a broker).
+    The result always dominates the whole graph; its *size* is a random
+    variable whose CDF over repeated runs is Fig. 2a.
+    """
+    n = graph.num_nodes
+    if order is None:
+        order = ensure_rng(seed).permutation(n)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+        if sorted(order.tolist()) != list(range(n)):
+            raise AlgorithmError("order must be a permutation of all vertices")
+    dominated = np.zeros(n, dtype=bool)
+    brokers: list[int] = []
+    for v in order:
+        v = int(v)
+        if dominated[v]:
+            continue
+        brokers.append(v)
+        dominated[v] = True
+        dominated[graph.neighbors(v)] = True
+    return brokers
+
+
+def ixp_based(graph: ASGraph, *, degree_threshold: int = 0) -> list[int]:
+    """All IXPs with degree above ``degree_threshold`` (the IXPB baseline).
+
+    With the default threshold this is "every IXP as a broker" — the
+    322-broker configuration of Table 1's CXP row.
+    """
+    if degree_threshold < 0:
+        raise AlgorithmError("degree_threshold must be >= 0")
+    degrees = graph.degrees()
+    ixps = graph.ixp_ids()
+    return [int(v) for v in ixps if degrees[v] > degree_threshold]
+
+
+def tier1_only(graph: ASGraph) -> list[int]:
+    """All tier-1 ISPs (the Tier1Only baseline)."""
+    return [int(v) for v in graph.tier1_ids()]
+
+
+def degree_based(graph: ASGraph, budget: int) -> list[int]:
+    """Top ``budget`` vertices by degree (the DB baseline).
+
+    Ties broken towards smaller vertex ids for determinism.
+    """
+    _check_budget(graph, budget)
+    degrees = graph.degrees()
+    # argsort on (-degree, id): stable sort over ids then stable by -degree.
+    order = np.argsort(-degrees, kind="stable")
+    return [int(v) for v in order[:budget]]
+
+
+def pagerank_based(
+    graph: ASGraph, budget: int, *, damping: float = 0.85
+) -> list[int]:
+    """Top ``budget`` vertices by PageRank (the PRB baseline)."""
+    _check_budget(graph, budget)
+    scores = pagerank(graph, damping=damping)
+    order = np.argsort(-scores, kind="stable")
+    return [int(v) for v in order[:budget]]
+
+
+def random_brokers(graph: ASGraph, budget: int, *, seed: SeedLike = None) -> list[int]:
+    """Uniformly random broker set — the sanity floor for comparisons."""
+    _check_budget(graph, budget)
+    rng = ensure_rng(seed)
+    return [int(v) for v in rng.choice(graph.num_nodes, size=budget, replace=False)]
+
+
+def _check_budget(graph: ASGraph, budget: int) -> None:
+    if budget < 1:
+        raise AlgorithmError(f"budget must be >= 1, got {budget}")
+    if budget > graph.num_nodes:
+        raise AlgorithmError(f"budget {budget} exceeds |V| = {graph.num_nodes}")

@@ -1,0 +1,111 @@
+"""The coverage set function ``f(B) = |B ∪ N(B)|`` and its oracle.
+
+Every selection algorithm in the paper optimizes (or is evaluated by) this
+function: a vertex is *covered* by a broker set ``B`` when it is a broker
+or adjacent to one, i.e., it can reach the brokerage with a first-hop SLA.
+``f`` is monotone and submodular (Lemma 3), which is what buys Algorithm
+1's ``(1 - 1/e)`` guarantee.
+
+:class:`CoverageOracle` supports the incremental access pattern the greedy
+algorithms need — O(deg(v)) marginal-gain queries and O(deg(v)) updates —
+without recomputing neighbourhood unions from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+
+
+class CoverageOracle:
+    """Incremental evaluator of ``f(B) = |B ∪ N(B)|`` over a fixed graph.
+
+    The oracle keeps a boolean ``covered`` array; adding broker ``v`` marks
+    ``{v} ∪ N(v)``.  ``marginal_gain(v)`` counts how many *new* vertices
+    ``v`` would cover — the quantity maximized by each greedy step of
+    Algorithm 1 (and, restricted to a frontier, by Algorithm 3).
+    """
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._covered = np.zeros(graph.num_nodes, dtype=bool)
+        self._brokers: list[int] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    @property
+    def brokers(self) -> list[int]:
+        """Brokers added so far, in insertion order."""
+        return list(self._brokers)
+
+    @property
+    def covered_mask(self) -> np.ndarray:
+        """Read-only view of the covered indicator (do not mutate)."""
+        return self._covered
+
+    def coverage(self) -> int:
+        """Current value of ``f(B)``."""
+        return int(np.count_nonzero(self._covered))
+
+    def coverage_fraction(self) -> float:
+        """``f(B) / |V|``."""
+        n = self._graph.num_nodes
+        return self.coverage() / n if n else 0.0
+
+    def is_covered(self, v: int) -> bool:
+        return bool(self._covered[v])
+
+    # ------------------------------------------------------------------
+    # Queries and updates
+    # ------------------------------------------------------------------
+    def marginal_gain(self, v: int) -> int:
+        """``f(B ∪ {v}) − f(B)`` in O(deg(v))."""
+        gain = 0 if self._covered[v] else 1
+        neigh = self._graph.neighbors(v)
+        gain += int(np.count_nonzero(~self._covered[neigh]))
+        return gain
+
+    def add(self, v: int) -> int:
+        """Add broker ``v``; returns the realized marginal gain."""
+        if not 0 <= v < self._graph.num_nodes:
+            raise AlgorithmError(f"broker id {v} out of range")
+        gain = self.marginal_gain(v)
+        self._covered[v] = True
+        self._covered[self._graph.neighbors(v)] = True
+        self._brokers.append(int(v))
+        return gain
+
+    def uncovered_count(self) -> int:
+        return self._graph.num_nodes - self.coverage()
+
+
+def coverage_value(graph: ASGraph, brokers: Iterable[int]) -> int:
+    """One-shot ``f(B)`` for an arbitrary broker collection."""
+    covered = covered_mask(graph, brokers)
+    return int(np.count_nonzero(covered))
+
+
+def covered_mask(graph: ASGraph, brokers: Iterable[int]) -> np.ndarray:
+    """Boolean indicator of ``B ∪ N(B)``."""
+    covered = np.zeros(graph.num_nodes, dtype=bool)
+    for v in brokers:
+        if not 0 <= v < graph.num_nodes:
+            raise AlgorithmError(f"broker id {v} out of range")
+        covered[v] = True
+        covered[graph.neighbors(v)] = True
+    return covered
+
+
+def coverage_fraction(graph: ASGraph, brokers: Iterable[int]) -> float:
+    """``f(B) / |V|`` for an arbitrary broker collection."""
+    n = graph.num_nodes
+    return coverage_value(graph, brokers) / n if n else 0.0

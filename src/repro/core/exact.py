@@ -1,0 +1,79 @@
+"""Exact (brute-force) solvers for tiny instances.
+
+MCB and MCBG are NP-hard (Lemmas 1–2, Theorem 2); these exponential
+solvers exist to *certify* the polynomial algorithms on small graphs:
+
+* the greedy Algorithm 1 must achieve ``>= (1 − 1/e) · OPT_MCB``;
+* Algorithm 2 and MaxSG must be feasible for MCBG and compare sensibly
+  against ``OPT_MCBG``;
+* the PDS decision answer validates :func:`solve_pds_greedy`'s certificate.
+
+All solvers enumerate ``C(|V|, k)`` subsets — keep ``|V|`` under ~20.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.problems import MCBGInstance, MCBInstance, PDSInstance
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+
+_MAX_EXACT_NODES = 24
+
+
+def _guard(graph: ASGraph, k: int) -> None:
+    if graph.num_nodes > _MAX_EXACT_NODES:
+        raise AlgorithmError(
+            f"exact solver limited to {_MAX_EXACT_NODES} vertices, "
+            f"got {graph.num_nodes}"
+        )
+    if not 1 <= k <= graph.num_nodes:
+        raise AlgorithmError(f"k={k} out of range")
+
+
+def exact_mcb(graph: ASGraph, k: int) -> tuple[list[int], int]:
+    """Optimal MCB solution by exhaustive search.
+
+    Returns ``(brokers, f(B))`` with the lexicographically-smallest
+    optimal subset, so the result is deterministic for tests.
+    """
+    _guard(graph, k)
+    instance = MCBInstance(graph, k)
+    best: tuple[list[int], int] | None = None
+    for subset in combinations(range(graph.num_nodes), k):
+        value = instance.objective(subset)
+        if best is None or value > best[1]:
+            best = (list(subset), value)
+        if best[1] == graph.num_nodes:
+            break  # cannot do better than full coverage
+    assert best is not None
+    return best
+
+
+def exact_mcbg(graph: ASGraph, k: int) -> tuple[list[int], int]:
+    """Optimal MCBG solution by exhaustive search over feasible subsets."""
+    _guard(graph, k)
+    instance = MCBGInstance(graph, k)
+    best: tuple[list[int], int] | None = None
+    for size in range(1, k + 1):
+        for subset in combinations(range(graph.num_nodes), size):
+            if not instance.is_feasible_solution(subset):
+                continue
+            value = instance.objective(subset)
+            if best is None or value > best[1]:
+                best = (list(subset), value)
+    if best is None:
+        raise AlgorithmError("no feasible MCBG solution found (empty graph?)")
+    return best
+
+
+def exact_pds(graph: ASGraph, k: int) -> list[int] | None:
+    """Decide PDS exactly; returns a certificate or ``None`` (infeasible)."""
+    _guard(graph, k)
+    instance = PDSInstance(graph, k)
+    for size in range(1, k + 1):
+        for subset in combinations(range(graph.num_nodes), size):
+            if instance.is_feasible_solution(subset):
+                return list(subset)
+    return None

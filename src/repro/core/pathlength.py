@@ -1,0 +1,106 @@
+"""Path-length constraints and their stochastic evaluation (Section 5.2).
+
+Problem 4 adds per-pair path-length requirements to MCBG.  The paper
+evaluates a candidate broker set ``B`` *stochastically*: treat the choice
+of a source/destination pair as a random event, let ``F(l)`` be the
+cumulative path-length distribution of the free topology and ``F_B(l)``
+the distribution under B-dominated routing, and call a selection strategy
+*feasible* when ``|F_B(l) − F(l)| <= ε`` for all ``l`` (Eq. 4).
+
+Both distributions are l-hop connectivity curves, so this module is a thin
+veneer over :mod:`repro.core.connectivity` that packages the deviation
+statistics (the sup-norm is a Kolmogorov-Smirnov-style distance between
+the two connectivity curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.connectivity import ConnectivityCurve, connectivity_curve
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of the Eq. (4) check for one broker set."""
+
+    epsilon: float
+    max_deviation: float
+    deviation_per_hop: np.ndarray
+    feasible: bool
+    free_curve: ConnectivityCurve
+    broker_curve: ConnectivityCurve
+
+    @property
+    def worst_hop(self) -> int:
+        """Hop bound where the deviation peaks (1-indexed)."""
+        return int(np.argmax(self.deviation_per_hop)) + 1
+
+
+def path_length_distribution(
+    graph: ASGraph,
+    brokers: list[int] | None = None,
+    *,
+    max_hops: int = 8,
+    num_sources: int | None = None,
+    seed: SeedLike = 0,
+) -> ConnectivityCurve:
+    """``F(l)`` (``brokers=None``) or ``F_B(l)`` as a cumulative curve.
+
+    The curve's ``fractions[l-1]`` equals the probability that a random
+    distinct ordered pair has an (optionally B-dominated) path of at most
+    ``l`` hops, which is exactly the cumulative histogram the paper's
+    ``B ⊙ A`` operator computes.
+    """
+    return connectivity_curve(
+        graph, brokers, max_hops=max_hops, num_sources=num_sources, seed=seed
+    )
+
+
+def evaluate_feasibility(
+    graph: ASGraph,
+    brokers: list[int],
+    *,
+    epsilon: float = 0.05,
+    max_hops: int = 8,
+    num_sources: int | None = None,
+    seed: SeedLike = 0,
+    free_curve: ConnectivityCurve | None = None,
+) -> FeasibilityReport:
+    """Check Eq. (4): is ``B`` a feasible strategy at tolerance ``ε``?
+
+    ``free_curve`` can be precomputed once per topology and shared across
+    many candidate broker sets (the experiment sweeps do this).
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise AlgorithmError(f"epsilon must be in [0, 1], got {epsilon}")
+    if free_curve is None:
+        free_curve = path_length_distribution(
+            graph, None, max_hops=max_hops, num_sources=num_sources, seed=seed
+        )
+    broker_curve = path_length_distribution(
+        graph, brokers, max_hops=max_hops, num_sources=num_sources, seed=seed
+    )
+    hops = min(free_curve.max_hops, broker_curve.max_hops)
+    deviation = np.abs(
+        free_curve.fractions[:hops] - broker_curve.fractions[:hops]
+    )
+    max_dev = float(deviation.max(initial=0.0))
+    return FeasibilityReport(
+        epsilon=epsilon,
+        max_deviation=max_dev,
+        deviation_per_hop=deviation,
+        feasible=max_dev <= epsilon,
+        free_curve=free_curve,
+        broker_curve=broker_curve,
+    )
+
+
+def minimum_feasible_epsilon(report: FeasibilityReport) -> float:
+    """Smallest tolerance under which the checked broker set is feasible."""
+    return report.max_deviation

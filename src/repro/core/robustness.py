@@ -1,0 +1,171 @@
+"""Broker-failure robustness analysis (deployment hardening).
+
+A real brokerage coalition loses members — outages, de-peering, ASes
+leaving the alliance (Section 7.2's stability analysis is about exactly
+that temptation).  This module quantifies how gracefully a broker set's
+E2E guarantee degrades and how to buy insurance:
+
+* :func:`failure_sweep` — remove random or targeted (highest-coverage)
+  brokers and track the saturated connectivity curve;
+* :func:`redundant_greedy` — an ``r``-redundant variant of Algorithm 1:
+  a vertex only counts as covered once ``r`` distinct brokers are in its
+  closed neighbourhood, so any single failure leaves every covered
+  vertex covered (classic multi-cover, still submodular, so greedy keeps
+  a ``(1 − 1/e)`` guarantee);
+* :func:`single_failure_impact` — the worst-case connectivity drop over
+  all single-broker removals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.connectivity import saturated_connectivity
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class FailureSweepResult:
+    """Connectivity after removing ``k`` brokers, for ``k = 0..max``."""
+
+    removed: np.ndarray
+    connectivity: np.ndarray
+    strategy: str
+
+    def drop_at(self, k: int) -> float:
+        """Connectivity lost after ``k`` failures."""
+        idx = int(np.searchsorted(self.removed, k))
+        if idx >= len(self.removed) or self.removed[idx] != k:
+            raise AlgorithmError(f"sweep does not include k={k}")
+        return float(self.connectivity[0] - self.connectivity[idx])
+
+
+def failure_sweep(
+    graph: ASGraph,
+    brokers: list[int],
+    *,
+    strategy: str = "random",
+    max_failures: int | None = None,
+    step: int = 1,
+    seed: SeedLike = 0,
+) -> FailureSweepResult:
+    """Remove brokers one batch at a time and measure the damage.
+
+    ``strategy="random"`` removes uniformly (expected behaviour under
+    independent outages); ``"targeted"`` removes in descending coverage
+    contribution (an adversary, or the largest members defecting).
+    """
+    if strategy not in ("random", "targeted"):
+        raise AlgorithmError(f"unknown strategy {strategy!r}")
+    brokers = list(dict.fromkeys(int(b) for b in brokers))
+    if not brokers:
+        raise AlgorithmError("broker set must be non-empty")
+    limit = len(brokers) if max_failures is None else min(max_failures, len(brokers))
+    if strategy == "random":
+        rng = ensure_rng(seed)
+        order = list(rng.permutation(brokers))
+    else:
+        # Defect biggest-first: order by standalone closed-neighbourhood size.
+        degrees = graph.degrees()
+        order = sorted(brokers, key=lambda b: -int(degrees[b]))
+    removed_counts = list(range(0, limit + 1, step))
+    if removed_counts[-1] != limit:
+        removed_counts.append(limit)
+    connectivity = []
+    for k in removed_counts:
+        surviving = [b for b in brokers if b not in set(order[:k])]
+        connectivity.append(
+            saturated_connectivity(graph, surviving) if surviving else 0.0
+        )
+    return FailureSweepResult(
+        removed=np.asarray(removed_counts),
+        connectivity=np.asarray(connectivity),
+        strategy=strategy,
+    )
+
+
+def single_failure_impact(graph: ASGraph, brokers: list[int]) -> dict:
+    """Worst-case and mean connectivity drop over all single removals."""
+    brokers = list(dict.fromkeys(int(b) for b in brokers))
+    if not brokers:
+        raise AlgorithmError("broker set must be non-empty")
+    base = saturated_connectivity(graph, brokers)
+    drops = []
+    worst_broker = brokers[0]
+    worst_drop = -1.0
+    for b in brokers:
+        rest = [x for x in brokers if x != b]
+        value = saturated_connectivity(graph, rest) if rest else 0.0
+        drop = base - value
+        drops.append(drop)
+        if drop > worst_drop:
+            worst_drop, worst_broker = drop, b
+    return {
+        "base": base,
+        "worst_drop": worst_drop,
+        "worst_broker": worst_broker,
+        "mean_drop": float(np.mean(drops)),
+    }
+
+
+def redundant_greedy(graph: ASGraph, budget: int, redundancy: int = 2) -> list[int]:
+    """Greedy ``r``-redundant coverage (multi-cover).
+
+    A vertex is *r-covered* when at least ``r`` brokers sit in its closed
+    neighbourhood.  The objective ``Σ_v min(hits(v), r)`` is monotone
+    submodular, so plain greedy keeps the ``(1 − 1/e)`` guarantee; the
+    payoff is that any ``r − 1`` broker failures leave every fully
+    covered vertex covered.
+    """
+    if redundancy < 1:
+        raise AlgorithmError(f"redundancy must be >= 1, got {redundancy}")
+    if budget < 1 or budget > graph.num_nodes:
+        raise AlgorithmError(f"budget {budget} out of range")
+    n = graph.num_nodes
+    hits = np.zeros(n, dtype=np.int64)
+    chosen: list[int] = []
+    chosen_mask = np.zeros(n, dtype=bool)
+    import heapq
+
+    def gain(v: int) -> int:
+        neigh = graph.neighbors(v)
+        closed_hits = np.concatenate([hits[neigh], hits[v : v + 1]])
+        return int(np.count_nonzero(closed_hits < redundancy))
+
+    heap = [(-gain(v), v) for v in range(n)]
+    heapq.heapify(heap)
+    stale = np.zeros(n, dtype=np.int64)
+    round_no = 0
+    while heap and len(chosen) < budget:
+        neg_g, v = heapq.heappop(heap)
+        if chosen_mask[v]:
+            continue
+        if stale[v] != round_no:
+            g = gain(v)
+            stale[v] = round_no
+            if g > 0:
+                heapq.heappush(heap, (-g, v))
+            continue
+        if -neg_g <= 0:
+            break
+        hits[v] += 1
+        hits[graph.neighbors(v)] += 1
+        chosen.append(int(v))
+        chosen_mask[v] = True
+        round_no += 1
+    return chosen
+
+
+def r_covered_fraction(graph: ASGraph, brokers: list[int], redundancy: int) -> float:
+    """Fraction of vertices with >= ``redundancy`` brokers in N[v]."""
+    if redundancy < 1:
+        raise AlgorithmError("redundancy must be >= 1")
+    hits = np.zeros(graph.num_nodes, dtype=np.int64)
+    for b in dict.fromkeys(int(b) for b in brokers):
+        hits[b] += 1
+        hits[graph.neighbors(b)] += 1
+    return float(np.mean(hits >= redundancy))

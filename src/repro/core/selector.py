@@ -1,0 +1,185 @@
+"""High-level broker selection API.
+
+:class:`BrokerSelector` is the façade downstream users interact with: pick
+an algorithm by name, get back a :class:`SelectionResult` bundling the
+broker set with its evaluation (coverage, saturated connectivity, MCBG
+feasibility) so the common workflow is three lines::
+
+    graph = load_internet("small", seed=0)
+    result = BrokerSelector(graph).select("maxsg", budget=60)
+    print(result.summary())
+
+Algorithm registry:
+
+=============  ==========================================================
+name           implementation
+=============  ==========================================================
+``greedy``     Algorithm 1 (lazy greedy MCB)
+``approx``     Algorithm 2 (MCBG approximation on an (α, β)-graph)
+``maxsg``      Algorithm 3 (MaxSubGraph-Greedy)
+``sc``         randomized Set-Cover dominating set
+``ixp``        IXPs above a degree threshold
+``tier1``      tier-1 ISPs only
+``degree``     Degree-Based top-k
+``pagerank``   PageRank-Based top-k
+``random``     uniform sample
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import baselines
+from repro.core.approx_mcbg import approx_mcbg
+from repro.core.connectivity import connectivity_curve, saturated_connectivity
+from repro.core.coverage import coverage_fraction, coverage_value
+from repro.core.domination import brokers_mutually_connected
+from repro.core.greedy import lazy_greedy_max_coverage
+from repro.core.maxsg import maxsg
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.utils.rng import SeedLike
+
+#: Algorithms that require a ``budget`` argument.
+BUDGETED_ALGORITHMS = ("greedy", "approx", "maxsg", "degree", "pagerank", "random")
+#: Algorithms whose size is determined by the graph itself.
+UNBUDGETED_ALGORITHMS = ("sc", "ixp", "tier1")
+ALL_ALGORITHMS = BUDGETED_ALGORITHMS + UNBUDGETED_ALGORITHMS
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """A broker set plus its headline evaluation."""
+
+    algorithm: str
+    broker_set: list[int]
+    coverage: int
+    coverage_fraction: float
+    saturated_connectivity: float
+    mcbg_feasible: bool
+    parameters: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.broker_set)
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.algorithm}: |B|={self.size}, "
+            f"coverage={100 * self.coverage_fraction:.2f}%, "
+            f"saturated connectivity={100 * self.saturated_connectivity:.2f}%, "
+            f"MCBG-feasible={self.mcbg_feasible}"
+        )
+
+
+class BrokerSelector:
+    """Runs any registered selection algorithm on a fixed topology."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    def select(
+        self,
+        algorithm: str,
+        budget: int | None = None,
+        *,
+        beta: int = 4,
+        seed: SeedLike = 0,
+        degree_threshold: int = 0,
+        evaluate: bool = True,
+    ) -> SelectionResult:
+        """Run ``algorithm`` and evaluate the resulting broker set.
+
+        ``budget`` is mandatory for the budgeted algorithms and ignored by
+        ``sc`` / ``ixp`` / ``tier1``.  ``evaluate=False`` skips the
+        connectivity evaluation (useful inside parameter sweeps that will
+        evaluate in bulk later).
+        """
+        graph = self._graph
+        params: dict = {}
+        if algorithm in BUDGETED_ALGORITHMS:
+            if budget is None:
+                raise AlgorithmError(f"algorithm {algorithm!r} requires a budget")
+            if algorithm == "greedy":
+                brokers = lazy_greedy_max_coverage(graph, budget)
+            elif algorithm == "approx":
+                result = approx_mcbg(graph, budget, beta=beta)
+                brokers = result.brokers
+                params = {"beta": beta, "x_star": result.x_star, "root": result.root}
+            elif algorithm == "maxsg":
+                brokers = maxsg(graph, budget)
+            elif algorithm == "degree":
+                brokers = baselines.degree_based(graph, budget)
+            elif algorithm == "pagerank":
+                brokers = baselines.pagerank_based(graph, budget)
+            else:  # random
+                brokers = baselines.random_brokers(graph, budget, seed=seed)
+        elif algorithm == "sc":
+            brokers = baselines.set_cover_dominating(graph, seed=seed)
+        elif algorithm == "ixp":
+            brokers = baselines.ixp_based(graph, degree_threshold=degree_threshold)
+            params = {"degree_threshold": degree_threshold}
+        elif algorithm == "tier1":
+            brokers = baselines.tier1_only(graph)
+        else:
+            raise AlgorithmError(
+                f"unknown algorithm {algorithm!r}; choose from {ALL_ALGORITHMS}"
+            )
+
+        if not evaluate:
+            return SelectionResult(
+                algorithm=algorithm,
+                broker_set=brokers,
+                coverage=0,
+                coverage_fraction=0.0,
+                saturated_connectivity=0.0,
+                mcbg_feasible=False,
+                parameters=params,
+            )
+        return self.evaluate(brokers, algorithm=algorithm, parameters=params)
+
+    def evaluate(
+        self,
+        brokers: list[int],
+        *,
+        algorithm: str = "custom",
+        parameters: dict | None = None,
+    ) -> SelectionResult:
+        """Evaluate an arbitrary broker set under the standard metrics."""
+        graph = self._graph
+        brokers = list(dict.fromkeys(int(b) for b in brokers))
+        sat = saturated_connectivity(graph, brokers) if brokers else 0.0
+        return SelectionResult(
+            algorithm=algorithm,
+            broker_set=brokers,
+            coverage=coverage_value(graph, brokers) if brokers else 0,
+            coverage_fraction=coverage_fraction(graph, brokers) if brokers else 0.0,
+            saturated_connectivity=sat,
+            mcbg_feasible=(
+                brokers_mutually_connected(graph, brokers) if brokers else False
+            ),
+            parameters=parameters or {},
+        )
+
+    def connectivity_curve(
+        self,
+        brokers: list[int] | None,
+        *,
+        max_hops: int = 8,
+        num_sources: int | None = None,
+        seed: SeedLike = 0,
+    ):
+        """l-hop connectivity curve (delegates to the engine)."""
+        return connectivity_curve(
+            self._graph,
+            brokers,
+            max_hops=max_hops,
+            num_sources=num_sources,
+            seed=seed,
+        )

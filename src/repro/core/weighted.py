@@ -1,0 +1,244 @@
+"""Traffic-weighted broker selection (an extension the paper motivates).
+
+The paper's objective counts every vertex equally, but its motivation is
+traffic: 82 % of 2020 IP traffic is video, concentrated on a minority of
+source/destination ASes.  This module generalizes the coverage function
+to ``f_w(B) = Σ_{v ∈ B ∪ N(B)} w(v)`` — covering an AS is worth its
+traffic share — and re-derives the selection machinery:
+
+* :class:`WeightedCoverageOracle` — incremental weighted-gain queries;
+* :func:`weighted_greedy` — Algorithm 1 under ``f_w`` (``f_w`` is still
+  monotone submodular, so the ``(1 − 1/e)`` guarantee carries over);
+* :func:`weighted_maxsg` — Algorithm 3 under ``f_w`` (connected region
+  growth, so the MCBG dominating-path guarantee is preserved);
+* :func:`traffic_weights` — a Zipf traffic model over ASes (IXPs carry
+  no endpoint traffic of their own).
+
+Weighted saturated connectivity (the fraction of *traffic pairs* served)
+is provided for evaluation symmetry.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.domination import dominated_adjacency
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.graph.csr import connected_components
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def traffic_weights(
+    graph: ASGraph,
+    *,
+    zipf_exponent: float = 0.9,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Synthetic per-AS traffic shares (sum to 1; IXPs get 0).
+
+    Ranks are assigned by a random permutation biased towards high-degree
+    ASes (eyeball/content networks are heavy), then Zipf-distributed.
+    """
+    if zipf_exponent <= 0:
+        raise AlgorithmError("zipf_exponent must be positive")
+    rng = ensure_rng(seed)
+    n = graph.num_nodes
+    weights = np.zeros(n, dtype=np.float64)
+    as_ids = graph.as_ids()
+    if len(as_ids) == 0:
+        return weights
+    degree_bias = graph.degrees()[as_ids].astype(np.float64) + 1.0
+    noise = rng.gumbel(size=len(as_ids))
+    order = as_ids[np.argsort(-(np.log(degree_bias) + noise))]
+    shares = 1.0 / np.arange(1, len(order) + 1) ** zipf_exponent
+    weights[order] = shares / shares.sum()
+    return weights
+
+
+class WeightedCoverageOracle:
+    """Incremental evaluator of ``f_w(B) = Σ_{v ∈ B ∪ N(B)} w(v)``."""
+
+    def __init__(self, graph: ASGraph, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (graph.num_nodes,):
+            raise AlgorithmError(
+                f"weights must have shape ({graph.num_nodes},), got {weights.shape}"
+            )
+        if (weights < 0).any():
+            raise AlgorithmError("weights must be non-negative")
+        self._graph = graph
+        self._weights = weights
+        self._covered = np.zeros(graph.num_nodes, dtype=bool)
+        self._brokers: list[int] = []
+
+    @property
+    def covered_mask(self) -> np.ndarray:
+        return self._covered
+
+    @property
+    def brokers(self) -> list[int]:
+        return list(self._brokers)
+
+    def coverage(self) -> float:
+        return float(self._weights[self._covered].sum())
+
+    def marginal_gain(self, v: int) -> float:
+        gain = 0.0 if self._covered[v] else float(self._weights[v])
+        neigh = self._graph.neighbors(v)
+        fresh = neigh[~self._covered[neigh]]
+        return gain + float(self._weights[fresh].sum())
+
+    def add(self, v: int) -> float:
+        if not 0 <= v < self._graph.num_nodes:
+            raise AlgorithmError(f"broker id {v} out of range")
+        gain = self.marginal_gain(v)
+        self._covered[v] = True
+        self._covered[self._graph.neighbors(v)] = True
+        self._brokers.append(int(v))
+        return gain
+
+
+def weighted_greedy(
+    graph: ASGraph, weights: np.ndarray, budget: int
+) -> list[int]:
+    """Lazy greedy maximization of ``f_w`` (Algorithm 1, weighted).
+
+    Identical structure to the unweighted CELF loop; cached gains are
+    upper bounds by submodularity of ``f_w``.
+    """
+    _check_budget(graph, budget)
+    oracle = WeightedCoverageOracle(graph, weights)
+    heap: list[tuple[float, int]] = [
+        (-oracle.marginal_gain(v), v) for v in range(graph.num_nodes)
+    ]
+    heapq.heapify(heap)
+    stale = np.zeros(graph.num_nodes, dtype=np.int64)
+    round_no = 0
+    chosen: list[int] = []
+    while heap and len(chosen) < budget:
+        neg_gain, v = heapq.heappop(heap)
+        if stale[v] != round_no:
+            gain = oracle.marginal_gain(v)
+            stale[v] = round_no
+            if gain > 0:
+                heapq.heappush(heap, (-gain, v))
+            continue
+        if -neg_gain <= 0:
+            break
+        oracle.add(v)
+        chosen.append(v)
+        round_no += 1
+    return chosen
+
+
+def weighted_maxsg(
+    graph: ASGraph,
+    weights: np.ndarray,
+    budget: int,
+    *,
+    seed_vertex: int | None = None,
+) -> list[int]:
+    """MaxSubGraph-Greedy under traffic weights.
+
+    Keeps the dominated region connected (so the MCBG guarantee holds,
+    exactly as for the unweighted variant) while growing weighted
+    coverage greedily.  The seed defaults to the heaviest closed
+    neighbourhood.
+    """
+    _check_budget(graph, budget)
+    weights = np.asarray(weights, dtype=np.float64)
+    oracle = WeightedCoverageOracle(graph, weights)
+    n = graph.num_nodes
+    if seed_vertex is None:
+        best, best_gain = 0, -1.0
+        for v in range(n):
+            gain = oracle.marginal_gain(v)
+            if gain > best_gain:
+                best, best_gain = v, gain
+        seed_vertex = best
+    elif not 0 <= seed_vertex < n:
+        raise AlgorithmError(f"seed vertex {seed_vertex} out of range")
+
+    in_set = np.zeros(n, dtype=bool)
+    in_heap = np.zeros(n, dtype=bool)
+    stale = np.full(n, -1, dtype=np.int64)
+    heap: list[tuple[float, int]] = []
+    chosen: list[int] = []
+
+    def admit(nodes: np.ndarray, round_no: int) -> None:
+        for v in nodes:
+            v = int(v)
+            if in_heap[v] or in_set[v]:
+                continue
+            in_heap[v] = True
+            gain = oracle.marginal_gain(v)
+            if gain > 0:
+                stale[v] = round_no
+                heapq.heappush(heap, (-gain, v))
+
+    def add(v: int, round_no: int) -> None:
+        before = oracle.covered_mask.copy()
+        oracle.add(v)
+        in_set[v] = True
+        chosen.append(v)
+        fresh = np.flatnonzero(oracle.covered_mask & ~before)
+        frontier = set(int(x) for x in fresh)
+        for u in fresh:
+            frontier.update(int(x) for x in graph.neighbors(int(u)))
+        admit(np.fromiter(frontier, dtype=np.int64), round_no)
+
+    add(seed_vertex, 0)
+    round_no = 1
+    while len(chosen) < budget and heap:
+        neg_gain, v = heapq.heappop(heap)
+        if in_set[v]:
+            continue
+        if stale[v] != round_no:
+            gain = oracle.marginal_gain(v)
+            stale[v] = round_no
+            if gain > 0:
+                heapq.heappush(heap, (-gain, v))
+            continue
+        if -neg_gain <= 0:
+            break
+        add(v, round_no)
+        round_no += 1
+    return chosen
+
+
+def weighted_saturated_connectivity(
+    graph: ASGraph, weights: np.ndarray, brokers: list[int] | None
+) -> float:
+    """Traffic-pair analogue of saturated connectivity.
+
+    Fraction of weight-products ``w(u)·w(v)`` over ordered distinct pairs
+    that are joined by a B-dominated path:
+    ``Σ_C (W_C² − Σ_{v∈C} w_v²) / (W² − Σ w_v²)`` over dominated
+    components ``C`` with total weight ``W_C``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    denom = total * total - float((weights**2).sum())
+    if denom <= 0:
+        return 0.0
+    if brokers is None:
+        adj = graph.adj
+    else:
+        adj = dominated_adjacency(graph, brokers)
+    _, labels = connected_components(adj.to_scipy())
+    num = 0.0
+    for comp in np.unique(labels):
+        mask = labels == comp
+        w_c = float(weights[mask].sum())
+        num += w_c * w_c - float((weights[mask] ** 2).sum())
+    return num / denom
+
+
+def _check_budget(graph: ASGraph, budget: int) -> None:
+    if budget < 1:
+        raise AlgorithmError(f"budget must be >= 1, got {budget}")
+    if budget > graph.num_nodes:
+        raise AlgorithmError(f"budget {budget} exceeds |V| = {graph.num_nodes}")

@@ -1,0 +1,21 @@
+"""Dataset substrate: calibrated synthetic Internet + registry + summaries."""
+
+from repro.datasets.loader import available_scales, load_internet
+from repro.datasets.stats import DatasetSummary, summarize
+from repro.datasets.synthetic_internet import (
+    FULL_SCALE_AS_COUNT,
+    FULL_SCALE_IXP_COUNT,
+    InternetConfig,
+    generate_internet,
+)
+
+__all__ = [
+    "InternetConfig",
+    "generate_internet",
+    "FULL_SCALE_AS_COUNT",
+    "FULL_SCALE_IXP_COUNT",
+    "load_internet",
+    "available_scales",
+    "DatasetSummary",
+    "summarize",
+]

@@ -1,0 +1,71 @@
+"""Dataset registry: named scale profiles with on-disk caching.
+
+Experiments and benchmarks request topologies by scale name so the whole
+suite can be re-pointed at a different size with one flag.  The ``full``
+profile matches the paper's 52,079-node dataset; smaller profiles shrink
+every structural quantity proportionally (see
+:meth:`repro.datasets.synthetic_internet.InternetConfig.scaled`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datasets.synthetic_internet import (
+    FULL_SCALE_AS_COUNT,
+    InternetConfig,
+    generate_internet,
+)
+from repro.exceptions import DatasetError
+from repro.graph.asgraph import ASGraph
+from repro.graph.io import load_graph, save_graph
+
+#: Scale name -> fraction of the paper's full AS count.
+_SCALE_FACTORS: dict[str, float] = {
+    "tiny": 600 / FULL_SCALE_AS_COUNT,
+    "small": 3_000 / FULL_SCALE_AS_COUNT,
+    "medium": 12_000 / FULL_SCALE_AS_COUNT,
+    "large": 26_000 / FULL_SCALE_AS_COUNT,
+    "full": 1.0,
+}
+
+
+def available_scales() -> list[str]:
+    """Names accepted by :func:`load_internet`, smallest first."""
+    return list(_SCALE_FACTORS)
+
+
+def config_for_scale(scale: str) -> InternetConfig:
+    """The :class:`InternetConfig` behind a named scale profile."""
+    try:
+        factor = _SCALE_FACTORS[scale]
+    except KeyError:
+        raise DatasetError(
+            f"unknown scale {scale!r}; choose from {sorted(_SCALE_FACTORS)}"
+        ) from None
+    return InternetConfig().scaled(factor)
+
+
+def load_internet(
+    scale: str = "small",
+    *,
+    seed: int = 0,
+    cache_dir: str | Path | None = None,
+) -> ASGraph:
+    """Return the synthetic Internet for ``scale``, generating on demand.
+
+    When ``cache_dir`` is given, generated topologies are stored as
+    ``internet-<scale>-seed<seed>.json.gz`` and reloaded on later calls —
+    useful because the ``large``/``full`` profiles take a while to build.
+    """
+    config = config_for_scale(scale)
+    cache_path: Path | None = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / f"internet-{scale}-seed{seed}.json.gz"
+        if cache_path.exists():
+            return load_graph(cache_path)
+    graph = generate_internet(config, seed=seed)
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        save_graph(graph, cache_path)
+    return graph

@@ -1,0 +1,103 @@
+"""Dataset summaries reproducing Table 2's structure report.
+
+``summarize`` computes, for any :class:`ASGraph`, the row set of the
+paper's Table 2 (node/edge counts split by kind, largest-component size)
+plus the structural diagnostics used to validate the synthetic generator
+(IXP attachment fraction, average degree, (alpha, beta) estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.asgraph import ASGraph
+from repro.graph.metrics import average_degree, component_sizes
+from repro.graph.paths import estimate_alpha_beta
+from repro.types import NodeKind, Relationship
+from repro.utils.rng import SeedLike
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Table 2 quantities plus generator-validation diagnostics."""
+
+    num_ixps: int
+    num_ases: int
+    largest_component_size: int
+    as_as_edges: int
+    ixp_as_edges: int
+    ixp_attached_fraction: float
+    average_degree: float
+    alpha: float | None = None
+    beta: int | None = None
+
+    def as_table(self) -> str:
+        """Render in the shape of the paper's Table 2."""
+        rows: list[tuple[str, object]] = [
+            ("IXPs", self.num_ixps),
+            ("ASes", self.num_ases),
+            ("Size of the maximum connected subgraph", self.largest_component_size),
+            ("# of connections among ASes", self.as_as_edges),
+            ("# of connections between IXPs and ASes", self.ixp_as_edges),
+            ("Fraction of ASes attached to an IXP", f"{self.ixp_attached_fraction:.3f}"),
+            ("Average degree", f"{self.average_degree:.2f}"),
+        ]
+        if self.alpha is not None and self.beta is not None:
+            rows.append(("(alpha, beta)", f"({self.alpha:.3f}, {self.beta})"))
+        return format_table(
+            ["Description", "Numbers"], rows, title="Table 2: dataset summary"
+        )
+
+
+def summarize(
+    graph: ASGraph,
+    *,
+    estimate_short_paths: bool = False,
+    alpha_target: float = 0.99,
+    seed: SeedLike = 0,
+) -> DatasetSummary:
+    """Compute a :class:`DatasetSummary` for ``graph``.
+
+    ``estimate_short_paths`` additionally runs the sampled (alpha, beta)
+    estimation, which costs a few hundred BFS traversals.
+    """
+    ixp_mask = graph.ixp_mask()
+    src_is_ixp = ixp_mask[graph.edge_src]
+    dst_is_ixp = ixp_mask[graph.edge_dst]
+    as_as = int(np.count_nonzero(~src_is_ixp & ~dst_is_ixp))
+    ixp_as = int(np.count_nonzero(src_is_ixp ^ dst_is_ixp))
+
+    # An AS is "attached" when it has >= 1 membership edge.
+    membership = graph.edge_rels == int(Relationship.IXP_MEMBERSHIP)
+    attached_ases = set()
+    for u, v in zip(graph.edge_src[membership], graph.edge_dst[membership]):
+        if graph.kinds[u] != int(NodeKind.IXP):
+            attached_ases.add(int(u))
+        if graph.kinds[v] != int(NodeKind.IXP):
+            attached_ases.add(int(v))
+    num_as = graph.num_ases
+    attached_fraction = len(attached_ases) / num_as if num_as else 0.0
+
+    alpha = beta = None
+    if estimate_short_paths:
+        # Measured on the maximum connected subgraph, as in the paper: the
+        # satellite fringe (Table 2's LCC < |V|) caps whole-graph
+        # reachability just below any alpha close to 1.
+        lcc, _ = graph.largest_connected_component()
+        alpha, beta = estimate_alpha_beta(lcc, alpha=alpha_target, seed=seed)
+
+    sizes = component_sizes(graph)
+    return DatasetSummary(
+        num_ixps=graph.num_ixps,
+        num_ases=num_as,
+        largest_component_size=int(sizes[0]) if len(sizes) else 0,
+        as_as_edges=as_as,
+        ixp_as_edges=ixp_as,
+        ixp_attached_fraction=attached_fraction,
+        average_degree=average_degree(graph),
+        alpha=alpha,
+        beta=beta,
+    )

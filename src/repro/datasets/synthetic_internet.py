@@ -1,0 +1,431 @@
+"""Calibrated synthetic AS-level Internet topology (the data substitution).
+
+The paper evaluates on a 2014 measurement dataset (Table 2): 51,757 ASes,
+322 IXPs, 347,332 AS-AS connections, 55,282 IXP membership links, largest
+connected component of 51,895 nodes, 40.2 % of ASes attached to at least
+one IXP, and the (0.99, 4)-graph short-path property.  That dataset cannot
+be downloaded in this offline environment, so this module builds the
+closest synthetic equivalent:
+
+* a **tiered customer/provider hierarchy** — a tier-1 clique, a transit
+  middle layer, and a stub majority, with provider choice following
+  preferential attachment (yielding the scale-free, disassortative
+  structure of Fig. 1);
+* a **peering mesh** concentrated on transit and IXP-attached ASes, sized
+  so the AS-AS edge count matches the paper's average degree;
+* **IXPs as independent entities** with a heavy-tailed membership-size
+  distribution calibrated to 55,282 memberships over 40.2 % of ASes;
+* a small number of **satellite clusters** detached from the core so the
+  largest connected component is slightly smaller than the full vertex
+  set, as in Table 2.
+
+Every quantity scales linearly with the requested AS count, so the same
+generator drives the laptop-sized test profiles and the full 52,079-node
+reproduction.  Structural targets (edge counts, membership fraction,
+(alpha, beta)) are validated by ``tests/datasets``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.asgraph import ASGraph
+from repro.types import BusinessCategory, NodeKind, Relationship, Tier
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Table 2 headline counts for the full-scale 2014 topology.
+FULL_SCALE_AS_COUNT = 51_757
+FULL_SCALE_IXP_COUNT = 322
+FULL_SCALE_AS_AS_EDGES = 347_332
+FULL_SCALE_IXP_MEMBERSHIPS = 55_282
+#: Fraction of ASes directly connected to at least one IXP (Section 6.1).
+IXP_ATTACHED_FRACTION = 0.402
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Structural parameters of the synthetic Internet.
+
+    The defaults reproduce the full-scale Table 2 dataset; use
+    :meth:`scaled` for smaller, proportional instances.
+    """
+
+    num_ases: int = FULL_SCALE_AS_COUNT
+    num_ixps: int = FULL_SCALE_IXP_COUNT
+    #: Tier-1 backbone providers forming a full peering clique.
+    num_tier1: int = 15
+    #: Fraction of (non-tier-1) ASes that sell transit to others.
+    transit_fraction: float = 0.08
+    #: Mean number of upstream providers bought by a transit AS / stub AS.
+    transit_provider_mean: float = 2.2
+    stub_provider_mean: float = 1.65
+    #: Total AS-AS undirected edge target (c2p + p2p combined).
+    as_as_edge_target: int = FULL_SCALE_AS_AS_EDGES
+    #: Total IXP membership edge target.
+    ixp_membership_target: int = FULL_SCALE_IXP_MEMBERSHIPS
+    #: Fraction of ASes attached to >= 1 IXP.
+    ixp_attached_fraction: float = IXP_ATTACHED_FRACTION
+    #: Fraction of ASes whose *only* connectivity is IXP peering (content
+    #: caches, CDN PoPs and route-server-only peers that the BGP+IXP
+    #: measurement sees exclusively at exchanges).  These make the big
+    #: IXPs genuinely complementary brokers, as in Table 5.
+    ixp_centric_fraction: float = 0.03
+    #: Super-linear preferential-attachment exponent: provider and peering
+    #: choice weight is ``(degree + 1) ** preferential_exponent``.  Values
+    #: above 1 concentrate adjacency on a few hyper-hubs, matching the real
+    #: AS graph where the top ~0.2 % of nodes cover ~73 % of all vertices
+    #: (calibrated against the paper's Table 1 coverage ladder).
+    preferential_exponent: float = 1.5
+    #: Cap on any single node's attachment weight, as a fraction of |V|:
+    #: super-linear preferential attachment gels into one mega-hub on large
+    #: instances without it.  0.16 mirrors the real AS graph, whose largest
+    #: observable adjacency (a hypergiant transit AS) is ~10-16 % of |V|.
+    max_degree_fraction: float = 0.16
+    #: Fraction of ASes placed in satellite clusters outside the core
+    #: component (Table 2: LCC = 51,895 of 52,079 nodes => ~0.35 %).
+    satellite_fraction: float = 0.0035
+    #: Business-category mix for stub ASes (content, enterprise; the rest
+    #: are transit/access networks).
+    content_fraction: float = 0.08
+    enterprise_fraction: float = 0.17
+
+    def scaled(self, factor: float) -> "InternetConfig":
+        """Proportionally shrink (or grow) every absolute count."""
+        if factor <= 0:
+            raise DatasetError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            num_ases=max(int(round(self.num_ases * factor)), 50),
+            num_ixps=max(int(round(self.num_ixps * factor)), 3),
+            num_tier1=max(int(round(self.num_tier1 * max(factor, 0.25))), 4),
+            as_as_edge_target=max(int(round(self.as_as_edge_target * factor)), 100),
+            ixp_membership_target=max(
+                int(round(self.ixp_membership_target * factor)), 20
+            ),
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on inconsistent parameters."""
+        if self.num_ases < 20:
+            raise DatasetError("num_ases must be >= 20")
+        if self.num_ixps < 1:
+            raise DatasetError("num_ixps must be >= 1")
+        if self.num_tier1 < 2 or self.num_tier1 > self.num_ases // 4:
+            raise DatasetError("num_tier1 out of range")
+        if not 0.5 <= self.preferential_exponent <= 2.0:
+            raise DatasetError("preferential_exponent must be in [0.5, 2]")
+        if not 0.01 <= self.max_degree_fraction <= 1.0:
+            raise DatasetError("max_degree_fraction must be in [0.01, 1]")
+        for name in ("transit_fraction", "ixp_attached_fraction",
+                     "ixp_centric_fraction", "satellite_fraction",
+                     "content_fraction", "enterprise_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must be in [0, 1], got {value}")
+        if self.content_fraction + self.enterprise_fraction > 1.0:
+            raise DatasetError("content + enterprise fractions exceed 1")
+
+
+@dataclass
+class _Builder:
+    """Mutable scratch state while assembling the topology."""
+
+    num_nodes: int
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    rels: list[int] = field(default_factory=list)
+    seen: set[tuple[int, int]] = field(default_factory=set)
+    degree: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.degree = np.zeros(self.num_nodes, dtype=np.int64)
+
+    def add(self, u: int, v: int, rel: Relationship) -> bool:
+        """Add undirected edge (u customer-first for c2p); reject dupes."""
+        if u == v:
+            return False
+        key = (u, v) if u < v else (v, u)
+        if key in self.seen:
+            return False
+        self.seen.add(key)
+        self.edges.append((u, v))
+        self.rels.append(int(rel))
+        self.degree[u] += 1
+        self.degree[v] += 1
+        return True
+
+
+def _provider_counts(rng: np.random.Generator, n: int, mean: float) -> np.ndarray:
+    """1 + Poisson(mean - 1) provider multiplicities (multihoming)."""
+    return 1 + rng.poisson(max(mean - 1.0, 0.0), size=n)
+
+
+def _capped_weights(
+    degrees: np.ndarray, exponent: float, degree_cap: float
+) -> np.ndarray:
+    """Normalized weights ∝ (degree + 1)^exponent, zero once "full".
+
+    Nodes whose degree reached ``degree_cap`` stop accepting new
+    attachments, bounding the largest hub at roughly the cap; without
+    this, super-linear preferential attachment gels into a single
+    mega-hub on large instances.  Falls back to uniform when every
+    candidate is full.
+    """
+    deg = degrees.astype(np.float64)
+    w = (deg + 1.0) ** exponent
+    w[deg >= degree_cap] = 0.0
+    total = w.sum()
+    if total <= 0.0:
+        return np.full(len(w), 1.0 / len(w))
+    return w / total
+
+
+def _preferential_pick(
+    rng: np.random.Generator,
+    candidates: np.ndarray,
+    degrees: np.ndarray,
+    count: int,
+    exponent: float,
+    degree_cap: float,
+) -> np.ndarray:
+    """Sample ``count`` distinct candidates, capped-preferentially."""
+    count = min(count, len(candidates))
+    w = _capped_weights(degrees, exponent, degree_cap)
+    return rng.choice(candidates, size=count, replace=False, p=w)
+
+
+def generate_internet(
+    config: InternetConfig | None = None, *, seed: SeedLike = 0
+) -> ASGraph:
+    """Generate the synthetic AS/IXP topology described in the module docs.
+
+    Node layout: ids ``[0, num_ases)`` are ASes (tier-1 first, then transit,
+    then stubs, then satellites); ids ``[num_ases, num_ases + num_ixps)``
+    are IXPs.
+    """
+    config = config or InternetConfig()
+    config.validate()
+    rng = ensure_rng(seed)
+
+    n_as, n_ixp = config.num_ases, config.num_ixps
+    n = n_as + n_ixp
+    builder = _Builder(n)
+
+    num_satellite = int(round(config.satellite_fraction * n_as))
+    core_as = n_as - num_satellite
+    n_t1 = config.num_tier1
+    n_transit = max(int(round(config.transit_fraction * (core_as - n_t1))), 1)
+    n_stub = core_as - n_t1 - n_transit
+    if n_stub <= 0:
+        raise DatasetError("configuration leaves no stub ASes")
+
+    tiers = np.full(n, int(Tier.NONE), dtype=np.uint8)
+    kinds = np.full(n, int(NodeKind.AS), dtype=np.uint8)
+    kinds[n_as:] = int(NodeKind.IXP)
+    degree_cap = config.max_degree_fraction * n
+    tiers[:n_t1] = int(Tier.TIER1)
+    tiers[n_t1 : n_t1 + n_transit] = int(Tier.TRANSIT)
+    tiers[n_t1 + n_transit : n_as] = int(Tier.STUB)
+
+    # ------------------------------------------------------------------
+    # 1. Tier-1 clique (settlement-free peering backbone).
+    # ------------------------------------------------------------------
+    for u in range(n_t1):
+        for v in range(u + 1, n_t1):
+            builder.add(u, v, Relationship.PEER_TO_PEER)
+
+    # ------------------------------------------------------------------
+    # 2. Transit layer: preferential provider choice among tier-1 +
+    #    already-placed transit ASes.
+    # ------------------------------------------------------------------
+    transit_ids = np.arange(n_t1, n_t1 + n_transit)
+    provider_counts = _provider_counts(rng, n_transit, config.transit_provider_mean)
+    for idx, v in enumerate(transit_ids):
+        pool = np.arange(0, v)  # all earlier core ASes can sell transit
+        providers = _preferential_pick(
+            rng, pool, builder.degree[pool], int(provider_counts[idx]),
+            config.preferential_exponent, degree_cap,
+        )
+        for p in providers:
+            builder.add(int(v), int(p), Relationship.CUSTOMER_TO_PROVIDER)
+
+    # ------------------------------------------------------------------
+    # 3. Stub layer: providers drawn from the *transit* layer,
+    #    preferential.  Stubs buy from regional/national ISPs rather than
+    #    directly from tier-1 backbones (whose customers are other
+    #    carriers) — this keeps the Tier1Only baseline realistically weak
+    #    (Fig. 2b) while the biggest access hubs live in the transit tier.
+    # ------------------------------------------------------------------
+    stub_ids = np.arange(n_t1 + n_transit, core_as)
+    upstream_pool = np.arange(n_t1, n_t1 + n_transit)
+    # IXP-centric ASes skip transit entirely; they are wired in step 4.
+    num_centric = min(int(round(config.ixp_centric_fraction * core_as)), len(stub_ids))
+    centric_ids = (
+        rng.choice(stub_ids, size=num_centric, replace=False)
+        if num_centric
+        else np.array([], dtype=np.int64)
+    )
+    centric_mask = np.zeros(n, dtype=bool)
+    centric_mask[centric_ids] = True
+    stub_counts = _provider_counts(rng, len(stub_ids), config.stub_provider_mean)
+    # Degree-proportional sampling via an endpoint pool, refreshed in
+    # blocks: exact per-step preferential attachment is O(n^2); block
+    # refresh keeps the heavy-tail while staying linear.
+    block = 512
+    # Track how strong each stub's best provider is: ASes behind small
+    # regional providers are the ones that buy IXP connectivity to offload
+    # transit (step 4 uses this to bias membership).
+    provider_hub_degree = np.zeros(n, dtype=np.float64)
+    for start in range(0, len(stub_ids), block):
+        chunk = stub_ids[start : start + block]
+        weights = _capped_weights(
+            builder.degree[upstream_pool], config.preferential_exponent, degree_cap
+        )
+        for offset, v in enumerate(chunk):
+            if centric_mask[v]:
+                continue
+            cnt = int(stub_counts[start + offset])
+            providers = rng.choice(
+                upstream_pool, size=min(cnt, len(upstream_pool)), replace=False, p=weights
+            )
+            for p in providers:
+                builder.add(int(v), int(p), Relationship.CUSTOMER_TO_PROVIDER)
+            provider_hub_degree[v] = builder.degree[providers].max(initial=0.0)
+
+    # ------------------------------------------------------------------
+    # 4. IXPs: heavy-tailed membership sizes, preferential member choice.
+    # ------------------------------------------------------------------
+    ixp_ids = np.arange(n_as, n)
+    attached_target = int(round(config.ixp_attached_fraction * core_as))
+    attachable = np.concatenate([transit_ids, stub_ids, np.arange(n_t1)])
+    # IXP membership in the wild is only loosely correlated with the
+    # transit hierarchy, and is *over*-represented among ASes with weak
+    # upstream providers — exchanging traffic at an IXP substitutes for
+    # transit they would otherwise have to buy.  The blend below (degree-
+    # preferential + uniform + inverse-provider-strength) reproduces that,
+    # and it is exactly what makes IXPs complementary, highly-ranked
+    # brokers (Table 5): their member sets reach edge networks the big
+    # transit hubs do not cover.
+    pref = builder.degree[attachable].astype(np.float64) + 1.0
+    pref /= pref.sum()
+    weak_provider = 1.0 / (1.0 + provider_hub_degree[attachable])
+    weak_provider /= weak_provider.sum()
+    attach_weights = 0.35 * pref + 0.25 / len(attachable) + 0.4 * weak_provider
+    attach_weights /= attach_weights.sum()
+    regular_target = max(attached_target - len(centric_ids), 0)
+    non_centric = attachable[~centric_mask[attachable]]
+    w = attach_weights[~centric_mask[attachable]]
+    w = w / w.sum()
+    regular = rng.choice(
+        non_centric,
+        size=min(regular_target, len(non_centric)),
+        replace=False,
+        p=w,
+    )
+    attached = np.concatenate([regular, centric_ids])
+    # IXP sizes follow a Zipf-like profile normalized to the membership
+    # budget: a few continental exchanges host hundreds of members.
+    raw_sizes = 1.0 / np.arange(1, n_ixp + 1) ** 0.78
+    size_weights = raw_sizes / raw_sizes.sum()
+    # First pass: every attached AS joins one "home" IXP so the attachment
+    # fraction is met exactly; home choice follows the IXP size profile.
+    homes = rng.choice(ixp_ids, size=len(attached), p=size_weights)
+    for m, ixp in zip(attached, homes):
+        builder.add(int(m), int(ixp), Relationship.IXP_MEMBERSHIP)
+    # IXP-centric ASes multi-home across the big exchanges (their whole
+    # connectivity lives there).
+    for m in centric_ids:
+        extra = rng.choice(ixp_ids, size=min(2, n_ixp), replace=False, p=size_weights)
+        for ixp in extra:
+            builder.add(int(m), int(ixp), Relationship.IXP_MEMBERSHIP)
+    # Second pass: spend the remaining membership budget on multi-homing;
+    # high-degree ASes (large transit networks, CDNs) join many IXPs.
+    remaining = max(config.ixp_membership_target - len(attached), 0)
+    if remaining and len(attached):
+        as_weights = builder.degree[attached].astype(np.float64) + 1.0
+        as_weights /= as_weights.sum()
+        extra_as = rng.choice(attached, size=remaining * 2, p=as_weights)
+        extra_ixp = rng.choice(ixp_ids, size=remaining * 2, p=size_weights)
+        added_members = 0
+        for m, ixp in zip(extra_as, extra_ixp):
+            if builder.add(int(m), int(ixp), Relationship.IXP_MEMBERSHIP):
+                added_members += 1
+                if added_members >= remaining:
+                    break
+
+    # ------------------------------------------------------------------
+    # 5. Peering mesh: spend the remaining AS-AS edge budget on p2p links,
+    #    degree-preferential and biased towards IXP-attached ASes.
+    # ------------------------------------------------------------------
+    current_as_edges = sum(
+        1 for (u, v) in builder.edges if u < n_as and v < n_as
+    )
+    peering_budget = max(config.as_as_edge_target - current_as_edges, 0)
+    peer_pool = np.concatenate([np.arange(n_t1 + n_transit), attached])
+    peer_pool = np.unique(peer_pool)
+    # IXP-centric ASes exchange traffic only across their exchanges; they
+    # take no part in the bilateral peering mesh.
+    peer_pool = peer_pool[~centric_mask[peer_pool]]
+    added = 0
+    attempts = 0
+    max_attempts = peering_budget * 20 + 1000
+    while added < peering_budget and attempts < max_attempts:
+        need = peering_budget - added
+        weights = _capped_weights(
+            builder.degree[peer_pool], config.preferential_exponent, degree_cap
+        )
+        us = rng.choice(peer_pool, size=need, replace=True, p=weights)
+        vs = rng.choice(peer_pool, size=need, replace=True, p=weights)
+        for u, v in zip(us, vs):
+            attempts += 1
+            if builder.add(int(u), int(v), Relationship.PEER_TO_PEER):
+                added += 1
+            if added >= peering_budget:
+                break
+
+    # ------------------------------------------------------------------
+    # 6. Satellite clusters: small components detached from the core.
+    # ------------------------------------------------------------------
+    satellite_ids = np.arange(core_as, n_as)
+    tiers[satellite_ids] = int(Tier.STUB)
+    i = 0
+    while i < len(satellite_ids):
+        size = int(rng.integers(1, 4))
+        cluster = satellite_ids[i : i + size]
+        for a in range(len(cluster) - 1):
+            builder.add(
+                int(cluster[a]), int(cluster[a + 1]), Relationship.CUSTOMER_TO_PROVIDER
+            )
+        i += size
+
+    # ------------------------------------------------------------------
+    # 7. Business categories (Table 5 composition analysis).
+    # ------------------------------------------------------------------
+    categories = np.full(n, int(BusinessCategory.TRANSIT_ACCESS), dtype=np.uint8)
+    categories[n_as:] = int(BusinessCategory.IXP)
+    stub_and_sat = np.concatenate([stub_ids, satellite_ids])
+    draws = rng.random(len(stub_and_sat))
+    categories[stub_and_sat[draws < config.content_fraction]] = int(
+        BusinessCategory.CONTENT
+    )
+    categories[
+        stub_and_sat[
+            (draws >= config.content_fraction)
+            & (draws < config.content_fraction + config.enterprise_fraction)
+        ]
+    ] = int(BusinessCategory.ENTERPRISE)
+
+    names = [f"AS{65000 + i}" for i in range(n_as)] + [
+        f"IXP-{i:03d}" for i in range(n_ixp)
+    ]
+    return ASGraph.from_edges(
+        n,
+        np.asarray(builder.edges, dtype=np.int64),
+        kinds=kinds,
+        tiers=tiers,
+        categories=categories,
+        relationships=np.asarray(builder.rels, dtype=np.uint8),
+        names=names,
+    )

@@ -1,0 +1,64 @@
+"""Economic incentive models: bargaining, pricing game, revenue sharing."""
+
+from repro.economics.adoption import AdoptionTrajectory, simulate_adoption
+from repro.economics.bargaining import (
+    BargainingOutcome,
+    coalition_utility,
+    nash_bargaining,
+    verify_bargaining_optimality,
+    worst_case_hires,
+)
+from repro.economics.coalition import (
+    CoverageProfitGame,
+    is_superadditive,
+    is_supermodular,
+    marginal_contribution_profile,
+    shapley_in_core,
+)
+from repro.economics.shapley import (
+    ShapleyEstimate,
+    efficiency_gap,
+    exact_shapley,
+    monte_carlo_shapley,
+)
+from repro.economics.stackelberg import (
+    CustomerAS,
+    StackelbergEquilibrium,
+    StackelbergGame,
+    tiered_customer_population,
+)
+from repro.economics.utilities import (
+    CoalitionCost,
+    ExpValue,
+    LogValue,
+    PeakedTransitPayment,
+    check_concave,
+)
+
+__all__ = [
+    "nash_bargaining",
+    "BargainingOutcome",
+    "coalition_utility",
+    "worst_case_hires",
+    "verify_bargaining_optimality",
+    "CustomerAS",
+    "StackelbergGame",
+    "StackelbergEquilibrium",
+    "tiered_customer_population",
+    "exact_shapley",
+    "monte_carlo_shapley",
+    "ShapleyEstimate",
+    "efficiency_gap",
+    "is_superadditive",
+    "is_supermodular",
+    "shapley_in_core",
+    "CoverageProfitGame",
+    "marginal_contribution_profile",
+    "simulate_adoption",
+    "AdoptionTrajectory",
+    "LogValue",
+    "ExpValue",
+    "PeakedTransitPayment",
+    "CoalitionCost",
+    "check_concave",
+]

@@ -1,0 +1,88 @@
+"""Adoption dynamics: how the brokerage rolls out over time.
+
+Section 7 is a static equilibrium analysis; this module adds the dynamic
+view the paper's deployment story implies — starting from a small broker
+set, ASes repeatedly best-respond to the announced price while the
+coalition periodically re-optimizes it.  The trajectory shows whether the
+market converges to the Stackelberg equilibrium and how fast full
+adoption (``a_i = 1``) is approached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.economics.stackelberg import StackelbergGame
+from repro.exceptions import EconomicModelError
+
+
+@dataclass(frozen=True)
+class AdoptionTrajectory:
+    """Time series of one simulated rollout."""
+
+    prices: np.ndarray        # leader price at each epoch
+    adoption: np.ndarray      # mean adoption rate at each epoch
+    coalition_utility: np.ndarray
+    converged: bool
+    epochs: int
+
+    @property
+    def final_adoption(self) -> float:
+        return float(self.adoption[-1]) if len(self.adoption) else 0.0
+
+
+def simulate_adoption(
+    game: StackelbergGame,
+    *,
+    epochs: int = 30,
+    reprice_every: int = 5,
+    initial_price: float | None = None,
+    inertia: float = 0.5,
+    tol: float = 1e-5,
+) -> AdoptionTrajectory:
+    """Iterate follower best responses with sticky adjustment.
+
+    Each epoch every customer moves a fraction ``1 − inertia`` of the way
+    towards its best response (ASes change routing gradually); every
+    ``reprice_every`` epochs the coalition re-solves its pricing problem
+    against the *current* adoption state by one grid pass.  Convergence is
+    declared when adoption and price both move less than ``tol``.
+    """
+    if epochs < 1:
+        raise EconomicModelError("epochs must be >= 1")
+    if not 0.0 <= inertia < 1.0:
+        raise EconomicModelError("inertia must be in [0, 1)")
+    customers = game.customers
+    price = (
+        initial_price
+        if initial_price is not None
+        else game.solve(grid=20, refine_iters=10).price
+    )
+    state = np.array([c.baseline_adoption for c in customers])
+    prices, adoption, utilities = [], [], []
+    converged = False
+    for epoch in range(epochs):
+        target = np.array([c.best_response(price) for c in customers])
+        new_state = inertia * state + (1.0 - inertia) * target
+        if epoch > 0 and epoch % reprice_every == 0:
+            new_price = game.solve(grid=30, refine_iters=15).price
+        else:
+            new_price = price
+        moved = float(np.abs(new_state - state).max())
+        price_moved = abs(new_price - price)
+        state, price = new_state, new_price
+        prices.append(price)
+        adoption.append(float(state.mean()))
+        utilities.append(game.coalition_utility(price))
+        if moved < tol and price_moved < tol:
+            converged = True
+            break
+    return AdoptionTrajectory(
+        prices=np.asarray(prices),
+        adoption=np.asarray(adoption),
+        coalition_utility=np.asarray(utilities),
+        converged=converged,
+        epochs=len(prices),
+    )

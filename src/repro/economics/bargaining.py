@@ -1,0 +1,122 @@
+"""Nash bargaining between the coalition and employee ASes (Theorem 5).
+
+When a B-dominating path needs a non-broker transit AS (Fig. 6's AS 5),
+the coalition hires it at a per-unit price ``p_j`` settled by Nash
+bargaining:
+
+* employee utility ``u_j = p_j − c`` (price minus routing cost);
+* coalition utility ``u_B = 2 p_B − h p_j − h c`` where ``h = ⌈β/2⌉`` is
+  the worst-case number of hired segments the employee must assume (it
+  has no global view, only the (α, β) bound) and ``2 p_B`` the revenue
+  collected from both endpoints (Eq. 6);
+* the bargaining solution maximizes ``u_j · u_B`` over ``p_j > c``
+  (Eq. 7), with disagreement utilities normalized to zero.
+
+The product is a downward parabola in ``p_j``; the interior optimum has
+the closed form ``p_j* = p_B / h``, clipped into the individually-rational
+interval.  Theorem 5's existence claim corresponds to the interval being
+non-empty, i.e., ``p_B > h·c``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import EconomicModelError
+
+
+@dataclass(frozen=True)
+class BargainingOutcome:
+    """Agreed price and the utilities it induces."""
+
+    employee_price: float
+    employee_utility: float
+    coalition_utility: float
+    nash_product: float
+    feasible: bool
+
+
+def worst_case_hires(beta: int) -> int:
+    """``h = ⌈β/2⌉`` — employees needed per path in the worst case."""
+    if beta < 1:
+        raise EconomicModelError(f"beta must be >= 1, got {beta}")
+    return math.ceil(beta / 2)
+
+
+def coalition_utility(
+    broker_price: float, employee_price: float, routing_cost: float, beta: int
+) -> float:
+    """``u_B = 2 p_B − h p_j − h c`` (Eq. 6's lower bound)."""
+    h = worst_case_hires(beta)
+    return 2.0 * broker_price - h * employee_price - h * routing_cost
+
+
+def nash_bargaining(
+    broker_price: float,
+    routing_cost: float,
+    *,
+    beta: int = 4,
+) -> BargainingOutcome:
+    """Solve Eq. (7): ``max (p_j − c)(2 p_B − h p_j − h c)`` s.t. ``p_j > c``.
+
+    Returns the outcome with ``feasible=False`` (and the boundary price
+    ``c``) when no price gives both sides positive surplus — i.e., when
+    ``p_B <= h·c`` so the pie ``2 p_B − 2 h c`` is empty.
+    """
+    if broker_price < 0:
+        raise EconomicModelError(f"broker price must be >= 0, got {broker_price}")
+    if routing_cost < 0:
+        raise EconomicModelError(f"routing cost must be >= 0, got {routing_cost}")
+    h = worst_case_hires(beta)
+    c = routing_cost
+    # u_B(p_j) hits zero at p_max = (2 p_B − h c)/h; surplus exists iff
+    # p_max > c  <=>  p_B > h c.
+    p_max = (2.0 * broker_price - h * c) / h
+    if p_max <= c:
+        return BargainingOutcome(
+            employee_price=c,
+            employee_utility=0.0,
+            coalition_utility=coalition_utility(broker_price, c, c, beta),
+            nash_product=0.0,
+            feasible=False,
+        )
+    # Interior optimum of the parabola (p − c)(2p_B − h p − h c):
+    # derivative zero at p* = (c + p_max)/2 = p_B / h.
+    p_star = broker_price / h
+    p_star = min(max(p_star, c), p_max)
+    u_j = p_star - c
+    u_b = coalition_utility(broker_price, p_star, c, beta)
+    return BargainingOutcome(
+        employee_price=p_star,
+        employee_utility=u_j,
+        coalition_utility=u_b,
+        nash_product=u_j * u_b,
+        feasible=True,
+    )
+
+
+def verify_bargaining_optimality(
+    outcome: BargainingOutcome,
+    broker_price: float,
+    routing_cost: float,
+    *,
+    beta: int = 4,
+    grid: int = 1001,
+) -> bool:
+    """Grid-certify that no feasible price beats the returned one.
+
+    Used by tests as an independent check of the closed form.
+    """
+    if not outcome.feasible:
+        return True
+    h = worst_case_hires(beta)
+    c = routing_cost
+    p_max = (2.0 * broker_price - h * c) / h
+    best = outcome.nash_product
+    for i in range(grid):
+        p = c + (p_max - c) * i / (grid - 1)
+        prod = (p - c) * coalition_utility(broker_price, p, c, beta)
+        if prod > best + 1e-9:
+            return False
+    return True

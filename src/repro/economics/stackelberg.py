@@ -1,0 +1,219 @@
+"""The Stackelberg pricing game between the coalition and customers (Thm 6).
+
+Players and timing (Section 7.1):
+
+1. the coalition ``B`` moves first, announcing a per-unit routing price
+   ``p_B`` in ``[0, p_max]``;
+2. every non-broker AS ``i`` independently picks its adoption rate
+   ``a_i ∈ [a_0, 1]`` — the fraction of its (normalized) traffic routed
+   through the brokerage — maximizing
+   ``u_i(a_i) = V_i(a_i) + P_i(a_i) − p_B·a_i``;
+3. the coalition's payoff is ``u_B(p_B) = 2 p_B α(p_B) − C(α(p_B), p_j)``
+   with ``α = Σ_i a_i`` and ``p_j`` the bargained employee price.
+
+Because each ``u_i`` is strictly concave on the convex set ``[a_0, 1]``
+the follower best response is unique (the heart of Theorem 6's proof);
+the leader's problem maximizes a continuous function on a compact
+interval, so an equilibrium exists.  We compute best responses by ternary
+search on the concave objective and the leader price by grid + local
+refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.economics.bargaining import nash_bargaining
+from repro.economics.utilities import CoalitionCost, LogValue, PeakedTransitPayment
+from repro.exceptions import ConvergenceError, EconomicModelError
+
+
+@dataclass(frozen=True)
+class CustomerAS:
+    """A non-broker AS acting as the coalition's customer.
+
+    ``value`` is its end-user income function ``V_i``; ``transit`` its
+    legacy-payment function ``P_i``; ``baseline_adoption`` is ``a_0``, the
+    traffic share already flowing through brokers under plain BGP.
+    """
+
+    value: LogValue = field(default_factory=LogValue)
+    transit: PeakedTransitPayment = field(default_factory=PeakedTransitPayment)
+    baseline_adoption: float = 0.0
+    name: str = "AS"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.baseline_adoption <= 1.0:
+            raise EconomicModelError("baseline_adoption must be in [0, 1]")
+
+    def utility(self, a: float, price: float) -> float:
+        """``u_i(a) = V_i(a) + P_i(a) − price·a`` (Eq. 8)."""
+        return float(self.value(a) + self.transit(a) - price * a)
+
+    def best_response(self, price: float, *, tol: float = 1e-9) -> float:
+        """Unique maximizer of ``u_i`` on ``[a_0, 1]`` via ternary search."""
+        lo, hi = self.baseline_adoption, 1.0
+        if hi - lo < tol:
+            return lo
+        for _ in range(200):
+            m1 = lo + (hi - lo) / 3.0
+            m2 = hi - (hi - lo) / 3.0
+            if self.utility(m1, price) < self.utility(m2, price):
+                lo = m1
+            else:
+                hi = m2
+            if hi - lo < tol:
+                break
+        else:
+            raise ConvergenceError("best-response ternary search did not converge")
+        return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class StackelbergEquilibrium:
+    """Computed equilibrium of the pricing game."""
+
+    price: float
+    adoptions: np.ndarray
+    total_adoption: float
+    coalition_utility: float
+    employee_price: float
+    customer_utilities: np.ndarray
+
+    @property
+    def full_adoption_fraction(self) -> float:
+        """Fraction of customers adopting (numerically) fully."""
+        return float(np.mean(self.adoptions >= 1.0 - 1e-6))
+
+
+class StackelbergGame:
+    """Leader-follower pricing game over a fixed customer population."""
+
+    def __init__(
+        self,
+        customers: Sequence[CustomerAS],
+        *,
+        cost: CoalitionCost | None = None,
+        routing_cost: float = 0.05,
+        beta: int = 4,
+        max_price: float = 2.0,
+    ) -> None:
+        if not customers:
+            raise EconomicModelError("need at least one customer AS")
+        if max_price <= 0:
+            raise EconomicModelError("max_price must be positive")
+        self._customers = list(customers)
+        self._cost = cost or CoalitionCost()
+        self._routing_cost = routing_cost
+        self._beta = beta
+        self._max_price = max_price
+
+    @property
+    def customers(self) -> list[CustomerAS]:
+        return list(self._customers)
+
+    def follower_adoptions(self, price: float) -> np.ndarray:
+        """Best-response adoption vector at the given price."""
+        return np.array([c.best_response(price) for c in self._customers])
+
+    def coalition_utility(self, price: float) -> float:
+        """``u_B(p_B)`` after followers best-respond (Eq. 9 / 11)."""
+        adoptions = self.follower_adoptions(price)
+        alpha = float(adoptions.sum())
+        bargain = nash_bargaining(price, self._routing_cost, beta=self._beta)
+        return 2.0 * price * alpha - self._cost(alpha, bargain.employee_price)
+
+    def solve(self, *, grid: int = 60, refine_iters: int = 40) -> StackelbergEquilibrium:
+        """Compute the Stackelberg equilibrium by backward induction.
+
+        Leader optimization: coarse grid over ``[0, p_max]`` followed by
+        golden-section refinement around the best cell.  ``u_B`` need not
+        be concave in ``p_B``, hence the grid stage.
+        """
+        prices = np.linspace(0.0, self._max_price, grid)
+        values = [self.coalition_utility(float(p)) for p in prices]
+        best_idx = int(np.argmax(values))
+        lo = prices[max(best_idx - 1, 0)]
+        hi = prices[min(best_idx + 1, grid - 1)]
+        phi = (np.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        for _ in range(refine_iters):
+            m1 = b - phi * (b - a)
+            m2 = a + phi * (b - a)
+            if self.coalition_utility(float(m1)) < self.coalition_utility(float(m2)):
+                a = m1
+            else:
+                b = m2
+        price = float(0.5 * (a + b))
+        if values[best_idx] > self.coalition_utility(price):
+            price = float(prices[best_idx])
+        adoptions = self.follower_adoptions(price)
+        alpha = float(adoptions.sum())
+        bargain = nash_bargaining(price, self._routing_cost, beta=self._beta)
+        utility = 2.0 * price * alpha - self._cost(alpha, bargain.employee_price)
+        customer_utils = np.array(
+            [c.utility(a_i, price) for c, a_i in zip(self._customers, adoptions)]
+        )
+        return StackelbergEquilibrium(
+            price=price,
+            adoptions=adoptions,
+            total_adoption=alpha,
+            coalition_utility=utility,
+            employee_price=bargain.employee_price,
+            customer_utilities=customer_utils,
+        )
+
+
+def tiered_customer_population(
+    count: int,
+    *,
+    high_tier_fraction: float = 0.2,
+    broker_includes_high_tier: bool = True,
+    seed: int = 0,
+) -> list[CustomerAS]:
+    """Synthesize the paper's heterogeneous customer population.
+
+    High-tier ISPs *charge* others today (positive legacy income that
+    shrinks as traffic moves to the brokerage → later transit peak, lower
+    base), while low-tier ISPs *pay* (negative base: rerouting is itself a
+    gain).  When the broker set includes the high-tier ISPs
+    (``broker_includes_high_tier``), low-tier ASes keep their provider
+    relationships *inside* the scheme, modelled as a higher transit peak —
+    reproducing the paper's observation that including high-tier ISPs
+    makes lower tiers more willing to adopt.
+    """
+    if count < 1:
+        raise EconomicModelError("count must be >= 1")
+    if not 0.0 <= high_tier_fraction <= 1.0:
+        raise EconomicModelError("high_tier_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    customers: list[CustomerAS] = []
+    n_high = int(round(high_tier_fraction * count))
+    for i in range(count):
+        high_tier = i < n_high
+        scale = float(rng.uniform(0.8, 1.2))
+        if high_tier:
+            transit = PeakedTransitPayment(
+                peak=float(rng.uniform(0.05, 0.15)),
+                a_peak=float(rng.uniform(0.3, 0.5)),
+                base=float(rng.uniform(0.0, 0.05)),
+            )
+        else:
+            bonus = 0.25 if broker_includes_high_tier else 0.05
+            transit = PeakedTransitPayment(
+                peak=float(rng.uniform(0.15, 0.25)) + bonus,
+                a_peak=float(rng.uniform(0.55, 0.75)),
+                base=float(rng.uniform(0.0, 0.02)),
+            )
+        customers.append(
+            CustomerAS(
+                value=LogValue(scale=scale, sharpness=4.0),
+                transit=transit,
+                baseline_adoption=0.0,
+                name=f"{'high' if high_tier else 'low'}-{i}",
+            )
+        )
+    return customers

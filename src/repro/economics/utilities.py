@@ -1,0 +1,162 @@
+"""Utility-function families for the Section 7 economic model.
+
+The Stackelberg analysis only assumes *shapes*:
+
+* ``V_i(a)`` — income from end users: continuous, concave, strictly
+  increasing (diminishing returns on QoS improvements);
+* ``P_i(a)`` — net transit payments rerouted away from legacy providers:
+  continuous, concave, non-decreasing on ``[a_0, â]`` then non-increasing
+  on ``[â, 1]`` with ``P(1) = 0`` (first the expensive "high paid" traffic
+  moves to the brokerage, then cheaper classes, and at full adoption no
+  legacy transit remains);
+* ``C(α, p_j)`` — the coalition's routing/hiring cost, concave increasing.
+
+This module provides concrete parametric members of each family, each
+validating its own shape so misconfigurations fail fast rather than
+corrupting equilibrium computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import EconomicModelError
+
+
+@dataclass(frozen=True)
+class LogValue:
+    """``V(a) = scale * log(1 + sharpness*a) / log(1 + sharpness)``.
+
+    Concave, strictly increasing, ``V(0) = 0`` and ``V(1) = scale``.
+    """
+
+    scale: float = 1.0
+    sharpness: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise EconomicModelError(f"scale must be positive, got {self.scale}")
+        if self.sharpness <= 0:
+            raise EconomicModelError(
+                f"sharpness must be positive, got {self.sharpness}"
+            )
+
+    def __call__(self, a: float | np.ndarray) -> float | np.ndarray:
+        a = np.clip(a, 0.0, 1.0)
+        return self.scale * np.log1p(self.sharpness * a) / np.log1p(self.sharpness)
+
+    def derivative(self, a: float | np.ndarray) -> float | np.ndarray:
+        a = np.clip(a, 0.0, 1.0)
+        return (
+            self.scale
+            * self.sharpness
+            / ((1.0 + self.sharpness * a) * np.log1p(self.sharpness))
+        )
+
+
+@dataclass(frozen=True)
+class ExpValue:
+    """``V(a) = scale * (1 − e^{−rate·a}) / (1 − e^{−rate})``."""
+
+    scale: float = 1.0
+    rate: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.rate <= 0:
+            raise EconomicModelError("scale and rate must be positive")
+
+    def __call__(self, a: float | np.ndarray) -> float | np.ndarray:
+        a = np.clip(a, 0.0, 1.0)
+        return self.scale * (1.0 - np.exp(-self.rate * a)) / (1.0 - np.exp(-self.rate))
+
+    def derivative(self, a: float | np.ndarray) -> float | np.ndarray:
+        a = np.clip(a, 0.0, 1.0)
+        return self.scale * self.rate * np.exp(-self.rate * a) / (
+            1.0 - np.exp(-self.rate)
+        )
+
+
+@dataclass(frozen=True)
+class PeakedTransitPayment:
+    """Concave ``P(a)``: rises to ``peak`` at ``a_peak`` then falls to 0 at 1.
+
+    Piecewise-quadratic with matched value at the peak:
+
+    * on ``[0, a_peak]``: ``P = base + (peak − base)·(1 − ((a_peak − a)/a_peak)²)``
+    * on ``[a_peak, 1]``: ``P = peak·(1 − ((a − a_peak)/(1 − a_peak))²)``
+
+    ``base = P(0)`` may be negative (a low-tier AS that *pays* others today
+    gains by rerouting).  The curve satisfies the paper's assumptions:
+    concave on each branch, non-decreasing then non-increasing, P(1) = 0.
+    """
+
+    peak: float = 0.3
+    a_peak: float = 0.6
+    base: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.a_peak < 1.0:
+            raise EconomicModelError(f"a_peak must be in (0, 1), got {self.a_peak}")
+        if self.peak < self.base:
+            raise EconomicModelError("peak must be >= base")
+        if self.peak < 0.0:
+            raise EconomicModelError("peak must be non-negative (P is a gain at peak)")
+
+    def __call__(self, a: float | np.ndarray) -> float | np.ndarray:
+        a = np.clip(a, 0.0, 1.0)
+        rising = self.base + (self.peak - self.base) * (
+            1.0 - ((self.a_peak - np.minimum(a, self.a_peak)) / self.a_peak) ** 2
+        )
+        falling = self.peak * (
+            1.0
+            - ((np.maximum(a, self.a_peak) - self.a_peak) / (1.0 - self.a_peak)) ** 2
+        )
+        return np.where(a <= self.a_peak, rising, falling)
+
+    def derivative(self, a: float | np.ndarray) -> float | np.ndarray:
+        a = np.clip(a, 0.0, 1.0)
+        rising = (
+            2.0 * (self.peak - self.base) * (self.a_peak - a) / self.a_peak**2
+        )
+        falling = -2.0 * self.peak * (a - self.a_peak) / (1.0 - self.a_peak) ** 2
+        return np.where(a <= self.a_peak, rising, falling)
+
+
+@dataclass(frozen=True)
+class CoalitionCost:
+    """``C(α, p_j) = unit_cost·α + hire_fraction·h·p_j·α``.
+
+    ``α`` is the total adopted traffic; a fraction ``hire_fraction`` of it
+    needs a hired employee path segment of up to ``h`` non-broker hops at
+    price ``p_j`` each.  Linear (hence weakly concave) and increasing in
+    both arguments, as the paper assumes.
+    """
+
+    unit_cost: float = 0.1
+    hire_fraction: float = 0.1
+    max_hired_hops: int = 2
+
+    def __post_init__(self) -> None:
+        if self.unit_cost < 0 or not 0.0 <= self.hire_fraction <= 1.0:
+            raise EconomicModelError("invalid coalition cost parameters")
+        if self.max_hired_hops < 0:
+            raise EconomicModelError("max_hired_hops must be >= 0")
+
+    def __call__(self, alpha: float, employee_price: float) -> float:
+        if alpha < 0 or employee_price < 0:
+            raise EconomicModelError("alpha and employee_price must be >= 0")
+        return self.unit_cost * alpha + (
+            self.hire_fraction * self.max_hired_hops * employee_price * alpha
+        )
+
+
+def check_concave(
+    fn, lo: float = 0.0, hi: float = 1.0, *, samples: int = 101, tol: float = 1e-9
+) -> bool:
+    """Numerical concavity check used by tests and model validation."""
+    xs = np.linspace(lo, hi, samples)
+    ys = np.asarray(fn(xs), dtype=np.float64)
+    second_diff = ys[2:] - 2 * ys[1:-1] + ys[:-2]
+    return bool(np.all(second_diff <= tol))

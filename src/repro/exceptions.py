@@ -1,0 +1,57 @@
+"""Exception hierarchy for the broker-set reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphValidationError(ReproError):
+    """A graph (or graph fragment) failed structural validation.
+
+    Raised, e.g., for edge endpoints out of range, self-loops where they are
+    forbidden, or mismatched metadata array lengths.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, parsed, or located."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm received inputs it cannot handle.
+
+    Examples: a budget ``k`` larger than ``|V|``, an empty candidate pool,
+    or an (alpha, beta) parameterization outside its documented domain.
+    """
+
+
+class InfeasibleProblemError(AlgorithmError):
+    """A problem instance admits no feasible solution.
+
+    Used by the PDS decision solver and by constraint verifiers when a
+    requested guarantee (e.g., a dominating path between two vertices)
+    cannot be met by any broker set of the given size.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative numeric procedure failed to converge.
+
+    Raised by the economic solvers (Stackelberg / bargaining) when the
+    underlying optimization does not reach the requested tolerance.
+    """
+
+
+class EconomicModelError(ReproError):
+    """An economic model was configured with invalid parameters.
+
+    Examples: a value function that is not increasing, a transit-cost
+    function violating ``P(1) = 0``, or a price below marginal cost.
+    """

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table/figure + ablations."""
+
+from repro.experiments.config import ExperimentConfig, PAPER_BROKER_FRACTIONS
+from repro.experiments.runner import ExperimentResult, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_BROKER_FRACTIONS",
+    "ExperimentResult",
+    "run_experiment",
+    "list_experiments",
+]

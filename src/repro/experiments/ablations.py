@@ -1,0 +1,245 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* ``ablation_approx_ratio`` — Algorithm 2 vs the exact MCBG optimum on
+  small random graphs; the empirical ratio must respect (and in practice
+  far exceed) the ``(1 − 1/e)/θ`` bound of Theorem 3.
+* ``ablation_maxsg_vs_approx`` — the <0.5 %-coverage-gap claim of
+  Section 5.1 plus wall-clock comparison.
+* ``ablation_maxsg_seed`` — MaxSG sensitivity to the first vertex.
+* ``ablation_lazy_greedy`` — lazy vs plain greedy: identical output,
+  different cost.
+* ``ablation_root_strategy`` — Algorithm 2's best-root loop vs first-root.
+* ``ablation_sampling`` — connectivity estimator: sampled vs exact error.
+* ``ablation_path_length`` — Problem 4's epsilon-feasibility (Eq. 4) per
+  algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.approx_mcbg import approx_mcbg
+from repro.core.baselines import degree_based
+from repro.core.connectivity import connectivity_curve
+from repro.core.coverage import coverage_value
+from repro.core.exact import exact_mcbg
+from repro.core.greedy import greedy_max_coverage, lazy_greedy_max_coverage
+from repro.core.maxsg import maxsg
+from repro.core.pathlength import evaluate_feasibility
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, register
+from repro.graph.generators import erdos_renyi
+from repro.graph.paths import estimate_alpha_beta
+
+
+@register("ablation_approx_ratio")
+def run_approx_ratio(config: ExperimentConfig) -> ExperimentResult:
+    rows = []
+    worst = math.inf
+    for seed in range(5):
+        graph = erdos_renyi(14, 24, seed=seed)
+        k = 4
+        alpha, beta = estimate_alpha_beta(graph, alpha=0.9, num_sources=None)
+        opt_brokers, opt_value = exact_mcbg(graph, k)
+        apx = approx_mcbg(graph, k, beta=beta, mode="strict")
+        apx_value = coverage_value(graph, apx.brokers)
+        ratio = apx_value / opt_value if opt_value else 1.0
+        theta = 2 * math.ceil(beta / 2)
+        bound = (1 - math.exp(-1)) / theta
+        worst = min(worst, ratio)
+        rows.append(
+            (seed, beta, opt_value, apx_value, f"{ratio:.3f}", f"{bound:.3f}")
+        )
+    return ExperimentResult(
+        experiment_id="ablation_approx_ratio",
+        title="Ablation: Algorithm 2 vs exact MCBG optimum (n=14 graphs)",
+        headers=["seed", "beta", "OPT f(B)", "Alg2 f(B)", "ratio", "Thm-3 bound"],
+        rows=rows,
+        paper_values={"worst_ratio": worst},
+        notes="Empirical ratios must stay above the theoretical bound.",
+    )
+
+
+@register("ablation_maxsg_vs_approx")
+def run_maxsg_vs_approx(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    rows = []
+    values = {}
+    for label, budget in config.broker_budgets().items():
+        t0 = time.perf_counter()
+        apx = approx_mcbg(graph, budget, beta=config.beta)
+        t_apx = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        msg = maxsg(graph, budget)
+        t_msg = time.perf_counter() - t0
+        cov_apx = coverage_value(graph, apx.brokers) / graph.num_nodes
+        cov_msg = coverage_value(graph, msg) / graph.num_nodes
+        gap = cov_apx - cov_msg
+        rows.append(
+            (
+                label,
+                budget,
+                f"{100 * cov_apx:.2f}%",
+                f"{100 * cov_msg:.2f}%",
+                f"{100 * gap:+.2f} pts",
+                f"{t_apx:.2f}s",
+                f"{t_msg:.2f}s",
+            )
+        )
+        values[label] = {"gap": gap, "t_approx": t_apx, "t_maxsg": t_msg}
+    return ExperimentResult(
+        experiment_id="ablation_maxsg_vs_approx",
+        title="Ablation: MaxSG vs Algorithm 2 (coverage gap & runtime)",
+        headers=["size", "k", "Approx cover", "MaxSG cover", "gap", "t(Approx)", "t(MaxSG)"],
+        rows=rows,
+        paper_values=values,
+        notes="Paper: MaxSG sacrifices < 0.5% connectivity vs the approximation.",
+    )
+
+
+@register("ablation_maxsg_seed")
+def run_maxsg_seed(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    budget = config.broker_budgets()["1.9%"]
+    baseline = maxsg(graph, budget)
+    base_cov = coverage_value(graph, baseline) / graph.num_nodes
+    rows = [("max-degree (default)", f"{100 * base_cov:.2f}%", "+0.00 pts")]
+    spread = []
+    for seed in range(5):
+        brokers = maxsg(graph, budget, random_seed_vertex=True, rng_seed=seed)
+        cov = coverage_value(graph, brokers) / graph.num_nodes
+        spread.append(cov)
+        rows.append(
+            (f"random seed {seed}", f"{100 * cov:.2f}%",
+             f"{100 * (cov - base_cov):+.2f} pts")
+        )
+    return ExperimentResult(
+        experiment_id="ablation_maxsg_seed",
+        title=f"Ablation: MaxSG first-vertex sensitivity (k={budget})",
+        headers=["Seed vertex", "coverage", "delta vs default"],
+        rows=rows,
+        paper_values={"base": base_cov, "spread": spread},
+        notes="The greedy region-growth makes the seed choice nearly irrelevant.",
+    )
+
+
+@register("ablation_lazy_greedy")
+def run_lazy_greedy(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    budget = config.broker_budgets()["1.9%"]
+    t0 = time.perf_counter()
+    lazy = lazy_greedy_max_coverage(graph, budget)
+    t_lazy = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    plain = greedy_max_coverage(graph, budget)
+    t_plain = time.perf_counter() - t0
+    rows = [
+        ("lazy (CELF)", f"{t_lazy:.3f}s", len(lazy)),
+        ("plain (Algorithm 1)", f"{t_plain:.3f}s", len(plain)),
+        ("identical output", str(lazy == plain), "-"),
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_lazy_greedy",
+        title=f"Ablation: lazy vs plain greedy (k={budget})",
+        headers=["Variant", "wall-clock", "|B|"],
+        rows=rows,
+        paper_values={
+            "identical": lazy == plain,
+            "speedup": t_plain / max(t_lazy, 1e-9),
+        },
+    )
+
+
+@register("ablation_root_strategy")
+def run_root_strategy(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    rows = []
+    values = {}
+    for label, budget in config.broker_budgets().items():
+        best = approx_mcbg(graph, budget, beta=config.beta, root_strategy="best")
+        first = approx_mcbg(graph, budget, beta=config.beta, root_strategy="first")
+        rows.append(
+            (label, budget, len(best.repair), len(first.repair),
+             len(best.brokers), len(first.brokers))
+        )
+        values[label] = {"best": best, "first": first}
+    return ExperimentResult(
+        experiment_id="ablation_root_strategy",
+        title="Ablation: Algorithm 2 root choice (best-root vs first-root)",
+        headers=["size", "k", "repairs(best)", "repairs(first)", "|B|(best)", "|B|(first)"],
+        rows=rows,
+        paper_values=values,
+        notes="The paper's min-over-roots loop buys smaller repair sets.",
+    )
+
+
+@register("ablation_sampling")
+def run_sampling(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    budget = config.broker_budgets()["1.9%"]
+    brokers = degree_based(graph, budget)
+    exact = connectivity_curve(graph, brokers, max_hops=4, num_sources=None)
+    rows = [("exact", graph.num_nodes, f"{100 * exact.at(4):.3f}%", "-")]
+    values = {"exact": exact}
+    for sources in (100, 400, 1600):
+        est = connectivity_curve(
+            graph, brokers, max_hops=4, num_sources=sources, seed=config.seed
+        )
+        err = abs(est.at(4) - exact.at(4))
+        rows.append(
+            (f"sampled {sources}", sources, f"{100 * est.at(4):.3f}%",
+             f"{100 * err:.3f} pts")
+        )
+        values[sources] = {"curve": est, "error": err}
+    return ExperimentResult(
+        experiment_id="ablation_sampling",
+        title="Ablation: sampled vs exact connectivity estimator (l=4)",
+        headers=["Estimator", "sources", "connectivity", "abs error"],
+        rows=rows,
+        paper_values=values,
+    )
+
+
+@register("ablation_path_length")
+def run_path_length(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    budget = config.broker_budgets()["6.8%"]
+    free = connectivity_curve(
+        graph, None, max_hops=config.max_hops,
+        num_sources=config.num_sources, seed=config.seed,
+    )
+    rows = []
+    values = {}
+    for name, brokers in (
+        ("MaxSG", maxsg(graph, budget)),
+        ("Approx", approx_mcbg(graph, budget, beta=config.beta).brokers),
+        ("Degree-Based", degree_based(graph, budget)),
+    ):
+        report = evaluate_feasibility(
+            graph,
+            brokers,
+            epsilon=0.05,
+            max_hops=config.max_hops,
+            num_sources=config.num_sources,
+            seed=config.seed,
+            free_curve=free,
+        )
+        rows.append(
+            (
+                name,
+                f"{report.max_deviation:.4f}",
+                report.worst_hop,
+                "yes" if report.feasible else "no",
+            )
+        )
+        values[name] = report
+    return ExperimentResult(
+        experiment_id="ablation_path_length",
+        title=f"Problem 4: epsilon-feasibility of broker sets (k={budget}, eps=0.05)",
+        headers=["Algorithm", "max |F_B(l) - F(l)|", "worst hop", "feasible"],
+        rows=rows,
+        paper_values=values,
+        notes="Eq. (4): a selection strategy is feasible when the brokered "
+        "path-length distribution tracks the free one within epsilon.",
+    )

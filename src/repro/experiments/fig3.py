@@ -1,0 +1,80 @@
+"""Fig. 3 — why PageRank-based selection plateaus (the marginal effect).
+
+The paper takes PRB broker sets of size 100 and 1,000, then measures, for
+candidate next brokers, the correlation between their PageRank score and
+the saturated-connectivity increase they would contribute.  The
+correlation collapses (0.818 -> 0.227 in the paper) as the set grows:
+high-PageRank nodes stop being the right next picks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import pagerank_based
+from repro.core.connectivity import saturated_connectivity
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, register
+from repro.graph.metrics import pagerank
+from repro.utils.rng import ensure_rng
+
+
+def _gain_correlation(
+    graph, base_brokers, scores, *, num_candidates: int, seed
+) -> tuple[float, np.ndarray, np.ndarray]:
+    rng = ensure_rng(seed)
+    base = set(base_brokers)
+    pool = np.array([v for v in range(graph.num_nodes) if v not in base])
+    # Candidate mix: half weighted by PageRank (interesting nodes), half
+    # uniform, so the correlation is measured across the score range.
+    k = min(num_candidates, len(pool))
+    weights = scores[pool] / scores[pool].sum()
+    weighted = rng.choice(pool, size=k // 2, replace=False, p=weights)
+    uniform = rng.choice(pool, size=k - k // 2, replace=False)
+    candidates = np.unique(np.concatenate([weighted, uniform]))
+    base_sat = saturated_connectivity(graph, list(base_brokers))
+    gains = np.array(
+        [
+            saturated_connectivity(graph, list(base_brokers) + [int(c)]) - base_sat
+            for c in candidates
+        ]
+    )
+    cand_scores = scores[candidates]
+    if np.isclose(gains.std(), 0.0) or np.isclose(cand_scores.std(), 0.0):
+        corr = 0.0
+    else:
+        corr = float(np.corrcoef(cand_scores, gains)[0, 1])
+    return corr, candidates, gains
+
+
+@register("fig3")
+def run(config: ExperimentConfig, *, num_candidates: int = 120) -> ExperimentResult:
+    graph = config.graph()
+    scores = pagerank(graph)
+    budgets = config.broker_budgets()
+    small_k = budgets["0.19%"]
+    large_k = budgets["1.9%"]
+
+    rows = []
+    values = {}
+    for label, k, paper_corr in (
+        (f"|B| = {small_k}", small_k, 0.818),
+        (f"|B| = {large_k}", large_k, 0.227),
+    ):
+        brokers = pagerank_based(graph, k)
+        corr, candidates, gains = _gain_correlation(
+            graph, brokers, scores, num_candidates=num_candidates, seed=config.seed
+        )
+        rows.append(
+            (label, f"{corr:.3f}", f"{paper_corr:.3f}",
+             f"{gains.max(initial=0.0):.5f}")
+        )
+        values[label] = {"corr": corr, "paper": paper_corr, "gains": gains}
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Fig. 3: PageRank vs marginal-connectivity-gain correlation",
+        headers=["PRB set", "Correlation", "Paper", "Max candidate gain"],
+        rows=rows,
+        paper_values=values,
+        notes="Paper: correlation decays 0.818 -> 0.227 as |B| grows 100 -> 1000.",
+    )

@@ -1,0 +1,92 @@
+"""Experiment registry and the common result container.
+
+Each experiment module registers a callable ``ExperimentConfig ->
+ExperimentResult``; the CLI and the benchmark suite look experiments up
+by their paper artifact id (``"table1"``, ``"fig5b"``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Uniform output of every experiment.
+
+    ``rows``/``headers`` hold the regenerated table; ``paper_values``
+    (when applicable) maps row keys to the number the paper reports so
+    EXPERIMENTS.md can show paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    notes: str = ""
+    paper_values: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """ASCII rendering for the CLI / bench output."""
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += f"\n  note: {self.notes}"
+        return text
+
+
+_REGISTRY: dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {}
+
+
+def register(name: str):
+    """Decorator adding an experiment function to the registry."""
+
+    def deco(fn: Callable[[ExperimentConfig], ExperimentResult]):
+        if name in _REGISTRY:
+            raise ReproError(f"duplicate experiment registration: {name}")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def _ensure_loaded() -> None:
+    # Experiment modules self-register on import.
+    from repro.experiments import (  # noqa: F401
+        ablations,
+        dynamics,
+        economics,
+        extensions,
+        fig1,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        table1,
+        table2,
+        table3,
+        table4,
+        table5,
+    )
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def run_experiment(
+    name: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name](config or ExperimentConfig())

@@ -1,0 +1,66 @@
+"""Table 3 — l-hop E2E connectivity across topology families.
+
+The paper contrasts the AS topology (with and without IXPs as independent
+entities) against ER-Random, WS-Small-World and BA-Scale-free graphs over
+the same vertex count, showing that the short-path structure the broker
+framework exploits is specific to the Internet's layered topology.
+Connectivity here is the *free* curve (``B = V``): reachability within
+``l`` hops.
+"""
+
+from __future__ import annotations
+
+from repro.core.connectivity import connectivity_curve
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, register
+from repro.graph.generators import barabasi_albert, erdos_renyi, watts_strogatz
+
+#: Paper values at l = 4 for orientation (percent).
+PAPER_L4 = {
+    "ASes with IXPs": 99.21,
+    "ASes without IXPs": 90.02,
+}
+
+
+@register("table3")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    n = graph.num_nodes
+    m = graph.num_edges
+    hops = list(range(1, config.max_hops + 1))
+    seed = config.seed
+
+    without_ixp, _ = graph.without_ixps()
+    topologies = {
+        "ASes with IXPs": graph,
+        "ASes without IXPs": without_ixp,
+        "ER-Random": erdos_renyi(n, m, seed=seed),
+        "WS-Small-World": watts_strogatz(
+            n, max(2 * round(m / n / 2), 2), 0.1, seed=seed
+        ),
+        "BA-Scale-free": barabasi_albert(n, max(m // n, 1), seed=seed),
+    }
+    rows = []
+    curves = {}
+    for name, topo in topologies.items():
+        curve = connectivity_curve(
+            topo,
+            None,
+            max_hops=config.max_hops,
+            num_sources=config.num_sources,
+            seed=seed,
+        )
+        curves[name] = curve
+        row = [name] + [f"{100 * curve.at(h):.2f}%" for h in hops]
+        row.append(f"{100 * curve.saturated:.2f}%")
+        rows.append(tuple(row))
+
+    return ExperimentResult(
+        experiment_id="table3",
+        title=f"Table 3: l-hop E2E connectivity per topology (n={n})",
+        headers=["Topology"] + [f"l={h}" for h in hops] + ["saturated"],
+        rows=rows,
+        paper_values={"curves": curves, "paper_l4_percent": PAPER_L4},
+        notes="Free-path curves (no broker restriction); paper reports "
+        "99.21% at l=4 for ASes-with-IXPs.",
+    )

@@ -1,0 +1,65 @@
+"""Table 4 — path inflation of the MaxSG alliance vs free routing.
+
+The paper's observation: if the alliance's internal links are
+bidirectional, the l-hop connectivity curve of the 3,540-alliance almost
+overlaps the free "ASesWithIXPs" curve — the broker detour costs almost
+nothing — whereas a same-size Degree-Based set inflates paths noticeably.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import degree_based
+from repro.core.connectivity import connectivity_curve, path_inflation
+from repro.core.maxsg import maxsg
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, register
+
+
+@register("table4")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    budget = config.broker_budgets()["6.8%"]
+    hops = list(range(1, config.max_hops + 1))
+
+    free = connectivity_curve(
+        graph, None, max_hops=config.max_hops,
+        num_sources=config.num_sources, seed=config.seed,
+    )
+    alliance = maxsg(graph, budget)
+    alliance_curve = connectivity_curve(
+        graph, alliance, max_hops=config.max_hops,
+        num_sources=config.num_sources, seed=config.seed,
+    )
+    db = degree_based(graph, budget)
+    db_curve = connectivity_curve(
+        graph, db, max_hops=config.max_hops,
+        num_sources=config.num_sources, seed=config.seed,
+    )
+
+    def row(name, curve):
+        cells = [name] + [f"{100 * curve.at(h):.2f}%" for h in hops]
+        cells.append(f"{100 * curve.saturated:.2f}%")
+        return tuple(cells)
+
+    rows = [
+        row("ASesWithIXPs (free)", free),
+        row(f"MaxSG alliance (k={len(alliance)})", alliance_curve),
+        row(f"Degree-Based (k={len(db)})", db_curve),
+    ]
+    inflation = path_inflation(free, alliance_curve)
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Table 4: path inflation via the alliance (bidirectional links)",
+        headers=["Routing"] + [f"l={h}" for h in hops] + ["saturated"],
+        rows=rows,
+        paper_values={
+            "free": free,
+            "alliance": alliance_curve,
+            "db": db_curve,
+            "max_inflation": float(inflation.max(initial=0.0)),
+        },
+        notes=(
+            "Paper: the alliance curve almost overlaps the free curve "
+            f"(max per-hop inflation here: {100 * inflation.max(initial=0.0):.2f} pts)."
+        ),
+    )

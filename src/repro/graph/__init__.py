@@ -1,0 +1,45 @@
+"""Graph substrate: topology model, kernels, metrics, generators, IO."""
+
+from repro.graph.asgraph import ASGraph
+from repro.graph.csr import CSRAdjacency, build_csr
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.export import write_dot, write_gexf
+from repro.graph.io import load_caida_asrel, load_graph, save_graph
+from repro.graph.layout import core_numbers, radial_layout, radial_profile
+from repro.graph.metrics import average_degree, degree_histogram, pagerank
+from repro.graph.paths import estimate_alpha_beta, hop_distribution, shortest_path
+
+__all__ = [
+    "ASGraph",
+    "CSRAdjacency",
+    "build_csr",
+    "erdos_renyi",
+    "watts_strogatz",
+    "barabasi_albert",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "load_graph",
+    "save_graph",
+    "write_dot",
+    "write_gexf",
+    "load_caida_asrel",
+    "core_numbers",
+    "radial_layout",
+    "radial_profile",
+    "pagerank",
+    "degree_histogram",
+    "average_degree",
+    "hop_distribution",
+    "estimate_alpha_beta",
+    "shortest_path",
+]

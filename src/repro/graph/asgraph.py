@@ -1,0 +1,257 @@
+"""The :class:`ASGraph` — AS-level Internet topology with node metadata.
+
+An :class:`ASGraph` is an undirected multigraph-free topology over dense
+integer vertex ids, carrying the metadata the paper's experiments need:
+
+* node *kind* (AS or IXP — IXPs are independent entities, Section 3),
+* AS *tier* (tier-1 / transit / stub),
+* business *category* (Table 5's Transit/Access, Content, Enterprise, IXP),
+* per-edge business *relationship* (c2p / p2p / IXP membership).
+
+The adjacency is stored once in CSR form (symmetric) plus a canonical
+undirected edge list aligned with the relationship labels, so both the
+coverage kernels and the directional routing policies can be derived
+without re-walking Python dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphValidationError
+from repro.graph.csr import CSRAdjacency, build_csr, largest_component_nodes
+from repro.types import BusinessCategory, NodeKind, Relationship, Tier
+
+
+def _as_uint8(values: np.ndarray | Sequence[int], n: int, what: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.uint8)
+    if arr.shape != (n,):
+        raise GraphValidationError(f"{what} must have shape ({n},), got {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class ASGraph:
+    """Immutable AS-level topology.
+
+    Build instances with :meth:`from_edges` (which validates and
+    canonicalizes) rather than calling the constructor directly.
+    """
+
+    adj: CSRAdjacency
+    kinds: np.ndarray
+    tiers: np.ndarray
+    categories: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_rels: np.ndarray
+    names: tuple[str, ...] = field(default=())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        *,
+        kinds: np.ndarray | Sequence[int] | None = None,
+        tiers: np.ndarray | Sequence[int] | None = None,
+        categories: np.ndarray | Sequence[int] | None = None,
+        relationships: np.ndarray | Sequence[int] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> "ASGraph":
+        """Create a validated :class:`ASGraph`.
+
+        ``edges`` lists each undirected edge once; ``relationships`` (if
+        given) is aligned with it and interpreted relative to the given
+        orientation (``CUSTOMER_TO_PROVIDER`` ⇒ first endpoint is the
+        customer).  Self-loops and duplicate edges are rejected: the paper's
+        topology is simple.
+        """
+        edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise GraphValidationError("edges must be an (m, 2) array-like")
+        src = edge_arr[:, 0].astype(np.int64)
+        dst = edge_arr[:, 1].astype(np.int64)
+        if len(src) and (min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= num_nodes):
+            raise GraphValidationError(f"edge endpoint out of range [0, {num_nodes})")
+        if np.any(src == dst):
+            raise GraphValidationError("self-loops are not allowed in an ASGraph")
+        lo, hi = np.minimum(src, dst), np.maximum(src, dst)
+        key = lo * np.int64(num_nodes) + hi
+        if len(np.unique(key)) != len(key):
+            raise GraphValidationError("duplicate undirected edges are not allowed")
+
+        if kinds is None:
+            kinds_arr = np.full(num_nodes, int(NodeKind.AS), dtype=np.uint8)
+        else:
+            kinds_arr = _as_uint8(kinds, num_nodes, "kinds")
+        if tiers is None:
+            tiers_arr = np.full(num_nodes, int(Tier.NONE), dtype=np.uint8)
+        else:
+            tiers_arr = _as_uint8(tiers, num_nodes, "tiers")
+        if categories is None:
+            categories_arr = np.where(
+                kinds_arr == int(NodeKind.IXP),
+                int(BusinessCategory.IXP),
+                int(BusinessCategory.TRANSIT_ACCESS),
+            ).astype(np.uint8)
+        else:
+            categories_arr = _as_uint8(categories, num_nodes, "categories")
+        if relationships is None:
+            rels_arr = np.full(len(src), int(Relationship.PEER_TO_PEER), dtype=np.uint8)
+        else:
+            rels_arr = np.asarray(relationships, dtype=np.uint8)
+            if rels_arr.shape != (len(src),):
+                raise GraphValidationError(
+                    f"relationships must have shape ({len(src)},), got {rels_arr.shape}"
+                )
+        if names is not None and len(names) != num_nodes:
+            raise GraphValidationError(
+                f"names must have length {num_nodes}, got {len(names)}"
+            )
+
+        adj = build_csr(num_nodes, src, dst, symmetric=True)
+        return cls(
+            adj=adj,
+            kinds=kinds_arr,
+            tiers=tiers_arr,
+            categories=categories_arr,
+            edge_src=src,
+            edge_dst=dst,
+            edge_rels=rels_arr,
+            names=tuple(names) if names is not None else (),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adj.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return len(self.edge_src)
+
+    def degrees(self) -> np.ndarray:
+        return self.adj.degrees()
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adj.neighbors(v)
+
+    def name_of(self, v: int) -> str:
+        """Human-readable node name (falls back to ``AS<v>`` / ``IXP<v>``)."""
+        if self.names:
+            return self.names[v]
+        prefix = "IXP" if self.kinds[v] == int(NodeKind.IXP) else "AS"
+        return f"{prefix}{v}"
+
+    # ------------------------------------------------------------------
+    # Node-class masks
+    # ------------------------------------------------------------------
+    def ixp_mask(self) -> np.ndarray:
+        return self.kinds == int(NodeKind.IXP)
+
+    def ixp_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.ixp_mask())
+
+    def as_ids(self) -> np.ndarray:
+        return np.flatnonzero(~self.ixp_mask())
+
+    def tier1_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.tiers == int(Tier.TIER1))
+
+    @property
+    def num_ases(self) -> int:
+        return int(np.count_nonzero(~self.ixp_mask()))
+
+    @property
+    def num_ixps(self) -> int:
+        return int(np.count_nonzero(self.ixp_mask()))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: np.ndarray) -> tuple["ASGraph", np.ndarray]:
+        """Subgraph induced by ``nodes``.
+
+        Returns ``(subgraph, old_ids)`` where ``old_ids[new_id]`` maps the
+        subgraph's dense ids back to this graph's ids.
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if len(nodes) and (nodes[0] < 0 or nodes[-1] >= self.num_nodes):
+            raise GraphValidationError("induced_subgraph: node id out of range")
+        new_id = np.full(self.num_nodes, -1, dtype=np.int64)
+        new_id[nodes] = np.arange(len(nodes))
+        keep = (new_id[self.edge_src] >= 0) & (new_id[self.edge_dst] >= 0)
+        sub_edges = np.stack(
+            [new_id[self.edge_src[keep]], new_id[self.edge_dst[keep]]], axis=1
+        )
+        sub = ASGraph.from_edges(
+            len(nodes),
+            sub_edges,
+            kinds=self.kinds[nodes],
+            tiers=self.tiers[nodes],
+            categories=self.categories[nodes],
+            relationships=self.edge_rels[keep],
+            names=[self.names[i] for i in nodes] if self.names else None,
+        )
+        return sub, nodes
+
+    def largest_connected_component(self) -> tuple["ASGraph", np.ndarray]:
+        """The maximum connected subgraph (Table 2's evaluation substrate)."""
+        nodes = largest_component_nodes(self.adj.to_scipy())
+        return self.induced_subgraph(nodes)
+
+    def without_ixps(self) -> tuple["ASGraph", np.ndarray]:
+        """Drop IXP nodes — Table 3's "ASes without IXPs" topology."""
+        return self.induced_subgraph(self.as_ids())
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` with metadata attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for v in range(self.num_nodes):
+            g.add_node(
+                v,
+                kind=NodeKind(int(self.kinds[v])).name,
+                tier=Tier(int(self.tiers[v])).name,
+                category=BusinessCategory(int(self.categories[v])).name,
+                name=self.name_of(v),
+            )
+        for u, v, r in zip(self.edge_src, self.edge_dst, self.edge_rels):
+            g.add_edge(int(u), int(v), relationship=Relationship(int(r)).name)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "ASGraph":
+        """Import from a :class:`networkx.Graph` (ids relabelled densely)."""
+        nodes = list(g.nodes())
+        index = {u: i for i, u in enumerate(nodes)}
+        kinds = [
+            int(NodeKind[g.nodes[u].get("kind", "AS")])
+            if isinstance(g.nodes[u].get("kind", "AS"), str)
+            else int(g.nodes[u].get("kind", NodeKind.AS))
+            for u in nodes
+        ]
+        edges = [(index[u], index[v]) for u, v in g.edges()]
+        return cls.from_edges(len(nodes), edges, kinds=kinds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ASGraph(n={self.num_nodes} [{self.num_ases} AS + {self.num_ixps} IXP], "
+            f"m={self.num_edges})"
+        )

@@ -1,0 +1,115 @@
+"""Visualization exports: DOT and GEXF for external graph tooling.
+
+Fig. 1 and Fig. 4 are visual artifacts; these exporters let users render
+the topology and broker placements with Graphviz / Gephi.  Node colour
+classes encode kind/tier and (optionally) broker membership; positions
+come from the k-core radial layout so renders match the paper's
+layered-disc look.
+
+Exports are plain-text writers with no third-party dependencies; for
+NetworkX-based pipelines use :meth:`repro.graph.asgraph.ASGraph.to_networkx`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+from xml.sax.saxutils import escape
+
+from repro.graph.asgraph import ASGraph
+from repro.graph.layout import radial_layout
+from repro.types import NodeKind, Relationship, Tier
+
+_TIER_COLORS = {
+    int(Tier.TIER1): "#c0392b",
+    int(Tier.TRANSIT): "#e67e22",
+    int(Tier.STUB): "#95a5a6",
+    int(Tier.NONE): "#8e44ad",
+}
+_BROKER_COLOR = "#2980b9"
+_IXP_COLOR = "#27ae60"
+
+
+def _node_color(graph: ASGraph, v: int, brokers: set[int]) -> str:
+    if v in brokers:
+        return _BROKER_COLOR
+    if graph.kinds[v] == int(NodeKind.IXP):
+        return _IXP_COLOR
+    return _TIER_COLORS[int(graph.tiers[v])]
+
+
+def write_dot(
+    graph: ASGraph,
+    path: str | Path,
+    *,
+    brokers: Iterable[int] = (),
+    max_nodes: int = 2000,
+    layout_seed: int = 0,
+) -> None:
+    """Write a Graphviz DOT file with radial positions baked in.
+
+    Graphs larger than ``max_nodes`` are refused — DOT rendering beyond a
+    couple of thousand nodes is not useful; export a subgraph instead
+    (e.g. ``graph.induced_subgraph(...)``).
+    """
+    if graph.num_nodes > max_nodes:
+        raise ValueError(
+            f"graph has {graph.num_nodes} nodes > max_nodes={max_nodes}; "
+            "export an induced subgraph instead"
+        )
+    broker_set = set(int(b) for b in brokers)
+    layout = radial_layout(graph, seed=layout_seed)
+    positions = layout.positions() * 20.0
+    lines = ["graph topology {", "  node [shape=circle style=filled];"]
+    for v in range(graph.num_nodes):
+        color = _node_color(graph, v, broker_set)
+        x, y = positions[v]
+        size = 0.35 if v in broker_set else 0.18
+        lines.append(
+            f'  {v} [label="{graph.name_of(v)}" fillcolor="{color}" '
+            f'pos="{x:.2f},{y:.2f}!" width={size} height={size} fontsize=6];'
+        )
+    for u, v, r in zip(graph.edge_src, graph.edge_dst, graph.edge_rels):
+        style = "dashed" if r == int(Relationship.IXP_MEMBERSHIP) else "solid"
+        lines.append(f"  {int(u)} -- {int(v)} [style={style} penwidth=0.3];")
+    lines.append("}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def write_gexf(
+    graph: ASGraph,
+    path: str | Path,
+    *,
+    brokers: Iterable[int] = (),
+) -> None:
+    """Write a minimal GEXF 1.2 file (Gephi-compatible)."""
+    broker_set = set(int(b) for b in brokers)
+    out = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<gexf xmlns="http://www.gexf.net/1.2draft" version="1.2">',
+        '  <graph mode="static" defaultedgetype="undirected">',
+        "    <attributes class=\"node\">",
+        '      <attribute id="0" title="kind" type="string"/>',
+        '      <attribute id="1" title="tier" type="string"/>',
+        '      <attribute id="2" title="broker" type="boolean"/>',
+        "    </attributes>",
+        "    <nodes>",
+    ]
+    for v in range(graph.num_nodes):
+        kind = NodeKind(int(graph.kinds[v])).name
+        tier = Tier(int(graph.tiers[v])).name
+        is_broker = "true" if v in broker_set else "false"
+        out.append(
+            f'      <node id="{v}" label="{escape(graph.name_of(v))}">'
+            f'<attvalues><attvalue for="0" value="{kind}"/>'
+            f'<attvalue for="1" value="{tier}"/>'
+            f'<attvalue for="2" value="{is_broker}"/></attvalues></node>'
+        )
+    out.append("    </nodes>")
+    out.append("    <edges>")
+    for i, (u, v) in enumerate(zip(graph.edge_src, graph.edge_dst)):
+        out.append(f'      <edge id="{i}" source="{int(u)}" target="{int(v)}"/>')
+    out.append("    </edges>")
+    out.append("  </graph>")
+    out.append("</gexf>")
+    Path(path).write_text("\n".join(out) + "\n")

@@ -1,0 +1,147 @@
+"""Classic random-topology generators (Table 3's comparison substrates).
+
+Table 3 contrasts the l-hop connectivity of the real AS topology against
+ER-Random, WS-Small-World and BA-Scale-free graphs over the *same vertex
+set*.  These generators produce :class:`ASGraph` instances directly and are
+implemented with NumPy (rather than networkx object graphs) so the
+52,079-node configurations stay tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphValidationError
+from repro.graph.asgraph import ASGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _dedupe_edges(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    """Canonicalize to (lo, hi), drop loops and duplicates; return (m,2)."""
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    key = lo * np.int64(n) + hi
+    _, first = np.unique(key, return_index=True)
+    return np.stack([lo[first], hi[first]], axis=1)
+
+
+def erdos_renyi(n: int, num_edges: int, *, seed: SeedLike = None) -> ASGraph:
+    """G(n, m) uniform random graph with exactly ``num_edges`` edges."""
+    if num_edges > n * (n - 1) // 2:
+        raise GraphValidationError("requested more edges than pairs available")
+    rng = ensure_rng(seed)
+    edges = np.zeros((0, 2), dtype=np.int64)
+    while len(edges) < num_edges:
+        need = num_edges - len(edges)
+        src = rng.integers(0, n, size=int(need * 1.3) + 8)
+        dst = rng.integers(0, n, size=len(src))
+        batch = _dedupe_edges(src, dst, n)
+        edges = _dedupe_edges(
+            np.concatenate([edges[:, 0], batch[:, 0]]),
+            np.concatenate([edges[:, 1], batch[:, 1]]),
+            n,
+        )
+    if len(edges) > num_edges:
+        pick = ensure_rng(rng).choice(len(edges), size=num_edges, replace=False)
+        edges = edges[pick]
+    return ASGraph.from_edges(n, edges)
+
+
+def watts_strogatz(
+    n: int, k: int, rewire_prob: float, *, seed: SeedLike = None
+) -> ASGraph:
+    """Watts-Strogatz small-world ring with ``k`` nearest neighbours.
+
+    ``k`` must be even; each vertex connects to ``k/2`` clockwise
+    neighbours and a fraction ``rewire_prob`` of edges get their far
+    endpoint rewired uniformly (duplicates re-canonicalized away).
+    """
+    if k % 2 or k < 2:
+        raise GraphValidationError(f"k must be even and >= 2, got {k}")
+    if not 0.0 <= rewire_prob <= 1.0:
+        raise GraphValidationError(f"rewire_prob must be in [0,1], got {rewire_prob}")
+    rng = ensure_rng(seed)
+    base = np.arange(n, dtype=np.int64)
+    srcs, dsts = [], []
+    for offset in range(1, k // 2 + 1):
+        srcs.append(base)
+        dsts.append((base + offset) % n)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    rewire = rng.random(len(src)) < rewire_prob
+    dst = dst.copy()
+    dst[rewire] = rng.integers(0, n, size=int(rewire.sum()))
+    edges = _dedupe_edges(src, dst, n)
+    return ASGraph.from_edges(n, edges)
+
+
+def barabasi_albert(n: int, attach: int, *, seed: SeedLike = None) -> ASGraph:
+    """Barabási-Albert preferential attachment with ``attach`` edges/node.
+
+    Uses the standard repeated-endpoint sampling trick: sampling uniformly
+    from the list of all edge endpoints seen so far is equivalent to
+    degree-proportional sampling.
+    """
+    if attach < 1 or attach >= n:
+        raise GraphValidationError(f"attach must be in [1, n), got {attach}")
+    rng = ensure_rng(seed)
+    # Start from a star over the first attach + 1 vertices so every early
+    # vertex has nonzero degree.
+    repeated: list[int] = []
+    edges: list[tuple[int, int]] = []
+    for v in range(1, attach + 1):
+        edges.append((0, v))
+        repeated.extend([0, v])
+    endpoint_pool = np.array(repeated, dtype=np.int64)
+    pool_parts = [endpoint_pool]
+    pool_len = len(endpoint_pool)
+    for v in range(attach + 1, n):
+        pool = pool_parts[0] if len(pool_parts) == 1 else np.concatenate(pool_parts)
+        pool_parts = [pool]
+        targets: set[int] = set()
+        while len(targets) < attach:
+            cand = int(pool[rng.integers(pool_len)])
+            targets.add(cand)
+        new = np.empty(2 * attach, dtype=np.int64)
+        for i, t in enumerate(sorted(targets)):
+            edges.append((v, t))
+            new[2 * i] = v
+            new[2 * i + 1] = t
+        pool_parts.append(new)
+        pool_len += len(new)
+    return ASGraph.from_edges(n, np.array(edges, dtype=np.int64))
+
+
+def star_graph(n: int) -> ASGraph:
+    """Star over ``n`` vertices (hub = 0).  Handy in unit tests: the hub is
+    a perfect one-node broker set."""
+    if n < 2:
+        raise GraphValidationError("star graph needs n >= 2")
+    edges = [(0, v) for v in range(1, n)]
+    return ASGraph.from_edges(n, edges)
+
+
+def path_graph(n: int) -> ASGraph:
+    """Simple path 0-1-...-(n-1); the canonical hard case for domination."""
+    if n < 2:
+        raise GraphValidationError("path graph needs n >= 2")
+    edges = [(v, v + 1) for v in range(n - 1)]
+    return ASGraph.from_edges(n, edges)
+
+
+def cycle_graph(n: int) -> ASGraph:
+    """Cycle over ``n`` vertices."""
+    if n < 3:
+        raise GraphValidationError("cycle graph needs n >= 3")
+    edges = [(v, (v + 1) % n) for v in range(n)]
+    return ASGraph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> ASGraph:
+    """Clique over ``n`` vertices; every single node dominates everything."""
+    if n < 2:
+        raise GraphValidationError("complete graph needs n >= 2")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return ASGraph.from_edges(n, edges)

@@ -1,0 +1,188 @@
+"""Topology serialization and real-dataset parsers.
+
+Two interchange paths are supported:
+
+* A self-describing JSON format (``save_graph`` / ``load_graph``) used for
+  caching generated datasets between experiment runs.
+* Parsers for the public formats the paper's data pipeline would consume
+  when the real 2014 datasets are available: CAIDA ``as-rel`` relationship
+  files and a PeeringDB-style IXP membership CSV.  The reproduction runs on
+  the synthetic generator by default (see DESIGN.md §2), but these parsers
+  let users swap in the real measurement data without touching any
+  algorithm code.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.asgraph import ASGraph
+from repro.types import NodeKind, Relationship, Tier
+
+
+def save_graph(graph: ASGraph, path: str | Path) -> None:
+    """Serialize ``graph`` to (optionally gzipped) JSON.
+
+    The format stores the canonical undirected edge list plus all metadata
+    arrays; ids are preserved verbatim.
+    """
+    payload = {
+        "format": "repro-asgraph-v1",
+        "num_nodes": graph.num_nodes,
+        "kinds": graph.kinds.tolist(),
+        "tiers": graph.tiers.tolist(),
+        "categories": graph.categories.tolist(),
+        "edges": np.stack([graph.edge_src, graph.edge_dst], axis=1).tolist(),
+        "relationships": graph.edge_rels.tolist(),
+        "names": list(graph.names),
+    }
+    path = Path(path)
+    raw = json.dumps(payload).encode()
+    if path.suffix == ".gz":
+        path.write_bytes(gzip.compress(raw))
+    else:
+        path.write_bytes(raw)
+
+
+def load_graph(path: str | Path) -> ASGraph:
+    """Load a graph produced by :func:`save_graph`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"graph file not found: {path}")
+    raw = path.read_bytes()
+    if path.suffix == ".gz":
+        raw = gzip.decompress(raw)
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"not a valid graph file: {path}") from exc
+    if payload.get("format") != "repro-asgraph-v1":
+        raise DatasetError(f"unknown graph format in {path}: {payload.get('format')}")
+    return ASGraph.from_edges(
+        payload["num_nodes"],
+        np.asarray(payload["edges"], dtype=np.int64).reshape(-1, 2),
+        kinds=payload["kinds"],
+        tiers=payload["tiers"],
+        categories=payload["categories"],
+        relationships=payload["relationships"],
+        names=payload["names"] or None,
+    )
+
+
+def load_caida_asrel(
+    path: str | Path,
+    *,
+    ixp_memberships: Mapping[str, list[int]] | None = None,
+) -> ASGraph:
+    """Parse a CAIDA ``as-rel`` file into an :class:`ASGraph`.
+
+    The format is one relationship per line, ``<as1>|<as2>|<rel>`` where
+    ``rel`` is ``-1`` for provider-to-customer (as1 is the provider) and
+    ``0`` for peer-to-peer; ``#`` lines are comments.  When
+    ``ixp_memberships`` is given (``{ixp_name: [asn, ...]}``) IXPs are
+    added as independent-entity nodes with membership edges, mirroring the
+    paper's topology construction.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"as-rel file not found: {path}")
+    opener = gzip.open if path.suffix == ".gz" else open
+    asn_edges: list[tuple[int, int, int]] = []
+    asns: set[int] = set()
+    with opener(path, "rt") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) < 3:
+                raise DatasetError(f"{path}:{lineno}: malformed as-rel line: {line!r}")
+            try:
+                a, b, rel = int(parts[0]), int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: non-integer field: {line!r}") from exc
+            if rel not in (-1, 0):
+                raise DatasetError(f"{path}:{lineno}: unknown relationship {rel}")
+            asns.update((a, b))
+            asn_edges.append((a, b, rel))
+
+    asn_index = {asn: i for i, asn in enumerate(sorted(asns))}
+    names = [f"AS{asn}" for asn in sorted(asns)]
+    kinds = [int(NodeKind.AS)] * len(asn_index)
+    num_nodes = len(asn_index)
+
+    edges: list[tuple[int, int]] = []
+    rels: list[int] = []
+    seen: set[tuple[int, int]] = set()
+    for a, b, rel in asn_edges:
+        u, v = asn_index[a], asn_index[b]
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        if rel == 0:
+            edges.append((u, v))
+            rels.append(int(Relationship.PEER_TO_PEER))
+        else:
+            # as-rel -1 means "a is the provider of b": store customer first.
+            edges.append((v, u))
+            rels.append(int(Relationship.CUSTOMER_TO_PROVIDER))
+
+    if ixp_memberships:
+        for ixp_name, members in sorted(ixp_memberships.items()):
+            ixp_id = num_nodes
+            num_nodes += 1
+            names.append(ixp_name)
+            kinds.append(int(NodeKind.IXP))
+            for asn in members:
+                if asn not in asn_index:
+                    continue
+                u = asn_index[asn]
+                key = (min(u, ixp_id), max(u, ixp_id))
+                if key in seen:
+                    continue
+                seen.add(key)
+                edges.append((u, ixp_id))
+                rels.append(int(Relationship.IXP_MEMBERSHIP))
+
+    return ASGraph.from_edges(
+        num_nodes,
+        np.asarray(edges, dtype=np.int64),
+        kinds=kinds,
+        tiers=[int(Tier.NONE)] * num_nodes,
+        relationships=rels,
+        names=names,
+    )
+
+
+def load_ixp_memberships(path: str | Path) -> dict[str, list[int]]:
+    """Parse an IXP membership CSV: ``ixp_name,asn`` per line.
+
+    Returns a mapping suitable for :func:`load_caida_asrel`'s
+    ``ixp_memberships`` argument.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"IXP membership file not found: {path}")
+    memberships: dict[str, list[int]] = {}
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise DatasetError(f"{path}:{lineno}: expected 'ixp,asn': {line!r}")
+            name, asn_text = parts[0].strip(), parts[1].strip()
+            try:
+                asn = int(asn_text)
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: bad ASN {asn_text!r}") from exc
+            memberships.setdefault(name, []).append(asn)
+    return memberships

@@ -1,0 +1,179 @@
+"""A policy-aware BGP route computation (the "cooperating with BGP" substrate).
+
+The economic model of Section 7 studies ASes splitting traffic between the
+brokerage scheme and ordinary BGP.  To make that comparison concrete the
+library includes a path-vector route computation implementing the
+Gao-Rexford preferences:
+
+1. routes learned from customers are preferred over peer routes, which are
+   preferred over provider routes;
+2. among equals, shorter AS paths win;
+3. export rules: customer routes are exported to everyone; peer/provider
+   routes are exported only to customers.
+
+Routes to one destination for *all* sources are computed with the classic
+three-phase BFS (customer cone upward, one peer hop, provider cone
+downward), which is exactly the fixed point of the path-vector protocol
+under those preferences — no iterative convergence needed.
+
+IXP membership links are treated as peering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.types import Relationship
+
+
+class RouteType(enum.IntEnum):
+    """How the best route to the destination was learned."""
+
+    NONE = 0       # unreachable under policy
+    SELF = 1       # the destination itself
+    CUSTOMER = 2   # via a customer edge (destination in the customer cone)
+    PEER = 3       # via a peer edge
+    PROVIDER = 4   # via a provider edge
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """Routes from every source towards one destination."""
+
+    destination: int
+    route_type: np.ndarray   # RouteType per source
+    path_length: np.ndarray  # AS-path hop count per source (-1 unreachable)
+    next_hop: np.ndarray     # next hop on the best path (-1 if none/self)
+
+    def reachable_fraction(self) -> float:
+        """Fraction of other vertices with a policy-compliant route."""
+        n = len(self.route_type)
+        if n <= 1:
+            return 0.0
+        return float(
+            np.count_nonzero(self.route_type != int(RouteType.NONE)) - 1
+        ) / (n - 1)
+
+    def path_to(self, source: int) -> list[int] | None:
+        """Reconstruct the AS path ``source -> destination``."""
+        if self.route_type[source] == int(RouteType.NONE):
+            return None
+        path = [int(source)]
+        while path[-1] != self.destination:
+            nxt = int(self.next_hop[path[-1]])
+            if nxt < 0 or len(path) > len(self.route_type):
+                raise AlgorithmError("corrupt next-hop chain")
+            path.append(nxt)
+        return path
+
+
+class BGPSimulator:
+    """Computes Gao-Rexford routes on an :class:`ASGraph`.
+
+    The per-destination computation is O(|V| + |E|); adjacency lists with
+    hop types are prebuilt once per simulator instance.
+    """
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        n = graph.num_nodes
+        # Outgoing hop lists: providers[u] = ASes u buys transit from, etc.
+        self._providers: list[list[int]] = [[] for _ in range(n)]
+        self._customers: list[list[int]] = [[] for _ in range(n)]
+        self._peers: list[list[int]] = [[] for _ in range(n)]
+        for u, v, r in zip(graph.edge_src, graph.edge_dst, graph.edge_rels):
+            u, v, r = int(u), int(v), int(r)
+            if r == int(Relationship.CUSTOMER_TO_PROVIDER):
+                self._providers[u].append(v)
+                self._customers[v].append(u)
+            else:
+                self._peers[u].append(v)
+                self._peers[v].append(u)
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    def route_to(self, destination: int) -> RouteInfo:
+        """Best policy-compliant route from every vertex to ``destination``.
+
+        Phase 1 — *customer routes*: propagate from the destination along
+        customer→provider edges (a provider hears its customer's prefix).
+        Phase 2 — *peer routes*: one peer hop off any phase-1 vertex.
+        Phase 3 — *provider routes*: propagate downward from phase-1/2
+        vertices along provider→customer edges.
+        """
+        n = self._graph.num_nodes
+        if not 0 <= destination < n:
+            raise AlgorithmError(f"destination {destination} out of range")
+        route_type = np.zeros(n, dtype=np.int8)
+        path_length = np.full(n, -1, dtype=np.int64)
+        next_hop = np.full(n, -1, dtype=np.int64)
+        route_type[destination] = int(RouteType.SELF)
+        path_length[destination] = 0
+
+        # Phase 1: BFS up the provider DAG.
+        frontier = [destination]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for p in self._providers[u]:
+                    if route_type[p] == int(RouteType.NONE):
+                        route_type[p] = int(RouteType.CUSTOMER)
+                        path_length[p] = path_length[u] + 1
+                        next_hop[p] = u
+                        nxt.append(p)
+            frontier = nxt
+
+        # Phase 2: one peer hop.  Customer routes are exported to peers;
+        # shorter learned paths win among equals, so scan ascending length.
+        phase1 = np.flatnonzero(
+            (route_type == int(RouteType.CUSTOMER))
+            | (route_type == int(RouteType.SELF))
+        )
+        for u in phase1[np.argsort(path_length[phase1], kind="stable")]:
+            for w in self._peers[int(u)]:
+                if route_type[w] == int(RouteType.NONE):
+                    route_type[w] = int(RouteType.PEER)
+                    path_length[w] = path_length[u] + 1
+                    next_hop[w] = u
+
+        # Phase 3: BFS down the customer cones of everyone with a route.
+        # Peer/provider routes are exported to customers only; customer
+        # routes are exported to customers too.
+        order = np.flatnonzero(route_type != int(RouteType.NONE))
+        import heapq
+
+        heap = [(int(path_length[u]), int(u)) for u in order]
+        heapq.heapify(heap)
+        while heap:
+            dist, u = heapq.heappop(heap)
+            if dist > path_length[u]:
+                continue  # stale entry
+            for c in self._customers[u]:
+                if route_type[c] == int(RouteType.NONE):
+                    route_type[c] = int(RouteType.PROVIDER)
+                    path_length[c] = dist + 1
+                    next_hop[c] = u
+                    heapq.heappush(heap, (dist + 1, c))
+        return RouteInfo(
+            destination=destination,
+            route_type=route_type,
+            path_length=path_length,
+            next_hop=next_hop,
+        )
+
+    def reachability_fraction(
+        self, *, num_destinations: int = 32, seed: int = 0
+    ) -> float:
+        """Mean policy reachability over sampled destinations."""
+        rng = np.random.default_rng(seed)
+        n = self._graph.num_nodes
+        dests = rng.choice(n, size=min(num_destinations, n), replace=False)
+        fracs = [self.route_to(int(d)).reachable_fraction() for d in dests]
+        return float(np.mean(fracs))

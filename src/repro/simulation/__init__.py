@@ -1,0 +1,23 @@
+"""Dynamic-system substrate: topology churn + the brokered SLA marketplace."""
+
+from repro.simulation.churn import (
+    ChurnEvent,
+    ChurnTrace,
+    IncrementalBrokerSet,
+    generate_churn_trace,
+)
+from repro.simulation.marketplace import (
+    MarketplaceReport,
+    ServiceRequest,
+    simulate_marketplace,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnTrace",
+    "generate_churn_trace",
+    "IncrementalBrokerSet",
+    "ServiceRequest",
+    "MarketplaceReport",
+    "simulate_marketplace",
+]

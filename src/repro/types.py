@@ -1,0 +1,85 @@
+"""Shared vocabulary types for the AS-level Internet model.
+
+The paper's evaluation distinguishes node *kinds* (AS vs IXP), AS *tiers*
+(tier-1 transit providers down to stub networks), business *categories*
+(Table 5 splits brokers into Transit/Access, Content, Enterprise and IXP),
+and inter-AS business *relationships* (customer-to-provider and
+peer-to-peer, per the Gao-Rexford model).  These enums are used throughout
+the graph substrate, the selection algorithms, and the experiment harness.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Internal node identifier.  All graph code uses dense integer ids in
+#: ``[0, n)``; external names (AS numbers, IXP names) are metadata.
+NodeId = int
+
+
+class NodeKind(enum.IntEnum):
+    """Whether a topology node is an autonomous system or an IXP.
+
+    Following the paper (Section 3) IXPs are modelled as *independent
+    entities*, i.e., first-class vertices of the topology rather than
+    invisible switching fabric.
+    """
+
+    AS = 0
+    IXP = 1
+
+
+class Tier(enum.IntEnum):
+    """Coarse AS hierarchy level.
+
+    ``TIER1`` ASes form the transit-free clique at the top of the customer/
+    provider hierarchy; ``TRANSIT`` ASes have both customers and providers;
+    ``STUB`` ASes only buy transit.  IXPs carry ``NONE``.
+    """
+
+    NONE = 0
+    TIER1 = 1
+    TRANSIT = 2
+    STUB = 3
+
+
+class BusinessCategory(enum.IntEnum):
+    """Service category used by Table 5's broker composition breakdown.
+
+    Mirrors the categorization of CAIDA's AS-classification (transit/access,
+    content, enterprise) plus the IXP class.
+    """
+
+    IXP = 0
+    TRANSIT_ACCESS = 1
+    CONTENT = 2
+    ENTERPRISE = 3
+
+
+class Relationship(enum.IntEnum):
+    """Business relationship attached to an undirected edge ``(u, v)``.
+
+    The value is interpreted relative to the stored edge orientation:
+    ``CUSTOMER_TO_PROVIDER`` means ``u`` is the customer and ``v`` the
+    provider.  ``PEER_TO_PEER`` is symmetric.  ``IXP_MEMBERSHIP`` marks an
+    AS-to-IXP membership link (treated as settlement-free and symmetric).
+    """
+
+    PEER_TO_PEER = 0
+    CUSTOMER_TO_PROVIDER = 1
+    IXP_MEMBERSHIP = 2
+
+
+class RoutingDirectionality(enum.Enum):
+    """How business relationships constrain edge traversal (Section 6.2).
+
+    * ``BIDIRECTIONAL`` — the idealized policy assumed by the selection
+      algorithms: every edge can carry brokered traffic both ways.
+    * ``DIRECTIONAL`` — edges are only traversable in the paying direction
+      (customer towards provider); peering and IXP membership links remain
+      symmetric.  This models "forcing ASes/IXPs to obey existing business
+      relationships" (Fig. 5c).
+    """
+
+    BIDIRECTIONAL = "bidirectional"
+    DIRECTIONAL = "directional"

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness regenerates the paper's tables as aligned ASCII so
+`pytest benchmarks/ --benchmark-only -s` output can be compared with the
+paper side by side.  Kept dependency-free on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are shown with four significant digits; every other cell is
+    ``str()``-ified.  Returns a single string terminated without a trailing
+    newline so callers control spacing.
+    """
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[j]) for j, c in enumerate(cells)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction in ``[0, 1]`` as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,68 @@
+"""Shared fixtures: small deterministic topologies for the whole suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import load_internet
+from repro.datasets.synthetic_internet import InternetConfig, generate_internet
+from repro.graph.asgraph import ASGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_internet() -> ASGraph:
+    """The 604-node tiny profile — shared, read-only."""
+    return load_internet("tiny", seed=1)
+
+
+@pytest.fixture(scope="session")
+def mini_internet() -> ASGraph:
+    """An even smaller custom internet (~120 nodes) for exact checks."""
+    config = InternetConfig().scaled(100 / 51_757)
+    return generate_internet(config, seed=3)
+
+
+@pytest.fixture()
+def star10() -> ASGraph:
+    return star_graph(10)
+
+
+@pytest.fixture()
+def path10() -> ASGraph:
+    return path_graph(10)
+
+
+@pytest.fixture()
+def cycle8() -> ASGraph:
+    return cycle_graph(8)
+
+
+@pytest.fixture()
+def k5() -> ASGraph:
+    return complete_graph(5)
+
+
+@pytest.fixture()
+def two_triangles() -> ASGraph:
+    """Two triangles joined by a bridge: 0-1-2 and 3-4-5, bridge 2-3."""
+    return ASGraph.from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+
+@pytest.fixture()
+def disconnected_pair() -> ASGraph:
+    """Two disjoint edges — exercises non-connected behaviour."""
+    return ASGraph.from_edges(4, [(0, 1), (2, 3)])
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

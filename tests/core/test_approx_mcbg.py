@@ -1,0 +1,123 @@
+"""Unit tests for Algorithm 2 (MCBG approximation)."""
+
+import math
+
+import pytest
+
+from repro.core.approx_mcbg import approx_mcbg, repair_budget_split
+from repro.core.coverage import coverage_value
+from repro.core.domination import brokers_mutually_connected, is_dominating_path
+from repro.exceptions import AlgorithmError
+from repro.graph.generators import erdos_renyi, path_graph
+
+
+class TestBudgetSplit:
+    @pytest.mark.parametrize(
+        "budget,beta,expected_x",
+        [
+            (10, 4, 5),   # h=2: x* + (x*-1) <= 10 -> x*=5
+            (10, 3, 5),   # h=2
+            (10, 6, 4),   # h=3: x* + 2(x*-1) <= 10 -> x*=4
+            (1, 4, 1),
+            (2, 4, 1),
+            (3, 4, 2),
+        ],
+    )
+    def test_x_star_formula(self, budget, beta, expected_x):
+        x_star, h = repair_budget_split(budget, beta)
+        assert x_star == expected_x
+        assert h == math.ceil(beta / 2)
+        # Invariant from Theorem 3's proof:
+        assert x_star + (x_star - 1) * (h - 1) <= budget
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            repair_budget_split(0, 4)
+        with pytest.raises(AlgorithmError):
+            repair_budget_split(5, 0)
+
+
+class TestStrictMode:
+    def test_budget_never_exceeded(self, tiny_internet):
+        for k in (3, 10, 30):
+            result = approx_mcbg(tiny_internet, k, beta=4, mode="strict")
+            assert result.size <= k
+
+    def test_pre_selected_within_x_star(self, tiny_internet):
+        result = approx_mcbg(tiny_internet, 10, beta=4, mode="strict")
+        assert len(result.pre_selected) <= result.x_star
+
+    def test_path_graph_needs_repairs(self):
+        g = path_graph(9)
+        result = approx_mcbg(g, 5, beta=8, mode="strict")
+        # Pre-brokers are far apart on a path; repairs must appear.
+        assert brokers_mutually_connected(g, result.brokers)
+
+    def test_dominating_paths_between_pre_brokers(self, tiny_internet):
+        from repro.graph.paths import shortest_path
+
+        result = approx_mcbg(tiny_internet, 20, beta=4, mode="strict")
+        assert brokers_mutually_connected(tiny_internet, result.brokers)
+
+
+class TestPaperMode:
+    def test_pre_selection_equals_budget(self, tiny_internet):
+        result = approx_mcbg(tiny_internet, 12, beta=4, mode="paper")
+        assert len(result.pre_selected) <= 12
+        assert result.size >= len(result.pre_selected)
+
+    def test_repairs_counted_in_size(self):
+        g = path_graph(15)
+        result = approx_mcbg(g, 4, beta=14, mode="paper")
+        assert result.size == len(result.pre_selected) + len(result.repair)
+        assert brokers_mutually_connected(g, result.brokers)
+
+    def test_beats_or_matches_strict(self, tiny_internet):
+        strict = approx_mcbg(tiny_internet, 12, beta=4, mode="strict")
+        paper = approx_mcbg(tiny_internet, 12, beta=4, mode="paper")
+        assert coverage_value(tiny_internet, paper.brokers) >= coverage_value(
+            tiny_internet, strict.brokers
+        )
+
+
+class TestRootStrategy:
+    def test_best_root_no_worse_than_first(self):
+        g = path_graph(20)
+        best = approx_mcbg(g, 5, beta=19, root_strategy="best", mode="paper")
+        first = approx_mcbg(g, 5, beta=19, root_strategy="first", mode="paper")
+        assert len(best.repair) <= len(first.repair)
+
+    def test_root_is_a_pre_broker(self, tiny_internet):
+        result = approx_mcbg(tiny_internet, 10, beta=4)
+        assert result.root in result.pre_selected
+
+    def test_unknown_strategy(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            approx_mcbg(tiny_internet, 5, root_strategy="middle")
+
+    def test_unknown_mode(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            approx_mcbg(tiny_internet, 5, mode="loose")
+
+
+class TestRepairSemantics:
+    def test_stitched_paths_dominated(self):
+        """Interior-alternate repairs make the stitched path dominated."""
+        g = path_graph(9)
+        result = approx_mcbg(g, 3, beta=8, mode="paper")
+        brokers = set(result.brokers)
+        # walk the path between the two extreme pre-brokers
+        pre_sorted = sorted(result.pre_selected)
+        lo, hi = pre_sorted[0], pre_sorted[-1]
+        path = list(range(lo, hi + 1))
+        assert is_dominating_path(g, path, brokers=list(brokers))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_graph_feasibility(self, seed):
+        """Per-component MCBG feasibility (the graph may be disconnected)."""
+        from repro.core.problems import MCBGInstance
+
+        g = erdos_renyi(60, 110, seed=seed)
+        result = approx_mcbg(g, 8, beta=6, mode="paper")
+        instance = MCBGInstance(g, max(result.size, 8))
+        assert instance.is_feasible_solution(result.brokers)

@@ -1,0 +1,127 @@
+"""Unit tests for the baseline selection algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    degree_based,
+    ixp_based,
+    pagerank_based,
+    random_brokers,
+    set_cover_dominating,
+    tier1_only,
+)
+from repro.core.coverage import covered_mask
+from repro.exceptions import AlgorithmError
+
+
+class TestSetCover:
+    def test_always_dominating(self, tiny_internet):
+        brokers = set_cover_dominating(tiny_internet, seed=0)
+        assert covered_mask(tiny_internet, brokers).all()
+
+    def test_path_graph_domination(self, path10):
+        for seed in range(5):
+            brokers = set_cover_dominating(path10, seed=seed)
+            assert covered_mask(path10, brokers).all()
+
+    def test_different_seeds_vary_size(self, tiny_internet):
+        sizes = {len(set_cover_dominating(tiny_internet, seed=s)) for s in range(8)}
+        assert len(sizes) > 1
+
+    def test_explicit_order(self, star10):
+        # Hub first: single-broker dominating set.
+        brokers = set_cover_dominating(star10, order=np.arange(10))
+        assert brokers == [0]
+        # Leaves first: leaf 1 dominates {0, 1}; every later leaf is still
+        # undominated when scanned, so all nine leaves enter the set.
+        order = np.array([1, 2, 3, 4, 5, 6, 7, 8, 9, 0])
+        brokers = set_cover_dominating(star10, order=order)
+        assert brokers == list(range(1, 10))
+
+    def test_bad_order_rejected(self, star10):
+        with pytest.raises(AlgorithmError):
+            set_cover_dominating(star10, order=np.array([0, 0, 1]))
+
+    def test_large_fraction_on_internet(self, tiny_internet):
+        """Fig 2a: SC needs a huge share of vertices."""
+        sizes = [
+            len(set_cover_dominating(tiny_internet, seed=s)) for s in range(5)
+        ]
+        assert np.mean(sizes) > 0.3 * tiny_internet.num_nodes
+
+
+class TestIXPBased:
+    def test_only_ixps(self, tiny_internet):
+        brokers = ixp_based(tiny_internet)
+        assert set(brokers) <= set(tiny_internet.ixp_ids().tolist())
+        assert len(brokers) == tiny_internet.num_ixps
+
+    def test_threshold_filters(self, tiny_internet):
+        degrees = tiny_internet.degrees()
+        threshold = int(np.median(degrees[tiny_internet.ixp_ids()]))
+        brokers = ixp_based(tiny_internet, degree_threshold=threshold)
+        assert all(degrees[b] > threshold for b in brokers)
+        assert len(brokers) < tiny_internet.num_ixps
+
+    def test_negative_threshold(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            ixp_based(tiny_internet, degree_threshold=-1)
+
+
+class TestTier1:
+    def test_only_tier1(self, tiny_internet):
+        brokers = tier1_only(tiny_internet)
+        assert set(brokers) == set(tiny_internet.tier1_ids().tolist())
+        assert len(brokers) >= 4
+
+
+class TestDegreeAndPageRank:
+    def test_degree_based_order(self, tiny_internet):
+        brokers = degree_based(tiny_internet, 10)
+        degrees = tiny_internet.degrees()
+        values = degrees[np.asarray(brokers)]
+        assert (np.diff(values) <= 0).all()
+        assert values[0] == degrees.max()
+
+    def test_degree_tie_break_by_id(self):
+        from repro.graph.generators import cycle_graph
+
+        brokers = degree_based(cycle_graph(6), 3)
+        assert brokers == [0, 1, 2]
+
+    def test_pagerank_based_top(self, tiny_internet):
+        from repro.graph.metrics import pagerank
+
+        brokers = pagerank_based(tiny_internet, 5)
+        scores = pagerank(tiny_internet)
+        assert scores[brokers[0]] == scores.max()
+
+    def test_budget_validation(self, star10):
+        for fn in (degree_based, pagerank_based):
+            with pytest.raises(AlgorithmError):
+                fn(star10, 0)
+            with pytest.raises(AlgorithmError):
+                fn(star10, 11)
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self, tiny_internet):
+        a = random_brokers(tiny_internet, 7, seed=3)
+        b = random_brokers(tiny_internet, 7, seed=3)
+        assert a == b
+
+    def test_no_duplicates(self, tiny_internet):
+        brokers = random_brokers(tiny_internet, 50, seed=0)
+        assert len(set(brokers)) == 50
+
+    def test_worse_than_greedy(self, tiny_internet):
+        from repro.core.coverage import coverage_value
+        from repro.core.greedy import lazy_greedy_max_coverage
+
+        k = 12
+        greedy_cov = coverage_value(
+            tiny_internet, lazy_greedy_max_coverage(tiny_internet, k)
+        )
+        rand_cov = coverage_value(tiny_internet, random_brokers(tiny_internet, k, seed=1))
+        assert greedy_cov > rand_cov

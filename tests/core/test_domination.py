@@ -1,0 +1,131 @@
+"""Unit tests for B-dominating paths and the dominated graph operator."""
+
+import numpy as np
+import pytest
+
+from repro.core.domination import (
+    broker_mask,
+    brokers_mutually_connected,
+    dominated_adjacency,
+    dominated_matrix,
+    dominating_path_length,
+    has_dominating_path,
+    is_dominating_path,
+    verify_mcbg_solution,
+)
+from repro.exceptions import AlgorithmError
+
+
+class TestIsDominatingPath:
+    def test_every_hop_needs_broker(self, path10):
+        # path 0-1-2-3 with broker {1}: hop (2,3) has no broker.
+        assert is_dominating_path(path10, [0, 1, 2], brokers=[1])
+        assert not is_dominating_path(path10, [0, 1, 2, 3], brokers=[1])
+
+    def test_alternating_brokers(self, path10):
+        assert is_dominating_path(path10, list(range(6)), brokers=[1, 3, 5])
+
+    def test_single_vertex_trivially_dominated(self, path10):
+        assert is_dominating_path(path10, [4], brokers=[])
+
+    def test_empty_path_rejected(self, path10):
+        with pytest.raises(AlgorithmError):
+            is_dominating_path(path10, [], brokers=[0])
+
+    def test_mask_form(self, path10):
+        mask = np.zeros(10, dtype=bool)
+        mask[1] = True
+        assert is_dominating_path(mask, [0, 1, 2])
+
+    def test_graph_without_brokers_rejected(self, path10):
+        with pytest.raises(AlgorithmError):
+            is_dominating_path(path10, [0, 1])
+
+
+class TestDominatedMatrix:
+    def test_erases_non_incident_edges(self, path10):
+        mat = dominated_matrix(path10, [0])
+        assert mat.nnz == 2  # only edge (0,1), both directions
+
+    def test_full_broker_set_keeps_all(self, path10):
+        mat = dominated_matrix(path10, list(range(10)))
+        assert mat.nnz == 18
+
+    def test_boolean_mask_input(self, path10):
+        mask = broker_mask(path10, [0, 5])
+        mat = dominated_matrix(path10, mask)
+        assert mat.nnz == 2 + 4
+
+    def test_adjacency_equivalent(self, tiny_internet):
+        brokers = [0, 1, 2, 50]
+        mat = dominated_matrix(tiny_internet, brokers)
+        adj = dominated_adjacency(tiny_internet, brokers)
+        assert mat.nnz == adj.num_directed_edges
+
+
+class TestHasDominatingPath:
+    def test_direct_neighbors_of_broker(self, star10):
+        assert has_dominating_path(star10, [0], 3, 7)
+
+    def test_no_path_without_brokers_nearby(self, path10):
+        assert not has_dominating_path(path10, [0], 5, 9)
+
+    def test_same_node(self, path10):
+        assert has_dominating_path(path10, [], 3, 3)
+
+    def test_length_measurement(self, path10):
+        brokers = [1, 3, 5, 7, 9]
+        assert dominating_path_length(path10, brokers, 0, 9) == 9
+        assert dominating_path_length(path10, [5], 0, 9) == -1
+
+    def test_length_zero(self, path10):
+        assert dominating_path_length(path10, [], 2, 2) == 0
+
+    def test_brute_force_equivalence(self, tiny_internet):
+        """BFS on the dominated graph == explicit path-checking semantics."""
+        import itertools
+
+        from repro.graph.csr import UNREACHABLE, bfs_levels
+
+        rng = np.random.default_rng(1)
+        brokers = rng.choice(tiny_internet.num_nodes, size=15, replace=False).tolist()
+        adj = dominated_adjacency(tiny_internet, brokers)
+        mask = broker_mask(tiny_internet, brokers)
+        # every edge of the dominated adjacency touches a broker
+        for u in rng.choice(tiny_internet.num_nodes, size=40, replace=False):
+            for v in adj.neighbors(int(u)):
+                assert mask[u] or mask[v]
+
+
+class TestMutualConnectivity:
+    def test_connected_brokers(self, path10):
+        assert brokers_mutually_connected(path10, [4, 5])
+
+    def test_disconnected_brokers(self, path10):
+        # brokers 0 and 9: dominated graph has edges (0,1) and (8,9) only.
+        assert not brokers_mutually_connected(path10, [0, 9])
+
+    def test_single_broker(self, path10):
+        assert brokers_mutually_connected(path10, [3])
+
+    def test_brokers_connected_via_non_broker(self, path10):
+        # brokers 0 and 2 share neighbour 1: edges (0,1),(1,2) dominated.
+        assert brokers_mutually_connected(path10, [0, 2])
+
+
+class TestVerifyMCBG:
+    def test_maxsg_output_verifies(self, tiny_internet):
+        from repro.core.maxsg import maxsg
+
+        brokers = maxsg(tiny_internet, 20)
+        report = verify_mcbg_solution(tiny_internet, brokers, 20, seed=0)
+        assert report["size_ok"]
+        assert report["dominating_path_ok"]
+
+    def test_size_violation_detected(self, path10):
+        report = verify_mcbg_solution(path10, [0, 1, 2], 2)
+        assert not report["size_ok"]
+
+    def test_scattered_brokers_fail(self, path10):
+        report = verify_mcbg_solution(path10, [0, 9], 5, sample_pairs=100, seed=0)
+        assert not report["dominating_path_ok"]

@@ -1,0 +1,67 @@
+"""Unit tests for the brute-force certification solvers."""
+
+import pytest
+
+from repro.core.exact import exact_mcb, exact_mcbg, exact_pds
+from repro.exceptions import AlgorithmError
+from repro.graph.generators import complete_graph, path_graph, star_graph
+
+
+class TestExactMCB:
+    def test_star(self):
+        brokers, value = exact_mcb(star_graph(8), 1)
+        assert brokers == [0]
+        assert value == 8
+
+    def test_path_two_brokers(self):
+        brokers, value = exact_mcb(path_graph(6), 2)
+        assert value == 6  # {1, 4} covers everything
+
+    def test_guard_large_graph(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            exact_mcb(tiny_internet, 2)
+
+    def test_k_validation(self):
+        with pytest.raises(AlgorithmError):
+            exact_mcb(star_graph(5), 0)
+
+
+class TestExactMCBG:
+    def test_star(self):
+        brokers, value = exact_mcbg(star_graph(8), 1)
+        assert brokers == [0]
+        assert value == 8
+
+    def test_path_constraint_binds(self):
+        """On a path, MCBG optimum <= MCB optimum due to the guarantee."""
+        g = path_graph(8)
+        _, mcb_value = exact_mcb(g, 2)
+        _, mcbg_value = exact_mcbg(g, 2)
+        assert mcbg_value <= mcb_value
+        # {2, 4} (distance 2) is feasible and covers 6 vertices: 1..5
+        assert mcbg_value >= 5
+
+    def test_solution_is_feasible(self):
+        from repro.core.problems import MCBGInstance
+
+        g = path_graph(7)
+        brokers, _ = exact_mcbg(g, 3)
+        assert MCBGInstance(g, 3).is_feasible_solution(brokers)
+
+
+class TestExactPDS:
+    def test_star_feasible(self):
+        assert exact_pds(star_graph(6), 1) == [0]
+
+    def test_path_infeasible_small_k(self):
+        assert exact_pds(path_graph(9), 2) is None
+
+    def test_path_feasible_with_enough(self):
+        cert = exact_pds(path_graph(6), 3)
+        assert cert is not None
+        from repro.core.problems import PDSInstance
+
+        assert PDSInstance(path_graph(6), 3).is_feasible_solution(cert)
+
+    def test_complete_graph_any_single(self):
+        assert exact_pds(complete_graph(6), 1) == [0]

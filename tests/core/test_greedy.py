@@ -1,0 +1,81 @@
+"""Unit tests for Algorithm 1 (greedy MCB) in both variants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage_value
+from repro.core.exact import exact_mcb
+from repro.core.greedy import (
+    greedy_max_coverage,
+    greedy_with_trace,
+    lazy_greedy_max_coverage,
+)
+from repro.exceptions import AlgorithmError
+from repro.graph.generators import erdos_renyi, star_graph
+
+
+class TestGreedyBasics:
+    def test_star_picks_hub_first(self, star10):
+        assert greedy_max_coverage(star10, 1) == [0]
+        assert lazy_greedy_max_coverage(star10, 1) == [0]
+
+    def test_path_optimal_spacing(self, path10):
+        brokers = greedy_max_coverage(path10, 3)
+        # Greedy covers 3 + 3 + 3 = 9 of 10 vertices at least.
+        assert coverage_value(path10, brokers) >= 9
+
+    def test_stops_early_when_all_covered(self, star10):
+        brokers = greedy_max_coverage(star10, 5)
+        assert brokers == [0]  # nothing more to gain after the hub
+
+    def test_budget_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            greedy_max_coverage(star10, 0)
+        with pytest.raises(AlgorithmError):
+            greedy_max_coverage(star10, 11)
+        with pytest.raises(AlgorithmError):
+            lazy_greedy_max_coverage(star10, 0)
+
+    def test_candidate_restriction(self, star10):
+        brokers = greedy_max_coverage(star10, 2, candidates=np.array([3, 4, 5]))
+        assert set(brokers) <= {3, 4, 5}
+
+    def test_empty_candidates(self, star10):
+        with pytest.raises(AlgorithmError):
+            greedy_max_coverage(star10, 1, candidates=np.array([], dtype=np.int64))
+
+
+class TestLazyEqualsPlain:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(60, 150, seed=seed)
+        assert lazy_greedy_max_coverage(g, 10) == greedy_max_coverage(g, 10)
+
+    def test_tiny_internet(self, tiny_internet):
+        k = 25
+        assert lazy_greedy_max_coverage(tiny_internet, k) == greedy_max_coverage(
+            tiny_internet, k
+        )
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_one_minus_one_over_e(self, seed):
+        """Lemma 4: greedy >= (1 - 1/e) OPT on every instance."""
+        g = erdos_renyi(14, 26, seed=seed)
+        k = 3
+        _, opt = exact_mcb(g, k)
+        greedy_value = coverage_value(g, greedy_max_coverage(g, k))
+        assert greedy_value >= (1 - math.exp(-1)) * opt - 1e-9
+
+
+class TestTrace:
+    def test_gains_sum_to_coverage(self, tiny_internet):
+        brokers, gains = greedy_with_trace(tiny_internet, 15)
+        assert sum(gains) == coverage_value(tiny_internet, brokers)
+
+    def test_gains_non_increasing(self, tiny_internet):
+        _, gains = greedy_with_trace(tiny_internet, 15)
+        assert gains == sorted(gains, reverse=True)

@@ -1,0 +1,75 @@
+"""Unit tests for swap local search."""
+
+import pytest
+
+from repro.core.baselines import degree_based, random_brokers
+from repro.core.coverage import coverage_value
+from repro.core.domination import brokers_mutually_connected
+from repro.core.greedy import lazy_greedy_max_coverage
+from repro.core.localsearch import swap_local_search
+from repro.exceptions import AlgorithmError
+
+
+class TestSwapLocalSearch:
+    def test_never_decreases_coverage(self, tiny_internet):
+        start = random_brokers(tiny_internet, 10, seed=0)
+        result = swap_local_search(tiny_internet, start, max_iterations=10, seed=0)
+        assert result.final_coverage >= result.initial_coverage
+
+    def test_final_coverage_is_consistent(self, tiny_internet):
+        start = degree_based(tiny_internet, 10)
+        result = swap_local_search(tiny_internet, start, max_iterations=10, seed=0)
+        assert coverage_value(tiny_internet, result.brokers) == result.final_coverage
+
+    def test_size_preserved(self, tiny_internet):
+        start = degree_based(tiny_internet, 12)
+        result = swap_local_search(tiny_internet, start, max_iterations=8, seed=0)
+        assert len(result.brokers) == 12
+
+    def test_improves_random_start(self, tiny_internet):
+        start = random_brokers(tiny_internet, 10, seed=2)
+        result = swap_local_search(tiny_internet, start, max_iterations=20, seed=0)
+        assert result.improvement > 0
+
+    def test_greedy_near_local_optimum(self, tiny_internet):
+        start = lazy_greedy_max_coverage(tiny_internet, 10)
+        result = swap_local_search(tiny_internet, start, max_iterations=10, seed=0)
+        # Greedy is (1-1/e)-optimal and usually 1-swap optimal too.
+        assert result.improvement <= 0.02 * tiny_internet.num_nodes
+
+    def test_mcbg_preserved_when_enforced(self, tiny_internet):
+        from repro.core.maxsg import maxsg
+
+        start = maxsg(tiny_internet, 12)
+        result = swap_local_search(
+            tiny_internet, start, max_iterations=10, enforce_mcbg=True, seed=0
+        )
+        assert brokers_mutually_connected(tiny_internet, result.brokers)
+
+    def test_unconstrained_at_least_as_good(self, tiny_internet):
+        start = random_brokers(tiny_internet, 8, seed=5)
+        constrained = swap_local_search(
+            tiny_internet, start, max_iterations=10, enforce_mcbg=True, seed=0
+        )
+        free = swap_local_search(
+            tiny_internet, start, max_iterations=10, enforce_mcbg=False, seed=0
+        )
+        assert free.final_coverage >= constrained.final_coverage
+
+    def test_zero_iterations_is_identity(self, tiny_internet):
+        start = degree_based(tiny_internet, 5)
+        result = swap_local_search(tiny_internet, start, max_iterations=0)
+        assert result.brokers == start
+        assert result.swaps == 0
+
+    def test_validation(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            swap_local_search(tiny_internet, [])
+        with pytest.raises(AlgorithmError):
+            swap_local_search(tiny_internet, [0], max_iterations=-1)
+
+    def test_deterministic(self, tiny_internet):
+        start = degree_based(tiny_internet, 8)
+        a = swap_local_search(tiny_internet, start, max_iterations=5, seed=7)
+        b = swap_local_search(tiny_internet, start, max_iterations=5, seed=7)
+        assert a.brokers == b.brokers

@@ -1,0 +1,98 @@
+"""Unit tests for Algorithm 3 (MaxSubGraph-Greedy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage_value
+from repro.core.domination import brokers_mutually_connected
+from repro.core.maxsg import maxsg, maxsg_until_dominated
+from repro.exceptions import AlgorithmError
+from repro.graph.generators import erdos_renyi
+
+
+class TestBasics:
+    def test_star_single_broker(self, star10):
+        assert maxsg(star10, 3) == [0]
+
+    def test_budget_respected(self, tiny_internet):
+        assert len(maxsg(tiny_internet, 17)) <= 17
+
+    def test_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            maxsg(star10, 0)
+        with pytest.raises(AlgorithmError):
+            maxsg(star10, 99)
+        with pytest.raises(AlgorithmError):
+            maxsg(star10, 2, seed_vertex=100)
+
+    def test_explicit_seed_vertex(self, path10):
+        brokers = maxsg(path10, 2, seed_vertex=0)
+        assert brokers[0] == 0
+
+    def test_random_seed_vertex_deterministic(self, tiny_internet):
+        a = maxsg(tiny_internet, 10, random_seed_vertex=True, rng_seed=4)
+        b = maxsg(tiny_internet, 10, random_seed_vertex=True, rng_seed=4)
+        assert a == b
+
+
+class TestMCBGFeasibility:
+    """The design invariant: MaxSG output always satisfies Problem 2."""
+
+    @pytest.mark.parametrize("budget", [2, 5, 10, 40])
+    def test_brokers_mutually_connected(self, tiny_internet, budget):
+        brokers = maxsg(tiny_internet, budget)
+        assert brokers_mutually_connected(tiny_internet, brokers)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_feasible_on_random_graphs(self, seed):
+        g = erdos_renyi(80, 160, seed=seed)
+        brokers = maxsg(g, 12)
+        assert brokers_mutually_connected(g, brokers)
+
+    def test_mcbg_instance_accepts(self, tiny_internet):
+        from repro.core.problems import MCBGInstance
+
+        brokers = maxsg(tiny_internet, 15)
+        assert MCBGInstance(tiny_internet, 15).is_feasible_solution(brokers)
+
+
+class TestQuality:
+    def test_close_to_unconstrained_greedy(self, tiny_internet):
+        """Section 5.1: MaxSG within a whisker of greedy coverage."""
+        from repro.core.greedy import lazy_greedy_max_coverage
+
+        k = 12
+        greedy_cov = coverage_value(
+            tiny_internet, lazy_greedy_max_coverage(tiny_internet, k)
+        )
+        maxsg_cov = coverage_value(tiny_internet, maxsg(tiny_internet, k))
+        assert maxsg_cov >= 0.93 * greedy_cov
+
+    def test_stops_when_region_saturated(self, star10):
+        brokers = maxsg(star10, 10)
+        assert len(brokers) == 1
+
+    def test_until_dominated_covers_component(self, tiny_internet):
+        from repro.core.coverage import covered_mask
+        from repro.graph.csr import largest_component_nodes
+
+        brokers = maxsg_until_dominated(tiny_internet)
+        covered = covered_mask(tiny_internet, brokers)
+        lcc = largest_component_nodes(tiny_internet.adj.to_scipy())
+        # max-degree seed lies in the LCC, so the whole LCC must be covered.
+        assert covered[lcc].all()
+
+    def test_until_dominated_respects_cap(self, tiny_internet):
+        brokers = maxsg_until_dominated(tiny_internet, max_brokers=5)
+        assert len(brokers) <= 5
+
+    def test_selection_order_gains_decreasing_ish(self, tiny_internet):
+        """Greedy region growth: early picks cover more than late picks."""
+        from repro.core.coverage import coverage_value
+
+        brokers = maxsg(tiny_internet, 20)
+        gains = []
+        for i in range(1, len(brokers) + 1):
+            gains.append(coverage_value(tiny_internet, brokers[:i]))
+        diffs = np.diff([0] + gains)
+        assert diffs[0] == max(diffs)

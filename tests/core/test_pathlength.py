@@ -1,0 +1,72 @@
+"""Unit tests for Problem 4's stochastic path-length evaluation (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.maxsg import maxsg
+from repro.core.pathlength import (
+    evaluate_feasibility,
+    minimum_feasible_epsilon,
+    path_length_distribution,
+)
+from repro.exceptions import AlgorithmError
+
+
+class TestDistribution:
+    def test_free_distribution_is_connectivity_curve(self, tiny_internet):
+        from repro.core.connectivity import connectivity_curve
+
+        a = path_length_distribution(tiny_internet, None, max_hops=4)
+        b = connectivity_curve(tiny_internet, None, max_hops=4)
+        assert np.allclose(a.fractions, b.fractions)
+
+    def test_broker_distribution_below_free(self, tiny_internet):
+        free = path_length_distribution(tiny_internet, None, max_hops=5)
+        dom = path_length_distribution(tiny_internet, [0, 1, 2], max_hops=5)
+        assert np.all(dom.fractions <= free.fractions + 1e-12)
+
+
+class TestFeasibility:
+    def test_full_broker_set_always_feasible(self, tiny_internet):
+        report = evaluate_feasibility(
+            tiny_internet,
+            list(range(tiny_internet.num_nodes)),
+            epsilon=0.0,
+        )
+        assert report.feasible
+        assert report.max_deviation == pytest.approx(0.0)
+
+    def test_tiny_set_infeasible_at_small_epsilon(self, tiny_internet):
+        report = evaluate_feasibility(tiny_internet, [0], epsilon=0.01)
+        assert not report.feasible
+        assert report.max_deviation > 0.01
+
+    def test_good_alliance_feasible(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 60)
+        report = evaluate_feasibility(tiny_internet, brokers, epsilon=0.06)
+        assert report.feasible
+
+    def test_free_curve_reuse(self, tiny_internet):
+        from repro.core.connectivity import connectivity_curve
+
+        free = connectivity_curve(tiny_internet, None, max_hops=8)
+        report = evaluate_feasibility(
+            tiny_internet, [0, 1], epsilon=0.5, free_curve=free
+        )
+        assert report.free_curve is free
+
+    def test_epsilon_validation(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            evaluate_feasibility(tiny_internet, [0], epsilon=-0.1)
+
+    def test_worst_hop_indexing(self, tiny_internet):
+        report = evaluate_feasibility(tiny_internet, [0], epsilon=0.5)
+        assert 1 <= report.worst_hop <= report.free_curve.max_hops
+        idx = report.worst_hop - 1
+        assert report.deviation_per_hop[idx] == report.max_deviation
+
+    def test_minimum_feasible_epsilon(self, tiny_internet):
+        report = evaluate_feasibility(tiny_internet, [0, 1, 2], epsilon=0.3)
+        eps = minimum_feasible_epsilon(report)
+        again = evaluate_feasibility(tiny_internet, [0, 1, 2], epsilon=eps)
+        assert again.feasible

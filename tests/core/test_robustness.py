@@ -1,0 +1,127 @@
+"""Unit tests for broker-failure robustness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import covered_mask
+from repro.core.maxsg import maxsg
+from repro.core.robustness import (
+    failure_sweep,
+    r_covered_fraction,
+    redundant_greedy,
+    single_failure_impact,
+)
+from repro.exceptions import AlgorithmError
+
+
+class TestFailureSweep:
+    def test_monotone_degradation_targeted(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 20)
+        sweep = failure_sweep(
+            tiny_internet, brokers, strategy="targeted", max_failures=10
+        )
+        assert np.all(np.diff(sweep.connectivity) <= 1e-12)
+
+    def test_random_deterministic_under_seed(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 15)
+        a = failure_sweep(tiny_internet, brokers, strategy="random", seed=4)
+        b = failure_sweep(tiny_internet, brokers, strategy="random", seed=4)
+        assert np.array_equal(a.connectivity, b.connectivity)
+
+    def test_targeted_at_least_as_bad_at_end(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 20)
+        half = 10
+        random = failure_sweep(
+            tiny_internet, brokers, strategy="random",
+            max_failures=half, seed=0,
+        )
+        targeted = failure_sweep(
+            tiny_internet, brokers, strategy="targeted", max_failures=half
+        )
+        assert targeted.connectivity[-1] <= random.connectivity[-1] + 0.05
+
+    def test_all_removed_is_zero(self, star10):
+        sweep = failure_sweep(star10, [0], strategy="targeted")
+        assert sweep.connectivity[-1] == 0.0
+
+    def test_drop_at(self, star10):
+        sweep = failure_sweep(star10, [0], strategy="targeted")
+        assert sweep.drop_at(1) == pytest.approx(1.0)
+        with pytest.raises(AlgorithmError):
+            sweep.drop_at(7)
+
+    def test_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            failure_sweep(star10, [], strategy="random")
+        with pytest.raises(AlgorithmError):
+            failure_sweep(star10, [0], strategy="chaotic")
+
+
+class TestSingleFailureImpact:
+    def test_star_hub_catastrophic(self, star10):
+        impact = single_failure_impact(star10, [0])
+        assert impact["worst_drop"] == pytest.approx(1.0)
+        assert impact["worst_broker"] == 0
+
+    def test_redundant_pair_resilient(self, star10):
+        # Hub + a leaf: removing the leaf costs nothing.
+        impact = single_failure_impact(star10, [0, 1])
+        assert impact["mean_drop"] < impact["base"]
+
+    def test_empty_rejected(self, star10):
+        with pytest.raises(AlgorithmError):
+            single_failure_impact(star10, [])
+
+
+class TestRedundantGreedy:
+    def test_redundancy_one_matches_plain_greedy_coverage(self, tiny_internet):
+        from repro.core.greedy import lazy_greedy_max_coverage
+        from repro.core.coverage import coverage_value
+
+        k = 10
+        plain = coverage_value(tiny_internet, lazy_greedy_max_coverage(tiny_internet, k))
+        redundant = coverage_value(tiny_internet, redundant_greedy(tiny_internet, k, 1))
+        assert redundant == plain
+
+    def test_improves_two_cover(self, tiny_internet):
+        k = 30
+        plain = maxsg(tiny_internet, k)
+        redundant = redundant_greedy(tiny_internet, k, redundancy=2)
+        assert r_covered_fraction(
+            tiny_internet, redundant, 2
+        ) >= r_covered_fraction(tiny_internet, plain, 2)
+
+    def test_budget_respected(self, tiny_internet):
+        assert len(redundant_greedy(tiny_internet, 9, 2)) <= 9
+
+    def test_two_cover_survives_single_failure(self, k5):
+        brokers = redundant_greedy(k5, 2, redundancy=2)
+        assert len(brokers) == 2
+        # removing either broker keeps everything covered (clique).
+        for b in brokers:
+            rest = [x for x in brokers if x != b]
+            assert covered_mask(k5, rest).all()
+
+    def test_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            redundant_greedy(star10, 2, redundancy=0)
+        with pytest.raises(AlgorithmError):
+            redundant_greedy(star10, 0, redundancy=1)
+
+
+class TestRCoveredFraction:
+    def test_star(self, star10):
+        assert r_covered_fraction(star10, [0], 1) == 1.0
+        # a single broker contributes one hit per covered vertex.
+        assert r_covered_fraction(star10, [0], 2) == 0.0
+        # hub + one leaf: both get two hits, the other leaves one.
+        assert r_covered_fraction(star10, [0, 1], 2) == pytest.approx(0.2)
+
+    def test_duplicates_ignored(self, star10):
+        assert r_covered_fraction(star10, [0, 0], 2) == r_covered_fraction(
+            star10, [0], 2
+        )
+
+    def test_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            r_covered_fraction(star10, [0], 0)

@@ -1,0 +1,86 @@
+"""Unit tests for the high-level BrokerSelector API."""
+
+import pytest
+
+from repro.core.selector import ALL_ALGORITHMS, BrokerSelector
+from repro.exceptions import AlgorithmError
+
+
+@pytest.fixture(scope="module")
+def selector(tiny_internet_module):
+    return BrokerSelector(tiny_internet_module)
+
+
+@pytest.fixture(scope="module")
+def tiny_internet_module():
+    from repro.datasets.loader import load_internet
+
+    return load_internet("tiny", seed=1)
+
+
+class TestSelect:
+    @pytest.mark.parametrize("algorithm", ["greedy", "maxsg", "degree", "pagerank", "random"])
+    def test_budgeted_algorithms(self, selector, algorithm):
+        result = selector.select(algorithm, 10, seed=0)
+        assert result.size <= 10
+        assert 0 < result.coverage_fraction <= 1.0
+        assert result.algorithm == algorithm
+
+    def test_approx_may_exceed_budget_in_paper_mode(self, selector):
+        result = selector.select("approx", 10)
+        assert result.size >= 1
+        assert "x_star" in result.parameters
+
+    @pytest.mark.parametrize("algorithm", ["sc", "ixp", "tier1"])
+    def test_unbudgeted_algorithms(self, selector, algorithm):
+        result = selector.select(algorithm, seed=0)
+        assert result.size >= 1
+
+    def test_budget_required(self, selector):
+        with pytest.raises(AlgorithmError):
+            selector.select("greedy")
+
+    def test_unknown_algorithm(self, selector):
+        with pytest.raises(AlgorithmError):
+            selector.select("quantum", 5)
+
+    def test_skip_evaluation(self, selector):
+        result = selector.select("degree", 5, evaluate=False)
+        assert result.size == 5
+        assert result.coverage == 0
+
+    def test_registry_complete(self):
+        assert set(ALL_ALGORITHMS) == {
+            "greedy", "approx", "maxsg", "degree", "pagerank",
+            "random", "sc", "ixp", "tier1",
+        }
+
+
+class TestEvaluate:
+    def test_custom_brokers(self, selector, tiny_internet_module):
+        result = selector.evaluate([0, 1, 2])
+        assert result.algorithm == "custom"
+        assert result.coverage > 0
+
+    def test_dedup(self, selector):
+        result = selector.evaluate([5, 5, 5])
+        assert result.size == 1
+
+    def test_empty_brokers(self, selector):
+        result = selector.evaluate([])
+        assert result.size == 0
+        assert result.saturated_connectivity == 0.0
+        assert not result.mcbg_feasible
+
+    def test_summary_format(self, selector):
+        result = selector.select("maxsg", 8)
+        text = result.summary()
+        assert "maxsg" in text and "%" in text
+
+    def test_maxsg_feasible_flag(self, selector):
+        result = selector.select("maxsg", 12)
+        assert result.mcbg_feasible
+
+    def test_connectivity_curve_passthrough(self, selector):
+        curve = selector.connectivity_curve(None, max_hops=3)
+        assert curve.max_hops == 3

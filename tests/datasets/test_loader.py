@@ -1,0 +1,42 @@
+"""Unit tests for the dataset registry and caching."""
+
+import pytest
+
+from repro.datasets.loader import available_scales, config_for_scale, load_internet
+from repro.exceptions import DatasetError
+
+
+class TestScales:
+    def test_available_scales(self):
+        scales = available_scales()
+        assert "tiny" in scales and "full" in scales
+
+    def test_config_for_scale_sizes_ordered(self):
+        sizes = [config_for_scale(s).num_ases for s in ("tiny", "small", "medium")]
+        assert sizes == sorted(sizes)
+        assert config_for_scale("full").num_ases == 51_757
+
+    def test_unknown_scale(self):
+        with pytest.raises(DatasetError):
+            config_for_scale("galactic")
+
+
+class TestLoading:
+    def test_load_tiny(self):
+        g = load_internet("tiny", seed=0)
+        assert g.num_nodes == config_for_scale("tiny").num_ases + config_for_scale(
+            "tiny"
+        ).num_ixps
+
+    def test_cache_roundtrip(self, tmp_path):
+        a = load_internet("tiny", seed=5, cache_dir=tmp_path)
+        cached = list(tmp_path.glob("internet-tiny-seed5.json.gz"))
+        assert len(cached) == 1
+        b = load_internet("tiny", seed=5, cache_dir=tmp_path)
+        assert b.num_edges == a.num_edges
+        assert b.names == a.names
+
+    def test_cache_distinguishes_seeds(self, tmp_path):
+        load_internet("tiny", seed=1, cache_dir=tmp_path)
+        load_internet("tiny", seed=2, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json.gz"))) == 2

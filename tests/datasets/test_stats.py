@@ -1,0 +1,50 @@
+"""Unit tests for dataset summaries (Table 2)."""
+
+import pytest
+
+from repro.datasets.stats import summarize
+from repro.graph.asgraph import ASGraph
+from repro.types import Relationship
+
+
+def make_graph():
+    # 2 ASes + 1 IXP: AS-AS peer edge, one membership.
+    return ASGraph.from_edges(
+        3,
+        [(0, 1), (0, 2)],
+        kinds=[0, 0, 1],
+        relationships=[
+            int(Relationship.PEER_TO_PEER),
+            int(Relationship.IXP_MEMBERSHIP),
+        ],
+    )
+
+
+class TestSummarize:
+    def test_edge_split(self):
+        s = summarize(make_graph())
+        assert s.as_as_edges == 1
+        assert s.ixp_as_edges == 1
+        assert s.num_ases == 2
+        assert s.num_ixps == 1
+
+    def test_attached_fraction(self):
+        s = summarize(make_graph())
+        assert s.ixp_attached_fraction == pytest.approx(0.5)
+
+    def test_largest_component(self):
+        s = summarize(make_graph())
+        assert s.largest_component_size == 3
+
+    def test_alpha_beta_optional(self):
+        s = summarize(make_graph())
+        assert s.alpha is None and s.beta is None
+        s2 = summarize(make_graph(), estimate_short_paths=True)
+        assert s2.beta is not None
+
+    def test_table_rendering(self, tiny_internet):
+        s = summarize(tiny_internet, estimate_short_paths=True, seed=0)
+        text = s.as_table()
+        assert "Table 2" in text
+        assert "(alpha, beta)" in text
+        assert str(s.num_ases) in text

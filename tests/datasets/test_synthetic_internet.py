@@ -1,0 +1,155 @@
+"""Calibration tests for the synthetic Internet generator.
+
+These encode the Table-2 / Section-3 structural facts the reproduction
+depends on (DESIGN.md section 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.stats import summarize
+from repro.datasets.synthetic_internet import InternetConfig, generate_internet
+from repro.exceptions import DatasetError
+from repro.graph.metrics import degree_assortativity, largest_component_fraction
+from repro.graph.paths import estimate_alpha_beta
+from repro.types import NodeKind, Relationship, Tier
+
+
+@pytest.fixture(scope="module")
+def small_config() -> InternetConfig:
+    return InternetConfig().scaled(2000 / 51_757)
+
+
+@pytest.fixture(scope="module")
+def graph(small_config):
+    return generate_internet(small_config, seed=7)
+
+
+class TestStructure:
+    def test_node_counts(self, graph, small_config):
+        assert graph.num_ases == small_config.num_ases
+        assert graph.num_ixps == small_config.num_ixps
+
+    def test_edge_budget_met(self, graph, small_config):
+        summary = summarize(graph)
+        assert summary.as_as_edges == pytest.approx(
+            small_config.as_as_edge_target, rel=0.02
+        )
+        assert summary.ixp_as_edges == pytest.approx(
+            small_config.ixp_membership_target, rel=0.15
+        )
+
+    def test_ixp_attachment_fraction(self, graph):
+        summary = summarize(graph)
+        assert summary.ixp_attached_fraction == pytest.approx(0.402, abs=0.02)
+
+    def test_average_degree_matches_paper(self, graph):
+        # Paper: 2 * 402,614 / 52,079 = 15.46.
+        summary = summarize(graph)
+        assert summary.average_degree == pytest.approx(15.46, rel=0.08)
+
+    def test_largest_component_slightly_below_full(self, graph):
+        frac = largest_component_fraction(graph)
+        assert 0.98 < frac < 1.0  # satellites keep it below 100%
+
+    def test_alpha_beta_short_paths(self, graph):
+        # Measured on the maximum connected subgraph, as the satellites cap
+        # whole-graph reachability just below alpha (as in the paper:
+        # LCC = 51,895 of 52,079 nodes).
+        lcc, _ = graph.largest_connected_component()
+        alpha, beta = estimate_alpha_beta(lcc, alpha=0.99, seed=0)
+        assert beta <= 5
+        assert alpha >= 0.99
+
+    def test_disassortative(self, graph):
+        assert degree_assortativity(graph) < -0.1
+
+    def test_tier1_clique(self, graph):
+        tier1 = graph.tier1_ids()
+        assert len(tier1) >= 4
+        neighbor_sets = {int(v): set(graph.neighbors(int(v)).tolist()) for v in tier1}
+        for u in tier1:
+            for v in tier1:
+                if u != v:
+                    assert int(v) in neighbor_sets[int(u)]
+
+    def test_every_core_stub_has_provider(self, graph):
+        c2p = graph.edge_rels == int(Relationship.CUSTOMER_TO_PROVIDER)
+        customers = set(graph.edge_src[c2p].tolist())
+        stubs = np.flatnonzero(
+            (graph.tiers == int(Tier.STUB)) & (graph.kinds == int(NodeKind.AS))
+        )
+        # Satellites and IXP-centric ASes aside, stubs buy transit.
+        missing = [v for v in stubs if int(v) not in customers]
+        allowance = 0.01 + 0.0035 + 0.03  # slack + satellites + ixp-centric
+        assert len(missing) < allowance * len(stubs) * 1.5
+        # ...and the IXP-centric ones are attached to exchanges instead.
+
+    def test_membership_edges_touch_ixps(self, graph):
+        member = graph.edge_rels == int(Relationship.IXP_MEMBERSHIP)
+        ixp = graph.ixp_mask()
+        assert np.all(ixp[graph.edge_src[member]] | ixp[graph.edge_dst[member]])
+
+    def test_ixps_have_no_c2p_edges(self, graph):
+        c2p = graph.edge_rels == int(Relationship.CUSTOMER_TO_PROVIDER)
+        ixp = graph.ixp_mask()
+        assert not np.any(ixp[graph.edge_src[c2p]] | ixp[graph.edge_dst[c2p]])
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self, small_config):
+        a = generate_internet(small_config, seed=11)
+        b = generate_internet(small_config, seed=11)
+        assert np.array_equal(a.edge_src, b.edge_src)
+        assert np.array_equal(a.edge_dst, b.edge_dst)
+
+    def test_different_seed_different_graph(self, small_config):
+        a = generate_internet(small_config, seed=1)
+        b = generate_internet(small_config, seed=2)
+        assert not (
+            len(a.edge_src) == len(b.edge_src)
+            and np.array_equal(a.edge_src, b.edge_src)
+            and np.array_equal(a.edge_dst, b.edge_dst)
+        )
+
+
+class TestConfigValidation:
+    def test_scaled_preserves_fractions(self):
+        config = InternetConfig().scaled(0.1)
+        assert config.ixp_attached_fraction == pytest.approx(0.402)
+        assert config.num_ases == pytest.approx(5176, abs=2)
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(DatasetError):
+            InternetConfig().scaled(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_ases": 5},
+            {"num_ixps": 0},
+            {"transit_fraction": 1.5},
+            {"preferential_exponent": 3.0},
+            {"max_degree_fraction": 0.001},
+            {"content_fraction": 0.7, "enterprise_fraction": 0.7},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        from dataclasses import replace
+
+        config = replace(InternetConfig().scaled(0.01), **kwargs)
+        with pytest.raises(DatasetError):
+            config.validate()
+
+    def test_headline_coverage_ladder(self, graph):
+        """The calibration target: the paper's Table-1 coverage shape."""
+        from repro.core.connectivity import saturated_connectivity
+        from repro.core.maxsg import maxsg
+
+        n = graph.num_nodes
+        k_mid = max(1, round(0.019 * n))
+        k_big = max(1, round(0.068 * n))
+        sat_mid = saturated_connectivity(graph, maxsg(graph, k_mid))
+        sat_big = saturated_connectivity(graph, maxsg(graph, k_big))
+        assert 0.70 <= sat_mid <= 0.95  # paper: 85.41%
+        assert sat_big >= 0.95  # paper: 99.29%

@@ -1,0 +1,52 @@
+"""Unit tests for adoption dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.economics.adoption import simulate_adoption
+from repro.economics.stackelberg import StackelbergGame, tiered_customer_population
+from repro.exceptions import EconomicModelError
+
+
+@pytest.fixture(scope="module")
+def game():
+    return StackelbergGame(tiered_customer_population(20, seed=2))
+
+
+class TestSimulation:
+    def test_converges(self, game):
+        traj = simulate_adoption(game, epochs=40)
+        assert traj.converged
+        assert traj.epochs <= 40
+
+    def test_trajectory_shapes(self, game):
+        traj = simulate_adoption(game, epochs=10)
+        assert len(traj.prices) == traj.epochs
+        assert len(traj.adoption) == traj.epochs
+        assert len(traj.coalition_utility) == traj.epochs
+
+    def test_adoption_in_unit_interval(self, game):
+        traj = simulate_adoption(game, epochs=15)
+        assert np.all(traj.adoption >= 0) and np.all(traj.adoption <= 1)
+
+    def test_final_adoption_near_equilibrium(self, game):
+        eq = game.solve()
+        traj = simulate_adoption(game, epochs=60, initial_price=eq.price)
+        assert traj.final_adoption == pytest.approx(
+            eq.total_adoption / len(game.customers), abs=0.05
+        )
+
+    def test_adoption_grows_from_zero(self, game):
+        traj = simulate_adoption(game, epochs=20, initial_price=0.3)
+        assert traj.adoption[-1] >= traj.adoption[0] - 1e-9
+
+    def test_inertia_slows_convergence(self, game):
+        fast = simulate_adoption(game, epochs=60, inertia=0.0, initial_price=0.5)
+        slow = simulate_adoption(game, epochs=60, inertia=0.9, initial_price=0.5)
+        assert slow.epochs >= fast.epochs
+
+    def test_validation(self, game):
+        with pytest.raises(EconomicModelError):
+            simulate_adoption(game, epochs=0)
+        with pytest.raises(EconomicModelError):
+            simulate_adoption(game, inertia=1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for Nash bargaining (Theorem 5)."""
+
+import pytest
+
+from repro.economics.bargaining import (
+    coalition_utility,
+    nash_bargaining,
+    verify_bargaining_optimality,
+    worst_case_hires,
+)
+from repro.exceptions import EconomicModelError
+
+
+class TestWorstCaseHires:
+    @pytest.mark.parametrize("beta,expected", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3)])
+    def test_ceil_half(self, beta, expected):
+        assert worst_case_hires(beta) == expected
+
+    def test_invalid(self):
+        with pytest.raises(EconomicModelError):
+            worst_case_hires(0)
+
+
+class TestNashBargaining:
+    def test_closed_form_price(self):
+        # p_j* = p_B / h, interior case.
+        out = nash_bargaining(1.0, 0.05, beta=4)
+        assert out.employee_price == pytest.approx(0.5)
+        assert out.feasible
+
+    def test_grid_certifies_optimality(self):
+        for p_b in (0.3, 0.8, 2.0):
+            out = nash_bargaining(p_b, 0.1, beta=4)
+            assert verify_bargaining_optimality(out, p_b, 0.1, beta=4)
+
+    def test_infeasible_when_pie_empty(self):
+        out = nash_bargaining(0.05, 0.1, beta=4)  # p_B <= h*c = 0.2
+        assert not out.feasible
+        assert out.employee_price == pytest.approx(0.1)
+        assert out.nash_product == 0.0
+
+    def test_boundary_feasibility(self):
+        # exactly p_B = h*c: no surplus.
+        out = nash_bargaining(0.2, 0.1, beta=4)
+        assert not out.feasible
+
+    def test_both_sides_gain_when_feasible(self):
+        out = nash_bargaining(1.5, 0.05, beta=6)
+        assert out.employee_utility > 0
+        assert out.coalition_utility > 0
+
+    def test_utilities_consistent(self):
+        out = nash_bargaining(1.0, 0.05, beta=4)
+        assert out.coalition_utility == pytest.approx(
+            coalition_utility(1.0, out.employee_price, 0.05, 4)
+        )
+        assert out.nash_product == pytest.approx(
+            out.employee_utility * out.coalition_utility
+        )
+
+    def test_price_clipped_into_feasible_interval(self):
+        # Large h pushes p_B/h below c -> clip to c (degenerate but safe).
+        out = nash_bargaining(0.5, 0.2, beta=4)  # p*=0.25 > c -> fine
+        assert out.employee_price >= 0.2
+
+    def test_validation(self):
+        with pytest.raises(EconomicModelError):
+            nash_bargaining(-1.0, 0.1)
+        with pytest.raises(EconomicModelError):
+            nash_bargaining(1.0, -0.1)
+
+    def test_higher_broker_price_raises_employee_price(self):
+        low = nash_bargaining(0.5, 0.05, beta=4)
+        high = nash_bargaining(1.5, 0.05, beta=4)
+        assert high.employee_price > low.employee_price
+
+    def test_larger_beta_lowers_employee_price(self):
+        """More potential hires -> each employee's bargaining share drops."""
+        few = nash_bargaining(1.0, 0.01, beta=2)
+        many = nash_bargaining(1.0, 0.01, beta=8)
+        assert many.employee_price < few.employee_price

@@ -1,0 +1,161 @@
+"""Unit tests for coalition stability (Theorems 7 and 8)."""
+
+import numpy as np
+import pytest
+
+from repro.economics.coalition import (
+    CoverageProfitGame,
+    is_superadditive,
+    is_supermodular,
+    marginal_contribution_profile,
+    shapley_in_core,
+)
+from repro.economics.shapley import exact_shapley
+from repro.exceptions import EconomicModelError
+
+
+def additive(weights):
+    return lambda s: float(sum(weights[j] for j in s))
+
+
+def convex_game(players):
+    """U(S) = |S|^2 — the canonical supermodular game."""
+    return lambda s: float(len(s) ** 2)
+
+
+def subadditive_game():
+    """U(S) = sqrt(|S|) — superadditivity fails for singletons union."""
+    return lambda s: float(len(s)) ** 0.5
+
+
+class TestPropertyCheckers:
+    def test_additive_is_superadditive(self):
+        cf = additive({0: 1.0, 1: 2.0, 2: 3.0})
+        assert is_superadditive(cf, [0, 1, 2])
+
+    def test_sqrt_not_superadditive(self):
+        assert not is_superadditive(subadditive_game(), [0, 1, 2, 3])
+
+    def test_convex_is_supermodular(self):
+        assert is_supermodular(convex_game([0, 1, 2, 3]), [0, 1, 2, 3])
+
+    def test_sqrt_not_supermodular(self):
+        assert not is_supermodular(subadditive_game(), [0, 1, 2, 3])
+
+    def test_sampled_mode(self):
+        cf = convex_game(range(15))
+        assert is_supermodular(cf, list(range(15)), samples=100, seed=0)
+        assert is_superadditive(cf, list(range(15)), samples=100, seed=0)
+
+
+class TestCore:
+    def test_convex_game_shapley_in_core(self):
+        """Thm 8: convexity => Shapley in the core."""
+        cf = convex_game([0, 1, 2, 3])
+        sh = exact_shapley(cf, [0, 1, 2, 3])
+        assert shapley_in_core(sh, cf)
+
+    def test_core_violation_detected(self):
+        # U({0}) = 10 but grand coalition worth only 1: phi can't cover it.
+        def cf(s):
+            if s == frozenset([0]):
+                return 10.0
+            return 1.0 if s else 0.0
+
+        sh = exact_shapley(cf, [0, 1])
+        assert not shapley_in_core(sh, cf)
+
+    def test_player_limit(self):
+        with pytest.raises(EconomicModelError):
+            shapley_in_core({j: 0.0 for j in range(20)}, lambda s: 0.0)
+
+
+class TestCoverageProfitGame:
+    def test_empty_coalition_zero(self, tiny_internet):
+        cf = CoverageProfitGame(tiny_internet)
+        assert cf(frozenset()) == 0.0
+
+    def test_monotone_in_members_value(self, tiny_internet):
+        from repro.core.greedy import lazy_greedy_max_coverage
+
+        players = lazy_greedy_max_coverage(tiny_internet, 6)
+        cf = CoverageProfitGame(tiny_internet, revenue=100, member_cost=0.0)
+        values = [cf(frozenset(players[:k])) for k in range(1, 7)]
+        assert values == sorted(values)
+
+    def test_threshold_suppresses_small_coalitions(self, tiny_internet):
+        from repro.core.greedy import lazy_greedy_max_coverage
+        from repro.core.connectivity import saturated_connectivity
+
+        players = lazy_greedy_max_coverage(tiny_internet, 6)
+        best_single = max(saturated_connectivity(tiny_internet, [j]) for j in players)
+        cf = CoverageProfitGame(
+            tiny_internet, connectivity_threshold=min(best_single + 0.05, 0.9)
+        )
+        assert all(cf(frozenset([j])) == 0.0 for j in players)
+        assert cf(frozenset(players)) > 0.0
+
+    def test_threshold_makes_game_superadditive(self, tiny_internet):
+        from repro.core.greedy import lazy_greedy_max_coverage
+        from repro.core.connectivity import saturated_connectivity
+
+        players = lazy_greedy_max_coverage(tiny_internet, 6)
+        best_single = max(saturated_connectivity(tiny_internet, [j]) for j in players)
+        cf = CoverageProfitGame(
+            tiny_internet,
+            member_cost=0.1,
+            connectivity_threshold=min(best_single + 0.1, 0.9),
+        )
+        assert is_superadditive(cf, players)
+
+    def test_individual_rationality_thm7(self, tiny_internet):
+        """Thm 7 pipeline: superadditive game -> phi_j >= U({j})."""
+        from repro.core.greedy import lazy_greedy_max_coverage
+        from repro.core.connectivity import saturated_connectivity
+
+        players = lazy_greedy_max_coverage(tiny_internet, 6)
+        best_single = max(saturated_connectivity(tiny_internet, [j]) for j in players)
+        cf = CoverageProfitGame(
+            tiny_internet,
+            member_cost=0.1,
+            connectivity_threshold=min(best_single + 0.1, 0.9),
+        )
+        sh = exact_shapley(cf, players)
+        for j in players:
+            assert sh[j] >= cf(frozenset([j])) - 1e-9
+
+    def test_caching(self, tiny_internet):
+        cf = CoverageProfitGame(tiny_internet)
+        s = frozenset([0, 1])
+        first = cf(s)
+        assert cf._cache[s] == first
+
+    def test_validation(self, tiny_internet):
+        with pytest.raises(EconomicModelError):
+            CoverageProfitGame(tiny_internet, revenue=-1.0)
+        with pytest.raises(EconomicModelError):
+            CoverageProfitGame(tiny_internet, connectivity_threshold=1.0)
+
+
+class TestMarginalProfile:
+    def test_telescopes_to_total(self):
+        cf = convex_game([0, 1, 2])
+        profile = marginal_contribution_profile(cf, [0, 1, 2])
+        assert profile.sum() == pytest.approx(cf(frozenset([0, 1, 2])))
+
+    def test_convex_game_increasing_marginals(self):
+        cf = convex_game(range(5))
+        profile = marginal_contribution_profile(cf, [0, 1, 2, 3, 4])
+        assert np.all(np.diff(profile) > 0)
+
+    def test_network_externality_then_saturation(self, tiny_internet):
+        """The paper's story: marginals rise early, fall late."""
+        from repro.core.greedy import lazy_greedy_max_coverage
+
+        players = lazy_greedy_max_coverage(tiny_internet, 10)
+        cf = CoverageProfitGame(
+            tiny_internet, member_cost=0.05, connectivity_threshold=0.3
+        )
+        profile = marginal_contribution_profile(cf, players)
+        peak = int(np.argmax(profile))
+        assert profile[peak] > profile[-1]  # saturation sets in

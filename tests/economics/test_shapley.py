@@ -1,0 +1,86 @@
+"""Unit tests for Shapley value computation (Section 7.2)."""
+
+import pytest
+
+from repro.economics.shapley import (
+    efficiency_gap,
+    exact_shapley,
+    monte_carlo_shapley,
+)
+from repro.exceptions import EconomicModelError
+
+
+def additive_cf(weights):
+    return lambda s: float(sum(weights[j] for j in s))
+
+
+def unanimity_cf(required):
+    required = frozenset(required)
+    return lambda s: 1.0 if required <= s else 0.0
+
+
+class TestExactShapley:
+    def test_additive_game(self):
+        weights = {0: 1.0, 1: 2.0, 2: 3.0}
+        sh = exact_shapley(additive_cf(weights), [0, 1, 2])
+        for j, w in weights.items():
+            assert sh[j] == pytest.approx(w)
+
+    def test_unanimity_game_splits_evenly(self):
+        sh = exact_shapley(unanimity_cf([0, 1]), [0, 1, 2])
+        assert sh[0] == pytest.approx(0.5)
+        assert sh[1] == pytest.approx(0.5)
+        assert sh[2] == pytest.approx(0.0)  # dummy player axiom
+
+    def test_symmetry_axiom(self):
+        cf = unanimity_cf([0, 1, 2])
+        sh = exact_shapley(cf, [0, 1, 2])
+        assert sh[0] == pytest.approx(sh[1]) == pytest.approx(sh[2])
+
+    def test_efficiency_axiom(self):
+        cf = additive_cf({0: 1.0, 1: 5.0, 2: 2.5})
+        sh = exact_shapley(cf, [0, 1, 2])
+        assert efficiency_gap(sh, cf) == pytest.approx(0.0, abs=1e-12)
+
+    def test_player_limit(self):
+        with pytest.raises(EconomicModelError):
+            exact_shapley(lambda s: 0.0, list(range(20)))
+
+    def test_duplicate_players(self):
+        with pytest.raises(EconomicModelError):
+            exact_shapley(lambda s: 0.0, [1, 1])
+
+    def test_empty_players(self):
+        with pytest.raises(EconomicModelError):
+            exact_shapley(lambda s: 0.0, [])
+
+
+class TestMonteCarloShapley:
+    def test_converges_to_exact(self):
+        cf = unanimity_cf([0, 1])
+        exact = exact_shapley(cf, [0, 1, 2, 3])
+        est = monte_carlo_shapley(cf, [0, 1, 2, 3], num_permutations=4000, seed=0)
+        for j in exact:
+            assert est.values[j] == pytest.approx(exact[j], abs=0.03)
+
+    def test_stderr_shrinks(self):
+        cf = unanimity_cf([0, 1])
+        small = monte_carlo_shapley(cf, [0, 1, 2], num_permutations=100, seed=1)
+        big = monte_carlo_shapley(cf, [0, 1, 2], num_permutations=3000, seed=1)
+        assert big.standard_errors[0] < small.standard_errors[0]
+
+    def test_deterministic_under_seed(self):
+        cf = additive_cf({0: 1.0, 1: 2.0})
+        a = monte_carlo_shapley(cf, [0, 1], num_permutations=50, seed=9)
+        b = monte_carlo_shapley(cf, [0, 1], num_permutations=50, seed=9)
+        assert a.values == b.values
+
+    def test_efficiency_preserved_per_permutation(self):
+        """MC telescoping: values sum exactly to U(N) for any sample."""
+        cf = unanimity_cf([0, 2])
+        est = monte_carlo_shapley(cf, [0, 1, 2], num_permutations=17, seed=3)
+        assert sum(est.values.values()) == pytest.approx(cf(frozenset([0, 1, 2])))
+
+    def test_validation(self):
+        with pytest.raises(EconomicModelError):
+            monte_carlo_shapley(lambda s: 0.0, [0], num_permutations=0)

@@ -1,0 +1,111 @@
+"""Unit tests for the Stackelberg pricing game (Theorem 6)."""
+
+import numpy as np
+import pytest
+
+from repro.economics.stackelberg import (
+    CustomerAS,
+    StackelbergGame,
+    tiered_customer_population,
+)
+from repro.economics.utilities import LogValue, PeakedTransitPayment
+from repro.exceptions import EconomicModelError
+
+
+class TestCustomerAS:
+    def test_best_response_unique_and_interior(self):
+        c = CustomerAS()
+        a = c.best_response(0.5)
+        assert 0.0 <= a <= 1.0
+        # utility at the response beats nearby points (strict concavity).
+        for delta in (-0.05, 0.05):
+            probe = min(max(a + delta, 0.0), 1.0)
+            assert c.utility(a, 0.5) >= c.utility(probe, 0.5) - 1e-9
+
+    def test_zero_price_full_adoption(self):
+        # With price 0, V' > 0 everywhere pushes a to the right end of the
+        # rising region of P; with P peaking late, adoption goes high.
+        c = CustomerAS(
+            value=LogValue(scale=1.0, sharpness=2.0),
+            transit=PeakedTransitPayment(peak=0.3, a_peak=0.9),
+        )
+        assert c.best_response(0.0) > 0.85
+
+    def test_huge_price_baseline_adoption(self):
+        c = CustomerAS(baseline_adoption=0.1)
+        assert c.best_response(100.0) == pytest.approx(0.1, abs=1e-6)
+
+    def test_best_response_monotone_in_price(self):
+        c = CustomerAS()
+        responses = [c.best_response(p) for p in (0.0, 0.5, 1.0, 2.0)]
+        assert all(a >= b - 1e-9 for a, b in zip(responses, responses[1:]))
+
+    def test_baseline_validation(self):
+        with pytest.raises(EconomicModelError):
+            CustomerAS(baseline_adoption=1.2)
+
+
+class TestGame:
+    @pytest.fixture(scope="class")
+    def game(self):
+        return StackelbergGame(tiered_customer_population(30, seed=1))
+
+    def test_equilibrium_exists(self, game):
+        eq = game.solve(grid=30, refine_iters=20)
+        assert eq.price >= 0
+        assert 0 <= eq.total_adoption <= 30
+        assert eq.coalition_utility > 0
+
+    def test_equilibrium_price_is_local_max(self, game):
+        eq = game.solve()
+        u_star = game.coalition_utility(eq.price)
+        for delta in (-0.05, 0.05):
+            p = max(eq.price + delta, 0.0)
+            assert u_star >= game.coalition_utility(p) - 1e-6
+
+    def test_followers_at_best_response(self, game):
+        eq = game.solve()
+        expected = game.follower_adoptions(eq.price)
+        assert np.allclose(eq.adoptions, expected)
+
+    def test_customer_utilities_reported(self, game):
+        eq = game.solve()
+        assert len(eq.customer_utilities) == 30
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(EconomicModelError):
+            StackelbergGame([])
+
+    def test_invalid_max_price(self):
+        with pytest.raises(EconomicModelError):
+            StackelbergGame([CustomerAS()], max_price=0.0)
+
+
+class TestHighTierEffect:
+    def test_low_tier_more_willing_with_high_tier_in_b(self):
+        """The paper's qualitative claim, at a fixed price."""
+        price = 0.8
+        with_high = tiered_customer_population(
+            40, broker_includes_high_tier=True, seed=0
+        )
+        without_high = tiered_customer_population(
+            40, broker_includes_high_tier=False, seed=0
+        )
+        a_with = np.mean(
+            [c.best_response(price) for c in with_high if c.name.startswith("low")]
+        )
+        a_without = np.mean(
+            [c.best_response(price) for c in without_high if c.name.startswith("low")]
+        )
+        assert a_with > a_without
+
+    def test_population_validation(self):
+        with pytest.raises(EconomicModelError):
+            tiered_customer_population(0)
+        with pytest.raises(EconomicModelError):
+            tiered_customer_population(10, high_tier_fraction=1.5)
+
+    def test_population_deterministic(self):
+        a = tiered_customer_population(10, seed=5)
+        b = tiered_customer_population(10, seed=5)
+        assert [c.transit.peak for c in a] == [c.transit.peak for c in b]

@@ -1,0 +1,119 @@
+"""Unit tests for the economic utility-function families."""
+
+import numpy as np
+import pytest
+
+from repro.economics.utilities import (
+    CoalitionCost,
+    ExpValue,
+    LogValue,
+    PeakedTransitPayment,
+    check_concave,
+)
+from repro.exceptions import EconomicModelError
+
+
+class TestLogValue:
+    def test_boundaries(self):
+        v = LogValue(scale=2.0, sharpness=4.0)
+        assert v(0.0) == pytest.approx(0.0)
+        assert v(1.0) == pytest.approx(2.0)
+
+    def test_increasing_and_concave(self):
+        v = LogValue()
+        xs = np.linspace(0, 1, 50)
+        ys = v(xs)
+        assert np.all(np.diff(ys) > 0)
+        assert check_concave(v)
+
+    def test_derivative_matches_numeric(self):
+        v = LogValue(scale=1.5, sharpness=3.0)
+        for a in (0.1, 0.5, 0.9):
+            numeric = (v(a + 1e-6) - v(a - 1e-6)) / 2e-6
+            assert v.derivative(a) == pytest.approx(numeric, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(EconomicModelError):
+            LogValue(scale=0.0)
+        with pytest.raises(EconomicModelError):
+            LogValue(sharpness=-1.0)
+
+
+class TestExpValue:
+    def test_boundaries(self):
+        v = ExpValue(scale=3.0, rate=2.0)
+        assert v(0.0) == pytest.approx(0.0)
+        assert v(1.0) == pytest.approx(3.0)
+
+    def test_concave(self):
+        assert check_concave(ExpValue())
+
+    def test_derivative(self):
+        v = ExpValue()
+        numeric = (v(0.5 + 1e-6) - v(0.5 - 1e-6)) / 2e-6
+        assert v.derivative(0.5) == pytest.approx(numeric, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(EconomicModelError):
+            ExpValue(rate=0.0)
+
+
+class TestPeakedTransitPayment:
+    def test_shape_constraints(self):
+        p = PeakedTransitPayment(peak=0.4, a_peak=0.6, base=0.1)
+        assert p(0.0) == pytest.approx(0.1)
+        assert p(0.6) == pytest.approx(0.4)
+        assert p(1.0) == pytest.approx(0.0)
+
+    def test_rises_then_falls(self):
+        p = PeakedTransitPayment(peak=0.3, a_peak=0.5)
+        xs_rise = np.linspace(0, 0.5, 20)
+        xs_fall = np.linspace(0.5, 1.0, 20)
+        assert np.all(np.diff(p(xs_rise)) >= -1e-12)
+        assert np.all(np.diff(p(xs_fall)) <= 1e-12)
+
+    def test_piecewise_concavity(self):
+        p = PeakedTransitPayment(peak=0.3, a_peak=0.6, base=-0.2)
+        assert check_concave(p, 0.0, 0.6)
+        assert check_concave(p, 0.6, 1.0)
+
+    def test_negative_base_allowed(self):
+        p = PeakedTransitPayment(peak=0.2, a_peak=0.5, base=-0.3)
+        assert p(0.0) == pytest.approx(-0.3)
+
+    def test_validation(self):
+        with pytest.raises(EconomicModelError):
+            PeakedTransitPayment(a_peak=0.0)
+        with pytest.raises(EconomicModelError):
+            PeakedTransitPayment(peak=0.1, base=0.2)
+        with pytest.raises(EconomicModelError):
+            PeakedTransitPayment(peak=-0.1, base=-0.2)
+
+    def test_derivative_sign_change(self):
+        p = PeakedTransitPayment(peak=0.3, a_peak=0.5)
+        assert p.derivative(0.2) > 0
+        assert p.derivative(0.8) < 0
+
+
+class TestCoalitionCost:
+    def test_linear_components(self):
+        c = CoalitionCost(unit_cost=0.2, hire_fraction=0.5, max_hired_hops=2)
+        assert c(1.0, 0.1) == pytest.approx(0.2 + 0.5 * 2 * 0.1)
+        assert c(0.0, 5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EconomicModelError):
+            CoalitionCost(unit_cost=-1.0)
+        with pytest.raises(EconomicModelError):
+            CoalitionCost(hire_fraction=2.0)
+        c = CoalitionCost()
+        with pytest.raises(EconomicModelError):
+            c(-1.0, 0.1)
+
+
+class TestCheckConcave:
+    def test_detects_convex(self):
+        assert not check_concave(lambda x: np.asarray(x) ** 2 * -(-1))
+
+    def test_accepts_linear(self):
+        assert check_concave(lambda x: 2 * np.asarray(x) + 1)

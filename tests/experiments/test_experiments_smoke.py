@@ -1,0 +1,171 @@
+"""Smoke + shape tests: every experiment runs at tiny scale and its
+headline qualitative claims hold.
+
+These are the per-artifact acceptance tests of the reproduction: not
+absolute numbers (the substrate is synthetic) but the *shape* the paper
+reports — orderings, collapses, recoveries, correlation decays.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+CONFIG = ExperimentConfig(scale="tiny", seed=1)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run each experiment once; individual tests inspect the outputs."""
+    return {}
+
+
+def _get(results, name):
+    if name not in results:
+        results[name] = run_experiment(name, CONFIG)
+    return results[name]
+
+
+class TestTables:
+    def test_table1_coverage_ladder(self, results):
+        r = _get(results, "table1")
+        ladder = [r.paper_values[k]["measured"] for k in ("0.19%", "1.9%", "6.8%")]
+        assert ladder[0] < ladder[1] < ladder[2]
+        assert ladder[2] > 0.9  # 6.8% of nodes ~ near-full coverage
+        # all-IXP row stays far below the 6.8% MaxSG row
+        assert r.paper_values["ixp"]["measured"] < ladder[2]
+
+    def test_table2_structure(self, results):
+        r = _get(results, "table2")
+        summary = r.paper_values["summary"]
+        assert summary.ixp_attached_fraction == pytest.approx(0.402, abs=0.02)
+        assert summary.beta <= 5
+
+    def test_table3_topology_ordering(self, results):
+        r = _get(results, "table3")
+        curves = r.paper_values["curves"]
+        # WS small-world needs far more hops than the AS graph.
+        assert curves["ASes with IXPs"].at(4) > curves["WS-Small-World"].at(4)
+        # the AS graph saturates high.
+        assert curves["ASes with IXPs"].saturated > 0.98
+
+    def test_table4_minimal_inflation(self, results):
+        r = _get(results, "table4")
+        # Alliance tracks the free curve far better than DB at saturation.
+        free = r.paper_values["free"].saturated
+        alliance = r.paper_values["alliance"].saturated
+        db = r.paper_values["db"].saturated
+        assert alliance >= db
+        assert free - alliance < 0.06
+
+    def test_table5_composition(self, results):
+        r = _get(results, "table5")
+        comp = r.paper_values["composition"]
+        assert sum(comp.values()) == r.paper_values["alliance_size"]
+        assert comp["TRANSIT_ACCESS"] > 0
+
+
+class TestFigures:
+    def test_fig1_layering(self, results):
+        r = _get(results, "fig1")
+        profiles = r.paper_values["profiles"]
+        # tier-1 ASes sit closer to the core than stubs.
+        assert (
+            profiles["Tier-1 ASes"].mean_radius
+            < profiles["Stub ASes"].mean_radius
+        )
+
+    def test_fig2a_sc_is_huge(self, results):
+        r = _get(results, "fig2a")
+        sizes = r.paper_values["sizes"]
+        n = CONFIG.graph().num_nodes
+        assert sizes.mean() > 0.3 * n  # paper: ~76% of vertices
+
+    def test_fig2b_algorithm_ordering(self, results):
+        r = _get(results, "fig2b")
+        curves = r.paper_values["curves"]
+        maxsg = curves["MaxSG"].saturated
+        approx = curves["Approx (Alg. 2)"].saturated
+        db = curves["Degree-Based"].saturated
+        ixpb = curves["IXPB (all IXPs)"].saturated
+        tier1 = curves["Tier1Only"].saturated
+        assert abs(maxsg - approx) < 0.05  # MaxSG ~ Approx
+        assert maxsg >= db - 0.02          # beat (or match) DB
+        assert db > ixpb                   # DB >> IXP-only
+        assert ixpb > tier1 or ixpb > 0.05
+
+    def test_fig3_correlation_decays(self, results):
+        r = _get(results, "fig3")
+        rows = list(r.paper_values.values())
+        small, large = rows[0]["corr"], rows[1]["corr"]
+        assert small > large  # the paper's 0.818 -> 0.227 decay direction
+
+    def test_fig4_db_crowds_core(self, results):
+        r = _get(results, "fig4")
+        db = r.paper_values["Degree-Based"]
+        msg = r.paper_values["MaxSG"]
+        # MaxSG leaves fewer vertices uncovered than DB.
+        assert msg["uncovered_count"] <= db["uncovered_count"]
+
+    def test_fig5a_broker_only_majority(self, results):
+        r = _get(results, "fig5a")
+        assert r.paper_values["broker_only_fraction"] > 0.9
+
+    def test_fig5b_recovery_monotone(self, results):
+        r = _get(results, "fig5b")
+        series = r.paper_values["6.8%"]
+        assert series[0.0] <= series[0.3] + 1e-9
+        assert series[0.3] <= series[1.0] + 2e-9
+        assert series[1.0] <= series["free"] + 0.02
+
+    def test_fig5c_collapse(self, results):
+        r = _get(results, "fig5c")
+        # at the alliance size, directional loses substantially.
+        big = r.paper_values[0.068]
+        assert big["directional"] < big["free"] - 0.1
+
+
+class TestEconomics:
+    def test_bargaining_table(self, results):
+        r = _get(results, "econ_bargaining")
+        # all beta rows present, infeasible row at p_B = 0.05 for beta >= 2
+        assert any(row[-1] == "no" for row in r.rows)
+        assert any(row[-1] == "yes" for row in r.rows)
+
+    def test_stackelberg_high_tier_gain(self, results):
+        r = _get(results, "econ_stackelberg")
+        assert r.paper_values["low_tier_gain"] > 0
+
+    def test_shapley_theorems(self, results):
+        r = _get(results, "econ_shapley")
+        assert r.paper_values["superadditive"]
+        assert r.paper_values["individually_rational"]
+        assert r.paper_values["in_core"]
+        assert r.paper_values["efficiency_gap"] < 1e-6
+
+
+class TestAblations:
+    def test_approx_ratio_above_bound(self, results):
+        r = _get(results, "ablation_approx_ratio")
+        assert r.paper_values["worst_ratio"] > 0.158
+
+    def test_maxsg_gap_small(self, results):
+        r = _get(results, "ablation_maxsg_vs_approx")
+        for label, v in r.paper_values.items():
+            assert v["gap"] > -0.02  # approx >= maxsg - small slack
+
+    def test_lazy_greedy_identical(self, results):
+        r = _get(results, "ablation_lazy_greedy")
+        assert r.paper_values["identical"]
+
+    def test_root_strategy_best_no_worse(self, results):
+        r = _get(results, "ablation_root_strategy")
+        for v in r.paper_values.values():
+            assert len(v["best"].repair) <= len(v["first"].repair)
+
+    def test_sampling_error_shrinks(self, results):
+        r = _get(results, "ablation_sampling")
+        assert r.paper_values[1600]["error"] <= r.paper_values[100]["error"] + 1e-9
+
+    def test_path_length_feasibility(self, results):
+        r = _get(results, "ablation_path_length")
+        assert r.paper_values["MaxSG"].max_deviation < 0.10

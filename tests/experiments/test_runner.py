@@ -1,0 +1,61 @@
+"""Unit tests for the experiment registry and result container."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        names = list_experiments()
+        for required in (
+            "table1", "table2", "table3", "table4", "table5",
+            "fig1", "fig2a", "fig2b", "fig3", "fig4",
+            "fig5a", "fig5b", "fig5c",
+            "econ_bargaining", "econ_stackelberg", "econ_shapley",
+        ):
+            assert required in names
+
+    def test_ablations_registered(self):
+        names = list_experiments()
+        assert any(n.startswith("ablation_") for n in names)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError):
+            run_experiment("table99")
+
+
+class TestConfig:
+    def test_budgets_scale_with_graph(self):
+        config = ExperimentConfig(scale="tiny", seed=1)
+        budgets = config.broker_budgets()
+        n = config.graph().num_nodes
+        assert budgets["0.19%"] == max(1, round(0.0019202 * n))
+        assert budgets["1.9%"] < budgets["6.8%"]
+
+    def test_graph_cached(self):
+        config = ExperimentConfig(scale="tiny", seed=1)
+        assert config.graph() is config.graph()
+
+    def test_with_scale(self):
+        config = ExperimentConfig(scale="tiny").with_scale("small")
+        assert config.scale == "small"
+
+
+class TestResultRendering:
+    def test_render_contains_rows(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="T",
+            headers=["a", "b"],
+            rows=[(1, 2)],
+            notes="n",
+        )
+        text = result.render()
+        assert "T" in text and "note: n" in text and "1" in text

@@ -1,0 +1,134 @@
+"""Unit tests for the ASGraph topology container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphValidationError
+from repro.graph.asgraph import ASGraph
+from repro.types import BusinessCategory, NodeKind, Relationship, Tier
+
+
+def make_mixed_graph() -> ASGraph:
+    """3 ASes + 1 IXP; c2p 0->1, peer 1-2, memberships to IXP 3."""
+    return ASGraph.from_edges(
+        4,
+        [(0, 1), (1, 2), (0, 3), (2, 3)],
+        kinds=[0, 0, 0, 1],
+        tiers=[int(Tier.STUB), int(Tier.TIER1), int(Tier.TRANSIT), int(Tier.NONE)],
+        relationships=[
+            int(Relationship.CUSTOMER_TO_PROVIDER),
+            int(Relationship.PEER_TO_PEER),
+            int(Relationship.IXP_MEMBERSHIP),
+            int(Relationship.IXP_MEMBERSHIP),
+        ],
+        names=["AS1", "AS2", "AS3", "IXP-A"],
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = make_mixed_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+        assert g.num_ases == 3
+        assert g.num_ixps == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphValidationError):
+            ASGraph.from_edges(3, [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphValidationError):
+            ASGraph.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            ASGraph.from_edges(3, [(0, 5)])
+
+    def test_bad_metadata_length(self):
+        with pytest.raises(GraphValidationError):
+            ASGraph.from_edges(3, [(0, 1)], kinds=[0, 0])
+        with pytest.raises(GraphValidationError):
+            ASGraph.from_edges(3, [(0, 1)], relationships=[0, 0])
+        with pytest.raises(GraphValidationError):
+            ASGraph.from_edges(3, [(0, 1)], names=["a"])
+
+    def test_empty_edges(self):
+        g = ASGraph.from_edges(3, [])
+        assert g.num_edges == 0
+        assert g.degrees().tolist() == [0, 0, 0]
+
+    def test_default_categories_follow_kind(self):
+        g = ASGraph.from_edges(2, [(0, 1)], kinds=[0, 1])
+        assert g.categories[0] == int(BusinessCategory.TRANSIT_ACCESS)
+        assert g.categories[1] == int(BusinessCategory.IXP)
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        g = make_mixed_graph()
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+        assert sorted(g.neighbors(3).tolist()) == [0, 2]
+
+    def test_masks(self):
+        g = make_mixed_graph()
+        assert g.ixp_ids().tolist() == [3]
+        assert g.as_ids().tolist() == [0, 1, 2]
+        assert g.tier1_ids().tolist() == [1]
+
+    def test_names(self):
+        g = make_mixed_graph()
+        assert g.name_of(0) == "AS1"
+        assert g.name_of(3) == "IXP-A"
+
+    def test_fallback_names(self):
+        g = ASGraph.from_edges(2, [(0, 1)], kinds=[0, 1])
+        assert g.name_of(0) == "AS0"
+        assert g.name_of(1) == "IXP1"
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        g = make_mixed_graph()
+        sub, old_ids = g.induced_subgraph(np.array([0, 1, 3]))
+        assert sub.num_nodes == 3
+        assert old_ids.tolist() == [0, 1, 3]
+        # surviving edges: (0,1) c2p and (0,3) membership
+        assert sub.num_edges == 2
+        assert sub.name_of(2) == "IXP-A"
+
+    def test_induced_subgraph_out_of_range(self):
+        g = make_mixed_graph()
+        with pytest.raises(GraphValidationError):
+            g.induced_subgraph(np.array([0, 99]))
+
+    def test_largest_connected_component(self):
+        g = ASGraph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        lcc, old_ids = g.largest_connected_component()
+        assert lcc.num_nodes == 3
+        assert sorted(old_ids.tolist()) == [0, 1, 2]
+
+    def test_without_ixps(self):
+        g = make_mixed_graph()
+        sub, old_ids = g.without_ixps()
+        assert sub.num_ixps == 0
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2  # memberships dropped
+
+    def test_relationships_preserved_in_subgraph(self):
+        g = make_mixed_graph()
+        sub, _ = g.induced_subgraph(np.array([0, 1]))
+        assert sub.edge_rels.tolist() == [int(Relationship.CUSTOMER_TO_PROVIDER)]
+
+
+class TestInterop:
+    def test_networkx_roundtrip_structure(self):
+        g = make_mixed_graph()
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        assert nx_graph.nodes[3]["kind"] == "IXP"
+        back = ASGraph.from_networkx(nx_graph)
+        assert back.num_nodes == 4
+        assert back.num_edges == 4
+        assert back.kinds[3] == int(NodeKind.IXP)

@@ -1,0 +1,182 @@
+"""Unit tests for the CSR adjacency and BFS kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphValidationError
+from repro.graph.csr import (
+    UNREACHABLE,
+    batched_hop_reach,
+    bfs_levels,
+    bfs_parents,
+    build_csr,
+    connected_components,
+    largest_component_nodes,
+)
+
+
+def _path_csr(n):
+    src = np.arange(n - 1)
+    dst = np.arange(1, n)
+    return build_csr(n, src, dst)
+
+
+class TestBuildCSR:
+    def test_symmetric_storage(self):
+        adj = build_csr(3, np.array([0]), np.array([1]))
+        assert sorted(adj.neighbors(0).tolist()) == [1]
+        assert sorted(adj.neighbors(1).tolist()) == [0]
+        assert adj.neighbors(2).tolist() == []
+
+    def test_directed_storage(self):
+        adj = build_csr(3, np.array([0]), np.array([1]), symmetric=False)
+        assert adj.neighbors(0).tolist() == [1]
+        assert adj.neighbors(1).tolist() == []
+
+    def test_duplicate_edges_merged(self):
+        adj = build_csr(2, np.array([0, 0, 1]), np.array([1, 1, 0]))
+        assert adj.neighbors(0).tolist() == [1]
+        assert adj.num_directed_edges == 2
+
+    def test_self_loops_dropped(self):
+        adj = build_csr(2, np.array([0, 0]), np.array([0, 1]))
+        assert adj.neighbors(0).tolist() == [1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            build_csr(2, np.array([0]), np.array([5]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphValidationError):
+            build_csr(3, np.array([0, 1]), np.array([1]))
+
+    def test_degrees(self):
+        adj = _path_csr(4)
+        assert adj.degrees().tolist() == [1, 2, 2, 1]
+
+    def test_empty_graph(self):
+        adj = build_csr(5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert adj.num_vertices == 5
+        assert adj.num_directed_edges == 0
+
+    def test_to_scipy_shape(self):
+        adj = _path_csr(4)
+        mat = adj.to_scipy()
+        assert mat.shape == (4, 4)
+        assert mat.nnz == 6
+
+
+class TestBFSLevels:
+    def test_path_distances(self):
+        adj = _path_csr(5)
+        dist = bfs_levels(adj, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable(self):
+        adj = build_csr(4, np.array([0]), np.array([1]))
+        dist = bfs_levels(adj, 0)
+        assert dist[2] == UNREACHABLE and dist[3] == UNREACHABLE
+
+    def test_max_depth_cutoff(self):
+        adj = _path_csr(5)
+        dist = bfs_levels(adj, 0, max_depth=2)
+        assert dist[2] == 2
+        assert dist[3] == UNREACHABLE
+
+    def test_source_out_of_range(self):
+        adj = _path_csr(3)
+        with pytest.raises(GraphValidationError):
+            bfs_levels(adj, 7)
+
+    def test_matches_networkx(self, rng):
+        import networkx as nx
+
+        g = nx.gnm_random_graph(30, 60, seed=4)
+        edges = np.array(g.edges())
+        adj = build_csr(30, edges[:, 0], edges[:, 1])
+        dist = bfs_levels(adj, 0)
+        nx_dist = nx.single_source_shortest_path_length(g, 0)
+        for v in range(30):
+            expected = nx_dist.get(v, UNREACHABLE)
+            assert dist[v] == expected
+
+
+class TestBFSParents:
+    def test_parents_walk_back_to_source(self):
+        adj = _path_csr(5)
+        parent = bfs_parents(adj, 0)
+        assert parent[0] == -1
+        v = 4
+        path = [v]
+        while parent[v] != -1:
+            v = parent[v]
+            path.append(v)
+        assert path == [4, 3, 2, 1, 0]
+
+    def test_unreachable_parent_is_minus_one(self):
+        adj = build_csr(3, np.array([0]), np.array([1]))
+        parent = bfs_parents(adj, 0)
+        assert parent[2] == -1
+
+
+class TestBatchedHopReach:
+    def test_path_graph_counts(self):
+        adj = _path_csr(5)
+        counts = batched_hop_reach(adj.to_scipy(), np.array([0]), 4)
+        assert counts[0].tolist() == [1, 2, 3, 4]
+
+    def test_matches_bfs_levels(self, rng):
+        n = 40
+        src = rng.integers(0, n, 120)
+        dst = rng.integers(0, n, 120)
+        keep = src != dst
+        adj = build_csr(n, src[keep], dst[keep])
+        sources = np.arange(n)
+        counts = batched_hop_reach(adj.to_scipy(), sources, 6)
+        for s in sources:
+            dist = bfs_levels(adj, int(s))
+            for hop in range(1, 7):
+                expected = int(np.count_nonzero((dist > 0) & (dist <= hop)))
+                assert counts[s, hop - 1] == expected
+
+    def test_saturation_fills_remaining_hops(self):
+        adj = _path_csr(3)
+        counts = batched_hop_reach(adj.to_scipy(), np.array([0]), 8)
+        assert counts[0].tolist() == [1, 2, 2, 2, 2, 2, 2, 2]
+
+    def test_batching_equivalence(self, rng):
+        n = 25
+        src = rng.integers(0, n, 60)
+        dst = rng.integers(0, n, 60)
+        keep = src != dst
+        adj = build_csr(n, src[keep], dst[keep]).to_scipy()
+        sources = np.arange(n)
+        a = batched_hop_reach(adj, sources, 4, batch_size=3)
+        b = batched_hop_reach(adj, sources, 4, batch_size=64)
+        assert np.array_equal(a, b)
+
+    def test_directed_matrix(self):
+        adj = build_csr(3, np.array([0, 1]), np.array([1, 2]), symmetric=False)
+        counts = batched_hop_reach(adj.to_scipy(), np.array([0, 2]), 3)
+        assert counts[0].tolist() == [1, 2, 2]  # 0 -> 1 -> 2
+        assert counts[1].tolist() == [0, 0, 0]  # 2 has no out-edges
+
+    def test_invalid_max_hops(self):
+        adj = _path_csr(3)
+        with pytest.raises(ValueError):
+            batched_hop_reach(adj.to_scipy(), np.array([0]), 0)
+
+
+class TestComponents:
+    def test_two_components(self):
+        adj = build_csr(5, np.array([0, 2]), np.array([1, 3]))
+        count, labels = connected_components(adj.to_scipy())
+        assert count == 3
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_largest_component(self):
+        adj = build_csr(6, np.array([0, 1, 4]), np.array([1, 2, 5]))
+        nodes = largest_component_nodes(adj.to_scipy())
+        assert sorted(nodes.tolist()) == [0, 1, 2]

@@ -1,0 +1,63 @@
+"""Unit tests for DOT/GEXF exports."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.graph.export import write_dot, write_gexf
+
+
+class TestDot:
+    def test_writes_all_nodes_and_edges(self, tmp_path, star10):
+        p = tmp_path / "g.dot"
+        write_dot(star10, p, brokers=[0])
+        text = p.read_text()
+        assert text.startswith("graph topology {")
+        assert text.count(" -- ") == star10.num_edges
+        assert 'label="AS0"' in text
+
+    def test_broker_highlighted(self, tmp_path, star10):
+        p = tmp_path / "g.dot"
+        write_dot(star10, p, brokers=[0])
+        text = p.read_text()
+        assert "#2980b9" in text  # broker colour present
+
+    def test_size_guard(self, tmp_path, tiny_internet):
+        with pytest.raises(ValueError):
+            write_dot(tiny_internet, tmp_path / "g.dot", max_nodes=100)
+
+    def test_membership_edges_dashed(self, tmp_path, tiny_internet):
+        sub, _ = tiny_internet.induced_subgraph(
+            tiny_internet.ixp_ids().tolist() + list(range(50))
+        )
+        p = tmp_path / "g.dot"
+        write_dot(sub, p)
+        assert "dashed" in p.read_text()
+
+
+class TestGexf:
+    def test_valid_xml_with_counts(self, tmp_path, star10):
+        p = tmp_path / "g.gexf"
+        write_gexf(star10, p, brokers=[0])
+        root = ET.parse(p).getroot()
+        ns = {"g": "http://www.gexf.net/1.2draft"}
+        nodes = root.findall(".//g:node", ns)
+        edges = root.findall(".//g:edge", ns)
+        assert len(nodes) == 10
+        assert len(edges) == 9
+
+    def test_broker_attribute(self, tmp_path, star10):
+        p = tmp_path / "g.gexf"
+        write_gexf(star10, p, brokers=[0])
+        text = p.read_text()
+        assert 'value="true"' in text
+        assert 'value="false"' in text
+
+    def test_names_escaped(self, tmp_path):
+        from repro.graph.asgraph import ASGraph
+
+        g = ASGraph.from_edges(2, [(0, 1)], names=["A&B", "C<D"])
+        p = tmp_path / "g.gexf"
+        write_gexf(g, p)
+        text = p.read_text()
+        assert "A&amp;B" in text and "C&lt;D" in text

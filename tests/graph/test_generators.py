@@ -1,0 +1,102 @@
+"""Unit tests for classic topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphValidationError
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 120, seed=0)
+        assert g.num_nodes == 50
+        assert g.num_edges == 120
+
+    def test_deterministic_under_seed(self):
+        a = erdos_renyi(30, 50, seed=7)
+        b = erdos_renyi(30, 50, seed=7)
+        assert np.array_equal(a.edge_src, b.edge_src)
+        assert np.array_equal(a.edge_dst, b.edge_dst)
+
+    def test_too_many_edges(self):
+        with pytest.raises(GraphValidationError):
+            erdos_renyi(4, 10, seed=0)
+
+
+class TestWattsStrogatz:
+    def test_zero_rewire_is_ring_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert g.num_edges == 40
+        assert (g.degrees() == 4).all()
+
+    def test_rewire_keeps_edge_count_close(self):
+        g = watts_strogatz(100, 6, 0.3, seed=1)
+        # Rewiring can only lose edges to dedup, never gain.
+        assert 250 <= g.num_edges <= 300
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphValidationError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_bad_probability(self):
+        with pytest.raises(GraphValidationError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        # star seed gives `attach` edges; each later vertex adds `attach`.
+        assert g.num_edges == 3 + (100 - 4) * 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(400, 2, seed=0)
+        deg = g.degrees()
+        assert deg.max() > 10 * np.median(deg)
+
+    def test_connected(self):
+        from repro.graph.metrics import largest_component_fraction
+
+        g = barabasi_albert(200, 2, seed=3)
+        assert largest_component_fraction(g) == 1.0
+
+    def test_invalid_attach(self):
+        with pytest.raises(GraphValidationError):
+            barabasi_albert(5, 0)
+        with pytest.raises(GraphValidationError):
+            barabasi_albert(5, 5)
+
+
+class TestFixedShapes:
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degrees()[0] == 5
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert (g.degrees() == 2).all()
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+
+    @pytest.mark.parametrize(
+        "factory,bad_n",
+        [(star_graph, 1), (path_graph, 1), (cycle_graph, 2), (complete_graph, 1)],
+    )
+    def test_too_small(self, factory, bad_n):
+        with pytest.raises(GraphValidationError):
+            factory(bad_n)

@@ -1,0 +1,130 @@
+"""Unit tests for graph serialization and real-dataset parsers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.io import (
+    load_caida_asrel,
+    load_graph,
+    load_ixp_memberships,
+    save_graph,
+)
+from repro.types import NodeKind, Relationship
+
+
+class TestJSONRoundtrip:
+    def test_roundtrip_plain(self, tmp_path, tiny_internet):
+        path = tmp_path / "g.json"
+        save_graph(tiny_internet, path)
+        back = load_graph(path)
+        assert back.num_nodes == tiny_internet.num_nodes
+        assert back.num_edges == tiny_internet.num_edges
+        assert np.array_equal(back.kinds, tiny_internet.kinds)
+        assert np.array_equal(back.edge_rels, tiny_internet.edge_rels)
+        assert back.names == tiny_internet.names
+
+    def test_roundtrip_gzip(self, tmp_path, star10):
+        path = tmp_path / "g.json.gz"
+        save_graph(star10, path)
+        back = load_graph(path)
+        assert back.num_edges == star10.num_edges
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_graph(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("not json at all{")
+        with pytest.raises(DatasetError):
+            load_graph(p)
+
+    def test_wrong_format_marker(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"format": "other"}')
+        with pytest.raises(DatasetError):
+            load_graph(p)
+
+
+ASREL_SAMPLE = """\
+# comment line
+1|2|-1
+2|3|0
+1|3|-1
+"""
+
+
+class TestCaidaParser:
+    def test_parse_relationships(self, tmp_path):
+        p = tmp_path / "asrel.txt"
+        p.write_text(ASREL_SAMPLE)
+        g = load_caida_asrel(p)
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        # 1|2|-1 means AS1 is the provider: stored customer-first.
+        idx = {name: i for i, name in enumerate(g.names)}
+        for u, v, r in zip(g.edge_src, g.edge_dst, g.edge_rels):
+            if r == int(Relationship.CUSTOMER_TO_PROVIDER):
+                assert g.names[v] in ("AS1",)
+
+    def test_with_ixp_memberships(self, tmp_path):
+        p = tmp_path / "asrel.txt"
+        p.write_text(ASREL_SAMPLE)
+        g = load_caida_asrel(p, ixp_memberships={"LINX": [1, 2], "DECIX": [3]})
+        assert g.num_ixps == 2
+        membership = g.edge_rels == int(Relationship.IXP_MEMBERSHIP)
+        assert int(membership.sum()) == 3
+        assert g.kinds[-1] == int(NodeKind.IXP)
+
+    def test_membership_of_unknown_asn_skipped(self, tmp_path):
+        p = tmp_path / "asrel.txt"
+        p.write_text(ASREL_SAMPLE)
+        g = load_caida_asrel(p, ixp_memberships={"LINX": [99]})
+        membership = g.edge_rels == int(Relationship.IXP_MEMBERSHIP)
+        assert int(membership.sum()) == 0
+
+    def test_malformed_line(self, tmp_path):
+        p = tmp_path / "asrel.txt"
+        p.write_text("1|2\n")
+        with pytest.raises(DatasetError):
+            load_caida_asrel(p)
+
+    def test_unknown_relationship(self, tmp_path):
+        p = tmp_path / "asrel.txt"
+        p.write_text("1|2|7\n")
+        with pytest.raises(DatasetError):
+            load_caida_asrel(p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_caida_asrel(tmp_path / "none.txt")
+
+    def test_gzip_input(self, tmp_path):
+        import gzip
+
+        p = tmp_path / "asrel.txt.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write(ASREL_SAMPLE)
+        g = load_caida_asrel(p)
+        assert g.num_nodes == 3
+
+
+class TestIXPMembershipParser:
+    def test_parse(self, tmp_path):
+        p = tmp_path / "ixp.csv"
+        p.write_text("# header\nLINX,1\nLINX,2\nDECIX,3\n")
+        m = load_ixp_memberships(p)
+        assert m == {"LINX": [1, 2], "DECIX": [3]}
+
+    def test_bad_asn(self, tmp_path):
+        p = tmp_path / "ixp.csv"
+        p.write_text("LINX,abc\n")
+        with pytest.raises(DatasetError):
+            load_ixp_memberships(p)
+
+    def test_bad_shape(self, tmp_path):
+        p = tmp_path / "ixp.csv"
+        p.write_text("LINX,1,extra\n")
+        with pytest.raises(DatasetError):
+            load_ixp_memberships(p)

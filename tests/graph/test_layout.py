@@ -1,0 +1,85 @@
+"""Unit tests for k-core decomposition and radial layout."""
+
+import numpy as np
+import pytest
+
+from repro.graph.asgraph import ASGraph
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.layout import core_numbers, radial_layout, radial_profile
+
+
+class TestCoreNumbers:
+    def test_path_graph_all_one(self, path10):
+        assert (core_numbers(path10) == 1).all()
+
+    def test_complete_graph(self):
+        assert (core_numbers(complete_graph(5)) == 4).all()
+
+    def test_star_graph(self, star10):
+        core = core_numbers(star10)
+        assert (core == 1).all()
+
+    def test_clique_with_tail(self):
+        # K4 on 0-3 plus a tail 3-4-5.
+        g = ASGraph.from_edges(
+            6, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        )
+        core = core_numbers(g)
+        assert core[:4].tolist() == [3, 3, 3, 3]
+        assert core[4] == 1 and core[5] == 1
+
+    def test_matches_networkx(self, tiny_internet):
+        import networkx as nx
+
+        expected = nx.core_number(tiny_internet.to_networkx())
+        core = core_numbers(tiny_internet)
+        for v in range(tiny_internet.num_nodes):
+            assert core[v] == expected[v]
+
+
+class TestRadialLayout:
+    def test_radius_bounds(self, tiny_internet):
+        layout = radial_layout(tiny_internet, seed=0)
+        assert (layout.radius >= 0).all() and (layout.radius <= 1).all()
+
+    def test_core_nodes_inside(self):
+        g = ASGraph.from_edges(
+            6, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        )
+        layout = radial_layout(g, seed=0)
+        assert layout.radius[0] < layout.radius[5]
+
+    def test_positions_shape(self, star10):
+        layout = radial_layout(star10, seed=1)
+        assert layout.positions().shape == (10, 2)
+
+    def test_deterministic(self, star10):
+        a = radial_layout(star10, seed=5)
+        b = radial_layout(star10, seed=5)
+        assert np.array_equal(a.angle, b.angle)
+
+
+class TestRadialProfile:
+    def test_empty_subset(self, star10):
+        layout = radial_layout(star10, seed=0)
+        profile = radial_profile(layout, np.array([], dtype=np.int64))
+        assert profile.mean_radius == 0.0
+        assert profile.histogram.sum() == 0
+
+    def test_fractions_sum(self, tiny_internet):
+        layout = radial_layout(tiny_internet, seed=0)
+        nodes = np.arange(tiny_internet.num_nodes)
+        profile = radial_profile(layout, nodes)
+        assert profile.histogram.sum() == tiny_internet.num_nodes
+        assert 0.0 <= profile.core_fraction <= 1.0
+        assert 0.0 <= profile.edge_fraction <= 1.0
+
+    def test_db_crowds_core_more_than_maxsg(self, tiny_internet):
+        from repro.core.baselines import degree_based
+        from repro.core.maxsg import maxsg
+
+        layout = radial_layout(tiny_internet, seed=0)
+        k = 40
+        db = radial_profile(layout, np.asarray(degree_based(tiny_internet, k)))
+        msg = radial_profile(layout, np.asarray(maxsg(tiny_internet, k)))
+        assert db.mean_radius <= msg.mean_radius + 0.05

@@ -1,0 +1,83 @@
+"""Unit tests for structural graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.asgraph import ASGraph
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.metrics import (
+    average_degree,
+    component_sizes,
+    degree_assortativity,
+    degree_histogram,
+    largest_component_fraction,
+    pagerank,
+    power_law_exponent,
+)
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        hist = degree_histogram(star_graph(6))
+        assert hist[1] == 5 and hist[5] == 1
+
+    def test_path(self):
+        hist = degree_histogram(path_graph(5))
+        assert hist[1] == 2 and hist[2] == 3
+
+
+class TestPageRank:
+    def test_sums_to_one(self, tiny_internet):
+        pr = pagerank(tiny_internet)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_complete_graph(self):
+        pr = pagerank(complete_graph(6))
+        assert np.allclose(pr, 1 / 6, atol=1e-8)
+
+    def test_hub_dominates_star(self):
+        pr = pagerank(star_graph(10))
+        assert pr[0] > pr[1:].max() * 3
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = ASGraph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5)])
+        pr = pagerank(g)
+        nx_pr = nx.pagerank(g.to_networkx(), alpha=0.85, tol=1e-12)
+        for v in range(6):
+            assert pr[v] == pytest.approx(nx_pr[v], abs=1e-6)
+
+    def test_invalid_damping(self, star10):
+        with pytest.raises(ValueError):
+            pagerank(star10, damping=1.5)
+
+
+class TestComponents:
+    def test_sizes_descending(self):
+        g = ASGraph.from_edges(7, [(0, 1), (1, 2), (3, 4)])
+        assert component_sizes(g).tolist() == [3, 2, 1, 1]
+
+    def test_largest_fraction(self):
+        g = ASGraph.from_edges(4, [(0, 1), (1, 2)])
+        assert largest_component_fraction(g) == pytest.approx(0.75)
+
+
+class TestShape:
+    def test_power_law_exponent_range(self, tiny_internet):
+        exponent = power_law_exponent(tiny_internet)
+        # Scale-free Internet-like graphs: roughly 1.7 - 2.6.
+        assert 1.3 < exponent < 3.2
+
+    def test_power_law_no_valid_degrees(self):
+        with pytest.raises(ValueError):
+            power_law_exponent(ASGraph.from_edges(3, [(0, 1)]), d_min=5)
+
+    def test_internet_is_disassortative(self, tiny_internet):
+        assert degree_assortativity(tiny_internet) < 0
+
+    def test_assortativity_empty(self):
+        assert degree_assortativity(ASGraph.from_edges(3, [])) == 0.0
+
+    def test_average_degree(self, star10):
+        assert average_degree(star10) == pytest.approx(2 * 9 / 10)

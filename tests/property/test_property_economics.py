@@ -1,0 +1,112 @@
+"""Property-based tests for the economic models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics.bargaining import (
+    coalition_utility,
+    nash_bargaining,
+    worst_case_hires,
+)
+from repro.economics.shapley import efficiency_gap, exact_shapley
+from repro.economics.stackelberg import CustomerAS
+from repro.economics.utilities import LogValue, PeakedTransitPayment
+
+prices = st.floats(0.0, 5.0, allow_nan=False)
+costs = st.floats(0.0, 1.0, allow_nan=False)
+betas = st.integers(1, 10)
+
+
+class TestBargainingProperties:
+    @given(prices, costs, betas)
+    @settings(max_examples=100, deadline=None)
+    def test_outcome_always_individually_rational(self, p_b, c, beta):
+        out = nash_bargaining(p_b, c, beta=beta)
+        if out.feasible:
+            assert out.employee_utility >= -1e-12
+            assert out.coalition_utility >= -1e-12
+        assert out.employee_price >= c - 1e-12
+
+    @given(prices, costs, betas, st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_no_price_beats_nash_product(self, p_b, c, beta, t):
+        out = nash_bargaining(p_b, c, beta=beta)
+        if not out.feasible:
+            return
+        h = worst_case_hires(beta)
+        p_max = (2 * p_b - h * c) / h
+        probe = c + t * (p_max - c)
+        product = (probe - c) * coalition_utility(p_b, probe, c, beta)
+        assert out.nash_product >= product - 1e-9
+
+    @given(prices, costs, betas)
+    @settings(max_examples=100, deadline=None)
+    def test_feasibility_criterion(self, p_b, c, beta):
+        """Surplus exists iff p_B > h*c (the pie 2p_B - 2hc is positive)."""
+        out = nash_bargaining(p_b, c, beta=beta)
+        h = worst_case_hires(beta)
+        assert out.feasible == (p_b > h * c)
+
+
+class TestCustomerProperties:
+    @given(
+        st.floats(0.2, 3.0),
+        st.floats(0.5, 8.0),
+        st.floats(0.05, 0.5),
+        st.floats(0.1, 0.9),
+        st.floats(0.0, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_best_response_is_argmax(self, scale, sharp, peak, a_peak, price):
+        c = CustomerAS(
+            value=LogValue(scale=scale, sharpness=sharp),
+            transit=PeakedTransitPayment(peak=peak, a_peak=a_peak),
+        )
+        a_star = c.best_response(price)
+        u_star = c.utility(a_star, price)
+        for a in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert u_star >= c.utility(a, price) - 1e-6
+
+    @given(st.floats(0.0, 2.0), st.floats(0.0, 2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_adoption_decreasing_in_price(self, p1, p2):
+        c = CustomerAS()
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert c.best_response(lo) >= c.best_response(hi) - 1e-6
+
+
+class TestShapleyProperties:
+    @given(
+        st.dictionaries(
+            st.integers(0, 9), st.floats(0.0, 10.0, allow_nan=False),
+            min_size=1, max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_additive_games_get_their_weight(self, weights):
+        cf = lambda s: float(sum(weights[j] for j in s))
+        sh = exact_shapley(cf, list(weights))
+        for j, w in weights.items():
+            assert sh[j] == pytest.approx(w, abs=1e-9)
+
+    @given(st.integers(2, 6), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_efficiency_for_random_monotone_games(self, n, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        values = {}
+
+        def cf(s):
+            key = frozenset(s)
+            if not key:
+                return 0.0  # efficiency is stated relative to U(empty) = 0
+            if key not in values:
+                # monotone-ish random game: value grows with |s|.
+                values[key] = float(len(key) + rng.random())
+            return values[key]
+
+        players = list(range(n))
+        sh = exact_shapley(cf, players)
+        assert efficiency_gap(sh, cf) < 1e-9

@@ -1,0 +1,107 @@
+"""Unit tests for the Gao-Rexford BGP route computation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.routing.bgp import BGPSimulator, RouteType
+from repro.routing.valley_free import is_valley_free
+from repro.types import Relationship
+
+C2P = int(Relationship.CUSTOMER_TO_PROVIDER)
+P2P = int(Relationship.PEER_TO_PEER)
+
+
+def diamond() -> ASGraph:
+    """Providers 0-1 peering; 2 buys from 0; 3 buys from 1; 4 buys from 2."""
+    return ASGraph.from_edges(
+        5,
+        [(2, 0), (3, 1), (0, 1), (4, 2)],
+        relationships=[C2P, C2P, P2P, C2P],
+    )
+
+
+class TestRouteTypes:
+    def test_self_route(self):
+        sim = BGPSimulator(diamond())
+        info = sim.route_to(2)
+        assert info.route_type[2] == int(RouteType.SELF)
+        assert info.path_length[2] == 0
+
+    def test_provider_hears_customer(self):
+        sim = BGPSimulator(diamond())
+        info = sim.route_to(4)
+        # 2 is 4's provider: customer route; 0 hears via its customer 2.
+        assert info.route_type[2] == int(RouteType.CUSTOMER)
+        assert info.route_type[0] == int(RouteType.CUSTOMER)
+
+    def test_peer_route(self):
+        sim = BGPSimulator(diamond())
+        info = sim.route_to(2)
+        # 1 learns 2's prefix from its peer 0.
+        assert info.route_type[1] == int(RouteType.PEER)
+
+    def test_provider_route(self):
+        sim = BGPSimulator(diamond())
+        info = sim.route_to(2)
+        # 3 learns via its provider 1.
+        assert info.route_type[3] == int(RouteType.PROVIDER)
+
+    def test_destination_out_of_range(self):
+        with pytest.raises(AlgorithmError):
+            BGPSimulator(diamond()).route_to(77)
+
+
+class TestPaths:
+    def test_path_reconstruction(self):
+        sim = BGPSimulator(diamond())
+        info = sim.route_to(4)
+        assert info.path_to(3) == [3, 1, 0, 2, 4]
+
+    def test_paths_are_valley_free(self, tiny_internet):
+        sim = BGPSimulator(tiny_internet)
+        rng = np.random.default_rng(2)
+        dests = rng.choice(tiny_internet.num_nodes, size=4, replace=False)
+        for d in dests:
+            info = sim.route_to(int(d))
+            for s in rng.choice(tiny_internet.num_nodes, size=20, replace=False):
+                path = info.path_to(int(s))
+                if path is not None and len(path) > 1:
+                    assert is_valley_free(tiny_internet, path)
+
+    def test_unreachable_returns_none(self):
+        g = ASGraph.from_edges(3, [(0, 1)], relationships=[P2P])
+        info = BGPSimulator(g).route_to(0)
+        assert info.path_to(2) is None
+
+    def test_no_valleys_across_peers(self):
+        """3 must not route to 4 via two peer hops."""
+        g = ASGraph.from_edges(
+            5,
+            [(0, 1), (1, 2), (3, 0), (4, 2)],
+            relationships=[P2P, P2P, C2P, C2P],
+        )
+        info = BGPSimulator(g).route_to(4)
+        # 4's prefix: 2 (customer route), 1 (peer). 0 must NOT learn from
+        # peer 1 (peer routes are not exported to peers).
+        assert info.route_type[0] == int(RouteType.NONE)
+        assert info.route_type[3] == int(RouteType.NONE)
+
+
+class TestPreferences:
+    def test_customer_preferred_over_peer(self):
+        # 0 can reach 2 via customer (direct) or via peer 1: must pick customer.
+        g = ASGraph.from_edges(
+            4,
+            [(2, 0), (2, 1), (0, 1), (3, 2)],
+            relationships=[C2P, C2P, P2P, C2P],
+        )
+        info = BGPSimulator(g).route_to(3)
+        assert info.route_type[0] == int(RouteType.CUSTOMER)
+        assert info.next_hop[0] == 2
+
+    def test_reachability_fraction_high_on_internet(self, tiny_internet):
+        sim = BGPSimulator(tiny_internet)
+        frac = sim.reachability_fraction(num_destinations=10, seed=0)
+        assert frac > 0.9

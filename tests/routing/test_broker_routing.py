@@ -1,0 +1,123 @@
+"""Unit tests for brokered route establishment and SLAs."""
+
+import pytest
+
+from repro.core.maxsg import maxsg
+from repro.exceptions import AlgorithmError
+from repro.routing.broker_routing import (
+    BrokerRouter,
+    ServiceLevelAgreement,
+    broker_only_fraction,
+)
+
+
+class TestBrokerRouter:
+    def test_route_via_hub(self, star10):
+        router = BrokerRouter(star10, [0])
+        route = router.route(3, 7)
+        assert route.path == [3, 0, 7]
+        assert route.broker_only
+        assert route.hops == 2
+
+    def test_unserveable_pair(self, path10):
+        router = BrokerRouter(path10, [0])
+        assert router.route(5, 9) is None
+
+    def test_same_node(self, path10):
+        router = BrokerRouter(path10, [0])
+        route = router.route(4, 4)
+        assert route.path == [4] and route.hops == 0
+
+    def test_hired_transits_reported(self, path10):
+        # Brokers 1 and 3: route 0 -> 4 must cross non-broker 2.
+        router = BrokerRouter(path10, [1, 3])
+        route = router.route(0, 4)
+        assert route is not None
+        assert route.hired_transits == [2]
+        assert not route.broker_only
+
+    def test_broker_only_upgrade(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 30)
+        router = BrokerRouter(tiny_internet, brokers)
+        route = router.route(int(tiny_internet.num_nodes - 1), 5)
+        if route is not None:
+            # every interior vertex not in the broker set must be reported
+            broker_set = set(brokers)
+            for v in route.path[1:-1]:
+                if v not in broker_set:
+                    assert v in route.hired_transits
+
+    def test_path_validity(self, tiny_internet):
+        import numpy as np
+
+        brokers = maxsg(tiny_internet, 25)
+        router = BrokerRouter(tiny_internet, brokers)
+        rng = np.random.default_rng(0)
+        adjacency = {
+            v: set(tiny_internet.neighbors(v).tolist())
+            for v in range(tiny_internet.num_nodes)
+        }
+        for _ in range(20):
+            u, v = rng.integers(tiny_internet.num_nodes, size=2)
+            route = router.route(int(u), int(v))
+            if route is None or len(route.path) < 2:
+                continue
+            for a, b in zip(route.path[:-1], route.path[1:]):
+                assert b in adjacency[a]
+
+    def test_dominating_property(self, tiny_internet):
+        from repro.core.domination import is_dominating_path
+
+        brokers = maxsg(tiny_internet, 25)
+        router = BrokerRouter(tiny_internet, brokers)
+        route = router.route(100, 200)
+        if route is not None:
+            assert is_dominating_path(tiny_internet, route.path, brokers=brokers)
+
+    def test_empty_broker_set_rejected(self, path10):
+        with pytest.raises(AlgorithmError):
+            BrokerRouter(path10, [])
+
+    def test_out_of_range(self, star10):
+        router = BrokerRouter(star10, [0])
+        with pytest.raises(AlgorithmError):
+            router.route(0, 99)
+
+
+class TestSLA:
+    def test_valid_sla(self):
+        sla = ServiceLevelAgreement(customer=3, price=1.0, max_hops=4)
+        assert sla.max_hops == 4
+
+    def test_invalid_price(self):
+        with pytest.raises(AlgorithmError):
+            ServiceLevelAgreement(customer=0, price=-1.0)
+
+    def test_invalid_hops(self):
+        with pytest.raises(AlgorithmError):
+            ServiceLevelAgreement(customer=0, price=1.0, max_hops=0)
+
+    def test_serve_within_bound(self, star10):
+        router = BrokerRouter(star10, [0])
+        sla = ServiceLevelAgreement(customer=2, price=1.0, max_hops=2)
+        assert router.serve(sla, 5) is not None
+
+    def test_serve_breach(self, path10):
+        router = BrokerRouter(path10, list(range(10)))
+        sla = ServiceLevelAgreement(customer=0, price=1.0, max_hops=2)
+        assert router.serve(sla, 9) is None
+
+
+class TestBrokerOnlyFraction:
+    def test_star_hub_always_broker_only(self, star10):
+        assert broker_only_fraction(star10, [0], num_pairs=50, seed=0) == 1.0
+
+    def test_sparse_brokers_need_hires(self, path10):
+        frac = broker_only_fraction(path10, [1, 3], num_pairs=50, seed=0)
+        assert frac < 1.0
+
+    def test_alliance_mostly_broker_only(self, tiny_internet):
+        """Fig. 5a: > 90% of connections carried by brokers alone."""
+        brokers = maxsg(tiny_internet, 41)
+        frac = broker_only_fraction(tiny_internet, brokers, num_pairs=150, seed=0)
+        assert frac > 0.9

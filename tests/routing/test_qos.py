@@ -1,0 +1,122 @@
+"""Unit tests for QoS-attributed links and QoS-constrained paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.domination import is_dominating_path
+from repro.core.maxsg import maxsg
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.routing.qos import (
+    LinkMetrics,
+    qos_coverage,
+    qos_shortest_path,
+    synthesize_link_metrics,
+)
+
+
+def line_with_metrics():
+    """0-1-2-3 with hand-set latencies/bandwidths."""
+    g = ASGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    metrics = LinkMetrics(
+        latency_ms=np.array([10.0, 20.0, 5.0]),
+        bandwidth_gbps=np.array([100.0, 1.0, 100.0]),
+    )
+    return g, metrics
+
+
+class TestLinkMetrics:
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            LinkMetrics(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(AlgorithmError):
+            LinkMetrics(np.array([-1.0]), np.array([1.0]))
+
+    def test_synthesized_shapes(self, tiny_internet):
+        m = synthesize_link_metrics(tiny_internet, seed=0)
+        assert len(m.latency_ms) == tiny_internet.num_edges
+        assert (m.latency_ms > 0).all() and (m.bandwidth_gbps > 0).all()
+
+    def test_ixp_links_fast(self, tiny_internet):
+        from repro.types import Relationship
+
+        m = synthesize_link_metrics(tiny_internet, seed=0)
+        member = tiny_internet.edge_rels == int(Relationship.IXP_MEMBERSHIP)
+        c2p = tiny_internet.edge_rels == int(Relationship.CUSTOMER_TO_PROVIDER)
+        assert m.latency_ms[member].mean() < m.latency_ms[c2p].mean()
+
+    def test_deterministic(self, tiny_internet):
+        a = synthesize_link_metrics(tiny_internet, seed=5)
+        b = synthesize_link_metrics(tiny_internet, seed=5)
+        assert np.array_equal(a.latency_ms, b.latency_ms)
+
+
+class TestQoSShortestPath:
+    def test_latency_sum(self):
+        g, m = line_with_metrics()
+        p = qos_shortest_path(g, m, 0, 3)
+        assert p.path == [0, 1, 2, 3]
+        assert p.latency_ms == pytest.approx(35.0)
+        assert p.bottleneck_gbps == pytest.approx(1.0)
+
+    def test_bandwidth_floor_blocks(self):
+        g, m = line_with_metrics()
+        assert qos_shortest_path(g, m, 0, 3, min_bandwidth_gbps=5.0) is None
+
+    def test_same_node(self):
+        g, m = line_with_metrics()
+        p = qos_shortest_path(g, m, 2, 2)
+        assert p.path == [2] and p.latency_ms == 0.0
+
+    def test_prefers_low_latency_detour(self):
+        g = ASGraph.from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        m = LinkMetrics(
+            latency_ms=np.array([50.0, 50.0, 1.0, 1.0]),
+            bandwidth_gbps=np.ones(4),
+        )
+        p = qos_shortest_path(g, m, 0, 3)
+        assert p.path == [0, 2, 3]
+
+    def test_dominated_restriction(self, tiny_internet):
+        m = synthesize_link_metrics(tiny_internet, seed=0)
+        brokers = maxsg(tiny_internet, 25)
+        p = qos_shortest_path(tiny_internet, m, 50, 60, brokers=brokers)
+        if p is not None:
+            assert is_dominating_path(tiny_internet, p.path, brokers=brokers)
+
+    def test_brokered_no_faster_than_free(self, tiny_internet):
+        m = synthesize_link_metrics(tiny_internet, seed=0)
+        brokers = maxsg(tiny_internet, 25)
+        free = qos_shortest_path(tiny_internet, m, 10, 500)
+        dom = qos_shortest_path(tiny_internet, m, 10, 500, brokers=brokers)
+        if free is not None and dom is not None:
+            assert dom.latency_ms >= free.latency_ms - 1e-9
+
+    def test_out_of_range(self):
+        g, m = line_with_metrics()
+        with pytest.raises(AlgorithmError):
+            qos_shortest_path(g, m, 0, 99)
+
+
+class TestQoSCoverage:
+    def test_free_at_least_brokered(self, tiny_internet):
+        m = synthesize_link_metrics(tiny_internet, seed=0)
+        brokers = maxsg(tiny_internet, 20)
+        free = qos_coverage(
+            tiny_internet, m, None, max_latency_ms=80, num_pairs=200, seed=1
+        )
+        dom = qos_coverage(
+            tiny_internet, m, brokers, max_latency_ms=80, num_pairs=200, seed=1
+        )
+        assert free >= dom - 1e-9
+
+    def test_monotone_in_latency_budget(self, tiny_internet):
+        m = synthesize_link_metrics(tiny_internet, seed=0)
+        lo = qos_coverage(tiny_internet, m, None, max_latency_ms=20, num_pairs=200, seed=1)
+        hi = qos_coverage(tiny_internet, m, None, max_latency_ms=120, num_pairs=200, seed=1)
+        assert hi >= lo
+
+    def test_invalid_budget(self, tiny_internet):
+        m = synthesize_link_metrics(tiny_internet, seed=0)
+        with pytest.raises(AlgorithmError):
+            qos_coverage(tiny_internet, m, None, max_latency_ms=0.0)

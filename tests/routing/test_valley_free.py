@@ -1,0 +1,120 @@
+"""Unit tests for valley-free path semantics."""
+
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.routing.valley_free import (
+    is_valley_free,
+    valley_free_reachable,
+    valley_free_shortest_path,
+)
+from repro.types import Relationship
+
+C2P = int(Relationship.CUSTOMER_TO_PROVIDER)
+P2P = int(Relationship.PEER_TO_PEER)
+IXP = int(Relationship.IXP_MEMBERSHIP)
+
+
+def hierarchy() -> ASGraph:
+    """Two providers (0, 1) peering; 2,3 customers of 0; 4 customer of 1.
+
+    Edges (customer first): 2->0, 3->0, 4->1, peer 0-1.
+    """
+    return ASGraph.from_edges(
+        5,
+        [(2, 0), (3, 0), (4, 1), (0, 1)],
+        relationships=[C2P, C2P, C2P, P2P],
+    )
+
+
+class TestIsValleyFree:
+    def test_up_peer_down(self):
+        g = hierarchy()
+        assert is_valley_free(g, [2, 0, 1, 4])
+
+    def test_up_down(self):
+        g = hierarchy()
+        assert is_valley_free(g, [2, 0, 3])
+
+    def test_valley_rejected(self):
+        g = hierarchy()
+        # 0 -> 2 (down) then 2 -> 0 -> impossible here; build explicit
+        # valley: down to 3 then up to 0 again.
+        assert not is_valley_free(g, [2, 0, 3, 0][:3] + [0])  # 2,0,3,0
+
+    def test_peer_after_down_rejected(self):
+        g = hierarchy()
+        # 4 -> 1 (up), 1 -> 0 (peer), 0 -> 1? no such second peer; use
+        # 0 -> 2 (down) then ... construct down-then-peer: [2,0,1] is
+        # up/peer = fine; [0,2] down then no peer exists from 2.
+        assert not is_valley_free(g, [3, 0, 2, 0])
+
+    def test_single_vertex(self):
+        assert is_valley_free(hierarchy(), [3])
+
+    def test_unknown_edge_raises(self):
+        with pytest.raises(AlgorithmError):
+            is_valley_free(hierarchy(), [2, 4])
+
+    def test_empty_path_raises(self):
+        with pytest.raises(AlgorithmError):
+            is_valley_free(hierarchy(), [])
+
+    def test_ixp_edge_treated_as_peer(self):
+        g = ASGraph.from_edges(3, [(0, 1), (1, 2)], relationships=[IXP, IXP])
+        # two peer hops: not valley-free
+        assert not is_valley_free(g, [0, 1, 2])
+
+
+class TestReachability:
+    def test_all_reachable_in_hierarchy(self):
+        g = hierarchy()
+        for s in range(5):
+            assert valley_free_reachable(g, s).all()
+
+    def test_two_peer_hops_blocked(self):
+        # chain of peers: 0 -1- 2; 0 cannot reach 2 valley-free.
+        g = ASGraph.from_edges(3, [(0, 1), (1, 2)], relationships=[P2P, P2P])
+        reach = valley_free_reachable(g, 0)
+        assert reach[1] and not reach[2]
+
+    def test_source_out_of_range(self):
+        with pytest.raises(AlgorithmError):
+            valley_free_reachable(hierarchy(), 9)
+
+
+class TestShortestPath:
+    def test_sibling_route(self):
+        g = hierarchy()
+        path = valley_free_shortest_path(g, 2, 3)
+        assert path == [2, 0, 3]
+        assert is_valley_free(g, path)
+
+    def test_cross_provider_route(self):
+        g = hierarchy()
+        path = valley_free_shortest_path(g, 2, 4)
+        assert path == [2, 0, 1, 4]
+        assert is_valley_free(g, path)
+
+    def test_same_node(self):
+        assert valley_free_shortest_path(hierarchy(), 1, 1) == [1]
+
+    def test_unreachable_returns_none(self):
+        g = ASGraph.from_edges(3, [(0, 1), (1, 2)], relationships=[P2P, P2P])
+        assert valley_free_shortest_path(g, 0, 2) is None
+
+    def test_internet_paths_are_valley_free(self, tiny_internet):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        found = 0
+        for _ in range(15):
+            u, v = rng.integers(tiny_internet.num_nodes, size=2)
+            if u == v:
+                continue
+            path = valley_free_shortest_path(tiny_internet, int(u), int(v))
+            if path is not None:
+                assert is_valley_free(tiny_internet, path)
+                found += 1
+        assert found >= 10  # the synthetic internet is VF-navigable

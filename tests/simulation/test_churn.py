@@ -1,0 +1,120 @@
+"""Unit tests for topology churn and incremental broker maintenance."""
+
+import pytest
+
+from repro.core.coverage import coverage_fraction
+from repro.core.maxsg import maxsg
+from repro.exceptions import AlgorithmError
+from repro.simulation.churn import (
+    ChurnEvent,
+    ChurnKind,
+    IncrementalBrokerSet,
+    generate_churn_trace,
+)
+
+
+class TestTraceGeneration:
+    def test_event_count(self, tiny_internet):
+        trace = generate_churn_trace(tiny_internet, num_events=50, seed=0)
+        assert 0 < len(trace.events) <= 50
+
+    def test_deterministic(self, tiny_internet):
+        a = generate_churn_trace(tiny_internet, num_events=40, seed=3)
+        b = generate_churn_trace(tiny_internet, num_events=40, seed=3)
+        assert a.events == b.events
+
+    def test_arrivals_get_fresh_ids(self, tiny_internet):
+        trace = generate_churn_trace(
+            tiny_internet, num_events=60, arrival_fraction=1.0,
+            departure_fraction=0.0, link_up_fraction=0.0, seed=0,
+        )
+        ids = [e.node for e in trace.events if e.kind is ChurnKind.AS_ARRIVAL]
+        assert min(ids) >= tiny_internet.num_nodes
+        assert len(set(ids)) == len(ids)
+
+    def test_invalid_fractions(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            generate_churn_trace(
+                tiny_internet, arrival_fraction=0.8, departure_fraction=0.8
+            )
+
+
+class TestIncrementalBrokerSet:
+    def test_coverage_matches_snapshot_recomputation(self, tiny_internet):
+        """The core invariant: incremental == from-scratch, event by event."""
+        brokers = maxsg(tiny_internet, 15)
+        trace = generate_churn_trace(tiny_internet, num_events=80, seed=1)
+        inc = IncrementalBrokerSet(tiny_internet, brokers, coverage_target=0.8)
+        for event in trace.events[:40]:
+            inc.apply(event)
+        snap = inc.snapshot()
+        snap_brokers = inc.snapshot_brokers()
+        assert inc.coverage_fraction() == pytest.approx(
+            coverage_fraction(snap, snap_brokers)
+        )
+
+    def test_departing_broker_retired(self, star10):
+        inc = IncrementalBrokerSet(star10, [0, 3], coverage_target=0.1)
+        inc.apply(ChurnEvent(ChurnKind.AS_DEPARTURE, node=3))
+        assert 3 not in inc.brokers
+        assert inc.stats.brokers_retired == 1
+
+    def test_hub_departure_triggers_repair(self, star10):
+        inc = IncrementalBrokerSet(
+            star10, [0], coverage_target=0.5, max_brokers=10
+        )
+        inc.apply(ChurnEvent(ChurnKind.AS_DEPARTURE, node=0))
+        # hub gone: leaves are isolated; repair adds brokers to re-cover.
+        assert inc.stats.repairs_triggered >= 1
+        assert inc.coverage_fraction() >= 0.5
+
+    def test_arrival_covered_by_adjacent_broker(self, star10):
+        inc = IncrementalBrokerSet(star10, [0], coverage_target=0.99)
+        inc.apply(
+            ChurnEvent(ChurnKind.AS_ARRIVAL, node=10, neighbors=(0,))
+        )
+        assert 10 in inc.covered_set()
+
+    def test_arrival_far_away_may_need_repair(self, star10):
+        inc = IncrementalBrokerSet(star10, [0], coverage_target=1.0, max_brokers=5)
+        inc.apply(ChurnEvent(ChurnKind.AS_ARRIVAL, node=10, neighbors=(1,)))
+        # new node hangs off leaf 1: not covered by hub, repair must fire.
+        assert inc.coverage_fraction() == pytest.approx(1.0)
+        assert inc.stats.brokers_added >= 1
+
+    def test_link_down_loses_coverage(self, star10):
+        inc = IncrementalBrokerSet(star10, [0], coverage_target=0.05)
+        before = inc.coverage_fraction()
+        inc.apply(ChurnEvent(ChurnKind.LINK_DOWN, endpoints=(0, 5)))
+        assert inc.coverage_fraction() < before
+
+    def test_link_up_extends_coverage(self, path10):
+        inc = IncrementalBrokerSet(path10, [0], coverage_target=0.05)
+        before = len(inc.covered_set())
+        inc.apply(ChurnEvent(ChurnKind.LINK_UP, endpoints=(0, 9)))
+        assert len(inc.covered_set()) == before + 1
+
+    def test_budget_respected(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 10)
+        inc = IncrementalBrokerSet(
+            tiny_internet, brokers, coverage_target=0.99, max_brokers=14
+        )
+        trace = generate_churn_trace(tiny_internet, num_events=60, seed=2)
+        inc.run(trace)
+        assert len(inc.brokers) <= 14
+
+    def test_full_trace_keeps_target(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 20)
+        inc = IncrementalBrokerSet(
+            tiny_internet, brokers, coverage_target=0.85,
+            max_brokers=60,
+        )
+        trace = generate_churn_trace(tiny_internet, num_events=120, seed=4)
+        inc.run(trace)
+        assert inc.coverage_fraction() >= 0.80  # target minus small slack
+
+    def test_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            IncrementalBrokerSet(star10, [0], coverage_target=0.0)
+        with pytest.raises(AlgorithmError):
+            IncrementalBrokerSet(star10, [], coverage_target=0.5)

@@ -1,0 +1,113 @@
+"""Unit tests for the brokered-SLA marketplace simulation."""
+
+import pytest
+
+from repro.core.maxsg import maxsg
+from repro.exceptions import AlgorithmError, EconomicModelError
+from repro.simulation.marketplace import (
+    MarketplaceReport,
+    ServiceRequest,
+    generate_requests,
+    simulate_marketplace,
+)
+
+
+class TestServiceRequest:
+    def test_validation(self):
+        with pytest.raises(EconomicModelError):
+            ServiceRequest(0, 1, volume=0.0)
+        with pytest.raises(EconomicModelError):
+            ServiceRequest(0, 1, max_hops=0)
+
+
+class TestGenerateRequests:
+    def test_count_and_distinct_endpoints(self, tiny_internet):
+        reqs = generate_requests(tiny_internet, 50, seed=0)
+        assert len(reqs) == 50
+        assert all(r.source != r.destination for r in reqs)
+
+    def test_deterministic(self, tiny_internet):
+        a = generate_requests(tiny_internet, 20, seed=7)
+        b = generate_requests(tiny_internet, 20, seed=7)
+        assert [(r.source, r.destination) for r in a] == [
+            (r.source, r.destination) for r in b
+        ]
+
+    def test_invalid_count(self, tiny_internet):
+        with pytest.raises(AlgorithmError):
+            generate_requests(tiny_internet, 0)
+
+
+class TestSimulateMarketplace:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.datasets.loader import load_internet
+
+        graph = load_internet("tiny", seed=1)
+        brokers = maxsg(graph, 41)
+        requests = generate_requests(graph, 300, seed=0)
+        return graph, brokers, requests
+
+    def test_accounting_identity(self, setup):
+        graph, brokers, requests = setup
+        report = simulate_marketplace(graph, brokers, requests)
+        assert report.requests == 300
+        assert (
+            report.served + report.sla_breaches + report.unroutable
+            == report.requests
+        )
+        assert report.profit == pytest.approx(
+            report.revenue - report.hire_costs - report.routing_costs
+        )
+
+    def test_high_service_rate_with_alliance(self, setup):
+        graph, brokers, requests = setup
+        report = simulate_marketplace(graph, brokers, requests)
+        assert report.service_rate > 0.9
+
+    def test_hop_histogram_totals(self, setup):
+        graph, brokers, requests = setup
+        report = simulate_marketplace(graph, brokers, requests)
+        assert sum(report.hop_histogram.values()) == report.served
+
+    def test_revenue_scales_with_price(self, setup):
+        graph, brokers, requests = setup
+        cheap = simulate_marketplace(graph, brokers, requests, broker_price=0.5)
+        pricey = simulate_marketplace(graph, brokers, requests, broker_price=2.0)
+        assert pricey.revenue == pytest.approx(4 * cheap.revenue)
+
+    def test_tight_sla_breaches(self, setup):
+        graph, brokers, _ = setup
+        tight = [
+            ServiceRequest(r.source, r.destination, volume=r.volume, max_hops=1)
+            for r in generate_requests(graph, 200, seed=3)
+        ]
+        report = simulate_marketplace(graph, brokers, tight)
+        assert report.sla_breaches > 0
+
+    def test_sparse_brokers_unroutable(self, path10):
+        requests = [ServiceRequest(0, 9), ServiceRequest(9, 0)]
+        report = simulate_marketplace(path10, [0], requests)
+        assert report.unroutable == 2
+        assert report.revenue == 0.0
+
+    def test_hired_transit_costs_money(self, path10):
+        # brokers 1 and 3: route 0 -> 4 hires node 2.
+        requests = [ServiceRequest(0, 4, volume=2.0)]
+        report = simulate_marketplace(
+            path10, [1, 3], requests, broker_price=1.0, routing_cost=0.05
+        )
+        assert report.served == 1
+        assert report.hired_route_count == 1
+        assert report.hire_costs > 0
+
+    def test_empty_report_properties(self):
+        report = MarketplaceReport()
+        assert report.service_rate == 0.0
+        assert report.hire_rate == 0.0
+        assert report.profit == 0.0
+
+    def test_validation(self, setup):
+        graph, brokers, requests = setup
+        with pytest.raises(EconomicModelError):
+            simulate_marketplace(graph, brokers, requests, broker_price=-1.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.scale == "small"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_generate_and_summarize(self, tmp_path, capsys):
+        out = tmp_path / "g.json.gz"
+        code = main(["generate", "--scale", "tiny", "--seed", "1", "--output", str(out)])
+        assert code == 0
+        assert out.exists()
+        code = main(["summarize", "--path", str(out), "--seed", "1"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table 2" in captured
+
+    def test_summarize_generated(self, capsys):
+        assert main(["summarize", "--scale", "tiny", "--seed", "1"]) == 0
+        assert "ASes" in capsys.readouterr().out
+
+    def test_select(self, capsys):
+        code = main([
+            "select", "maxsg", "--budget", "8", "--scale", "tiny",
+            "--seed", "1", "--show-brokers", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maxsg" in out and "top brokers" in out
+
+    def test_select_unknown_algorithm(self, capsys):
+        assert main(["select", "quantum", "--scale", "tiny"]) == 2
+
+    def test_select_missing_budget_is_handled(self, capsys):
+        code = main(["select", "greedy", "--scale", "tiny"])
+        assert code == 1  # AlgorithmError -> error exit
+
+    def test_experiment_single(self, capsys):
+        code = main(["experiment", "table2", "--scale", "tiny", "--seed", "1"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "tableXX", "--scale", "tiny"]) == 1
+
+
+class TestReportAndExport:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main([
+            "report", "table2", "fig2a", "--scale", "tiny", "--seed", "1",
+            "--output", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "## table2" in text and "## fig2a" in text
+
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "table2", "--scale", "tiny", "--seed", "1"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_export_gexf(self, tmp_path, capsys):
+        out = tmp_path / "topo.gexf"
+        code = main([
+            "export", "--format", "gexf", "--scale", "tiny", "--seed", "1",
+            "--brokers", "5", "--output", str(out),
+        ])
+        assert code == 0
+        assert out.read_text().startswith("<?xml")
+
+    def test_export_dot(self, tmp_path, capsys):
+        out = tmp_path / "topo.dot"
+        code = main([
+            "export", "--format", "dot", "--scale", "tiny", "--seed", "1",
+            "--output", str(out),
+        ])
+        assert code == 0
+        assert "graph topology" in out.read_text()
