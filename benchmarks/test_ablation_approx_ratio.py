@@ -1,7 +1,11 @@
 """Bench A1 — ablation: Algorithm 2 vs exact MCBG optimum (Theorem 3)."""
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_approx_ratio(benchmark, config):

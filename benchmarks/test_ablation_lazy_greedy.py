@@ -1,7 +1,11 @@
 """Bench A4 — ablation: lazy (CELF) vs plain greedy."""
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_lazy_greedy(benchmark, config, warm_graph):

@@ -2,8 +2,12 @@
 
 import numpy as np
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_maxsg_seed(benchmark, config, warm_graph):

@@ -1,7 +1,11 @@
 """Bench A2 — ablation: MaxSG vs Algorithm 2 (the <0.5% gap claim)."""
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_maxsg_vs_approx(benchmark, config, warm_graph):

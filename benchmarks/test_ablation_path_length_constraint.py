@@ -1,7 +1,11 @@
 """Bench A7 — Problem 4: epsilon-feasibility of the selected broker sets."""
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_path_length_constraint(benchmark, config, warm_graph):

@@ -1,7 +1,11 @@
 """Bench A5 — ablation: Algorithm 2's best-root loop vs first-root."""
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_root_strategy(benchmark, config, warm_graph):

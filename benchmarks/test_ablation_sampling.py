@@ -1,7 +1,11 @@
 """Bench A6 — ablation: sampled vs exact connectivity estimation."""
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_sampling(benchmark, config, warm_graph):

@@ -1,0 +1,15 @@
+"""Bench X7 — extension: fault campaign + SLA self-healing (fig5d)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def test_ext_resilience(benchmark, config, warm_graph):
+    result = run_once(benchmark, run_experiment, "fig5d", config)
+    print("\n" + result.render())
+    values = result.paper_values
+    # The campaign must actually hurt the raw alliance...
+    assert values["unhealed_final"] < values["baseline"]
+    # ...and healing must end at least as well as not healing.
+    assert values["healed_final"] >= values["unhealed_final"] - 1e-9
+    assert values["total_added"] >= 0

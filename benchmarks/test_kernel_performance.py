@@ -16,6 +16,8 @@ from repro.core.greedy import lazy_greedy_max_coverage
 from repro.core.maxsg import maxsg
 from repro.graph.csr import batched_hop_reach, bfs_levels
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def graph(config):

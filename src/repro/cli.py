@@ -101,14 +101,94 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import ExperimentConfig, list_experiments, run_experiment
+    from repro.experiments import (
+        ExperimentConfig,
+        list_experiments,
+        run_experiment_batch,
+    )
 
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
     names = list_experiments() if args.name == "all" else [args.name]
-    for name in names:
-        result = run_experiment(name, config)
+    batch = run_experiment_batch(
+        names,
+        config,
+        retries=args.retries,
+        timeout=args.timeout,
+        checkpoint=args.checkpoint,
+        seed=args.seed,
+    )
+    if batch.resumed:
+        print(f"resumed {len(batch.resumed)} experiment(s) from {args.checkpoint}")
+    for result in batch.results:
         print(result.render())
         print()
+    for failure in batch.failures:
+        print(
+            f"FAILED {failure.experiment_id}: {failure.error_type}: "
+            f"{failure.message} ({failure.attempts} attempt(s), "
+            f"{failure.elapsed:.1f}s)",
+            file=sys.stderr,
+        )
+    return 0 if batch.ok else 1
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.core.maxsg import maxsg
+    from repro.experiments.resilience import build_mixed_schedule
+    from repro.resilience import (
+        SlaPolicy,
+        flapping_brokers,
+        independent_crashes,
+        link_cut_campaign,
+        regional_outage,
+        replay_schedule,
+        targeted_removals,
+    )
+    from repro.utils.tables import format_table
+
+    graph = load_internet(args.scale, seed=args.seed)
+    budget = args.budget or max(1, round(0.019 * graph.num_nodes))
+    brokers = maxsg(graph, budget)
+    steps = args.steps
+    if args.model == "independent":
+        schedule = independent_crashes(
+            brokers, num_steps=steps, crash_prob=args.crash_prob, seed=args.seed
+        )
+    elif args.model == "targeted":
+        schedule = targeted_removals(
+            graph, brokers, count=min(steps, len(brokers))
+        )
+    elif args.model == "regional":
+        schedule = regional_outage(
+            graph, brokers, radius=args.radius, step=1, seed=args.seed
+        )
+    elif args.model == "linkcut":
+        schedule = link_cut_campaign(
+            graph, num_steps=steps, brokers=brokers, seed=args.seed,
+            cuts_per_step=max(1, graph.num_edges // 500),
+        )
+    elif args.model == "flapping":
+        schedule = flapping_brokers(
+            brokers, num_steps=steps, seed=args.seed,
+            num_flappers=max(1, len(brokers) // 5), down_for=2,
+        )
+    else:  # mixed — the fig5d campaign
+        schedule = build_mixed_schedule(graph, brokers, args.seed)
+    policy = SlaPolicy(threshold=args.sla, repair_budget=args.repair_budget)
+    report = replay_schedule(
+        graph, brokers, schedule, policy=policy, heal=not args.no_heal
+    )
+    title = (
+        f"Resilience replay: {args.model} x{schedule.num_steps} steps, "
+        f"{len(schedule)} faults, |B|={len(brokers)}"
+        f"{' (healing off)' if args.no_heal else ''}"
+    )
+    print(format_table(
+        ["step", "faults", "degraded", "healed", "recruits"],
+        report.as_rows(),
+        title=title,
+    ))
+    print(f"  {report.summary()}")
     return 0
 
 
@@ -143,7 +223,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="experiment id (e.g. table1, fig5b) or 'all'")
     p.add_argument("--scale", choices=available_scales(), default="small")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry a failing experiment this many times "
+                        "(exponential backoff, seeded jitter)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-experiment wall-clock budget in seconds")
+    p.add_argument("--checkpoint", default=None,
+                   help="JSON checkpoint file; reruns resume past "
+                        "completed experiments")
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("resilience",
+                       help="replay a fault campaign + SLA self-healing")
+    p.add_argument("--scale", choices=available_scales(), default="tiny")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--budget", type=int, default=None,
+                   help="broker-set size (default: 1.9%% of nodes)")
+    p.add_argument("--model", default="mixed",
+                   choices=("independent", "targeted", "regional",
+                            "linkcut", "flapping", "mixed"))
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--crash-prob", type=float, default=0.05,
+                   help="per-step crash probability (independent model)")
+    p.add_argument("--radius", type=int, default=1,
+                   help="outage radius in hops (regional model)")
+    p.add_argument("--sla", type=float, default=0.9,
+                   help="SLA: fraction of baseline connectivity to defend")
+    p.add_argument("--repair-budget", type=int, default=5,
+                   help="max replacement brokers per SLA violation")
+    p.add_argument("--no-heal", action="store_true",
+                   help="replay the raw degradation without repairs")
+    p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser("report", help="render experiments as a markdown report")
     p.add_argument("experiments", nargs="*", help="experiment ids (default: all)")

@@ -7,6 +7,8 @@ E2E guarantee degrades and how to buy insurance:
 
 * :func:`failure_sweep` — remove random or targeted (highest-coverage)
   brokers and track the saturated connectivity curve;
+* :func:`coverage_contribution_order` — brokers ordered by the marginal
+  coverage each one actually provides (the adversary's hit list);
 * :func:`redundant_greedy` — an ``r``-redundant variant of Algorithm 1:
   a vertex only counts as covered once ``r`` distinct brokers are in its
   closed neighbourhood, so any single failure leaves every covered
@@ -25,6 +27,7 @@ import numpy as np
 from repro.core.connectivity import saturated_connectivity
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
+from repro.graph.csr import build_csr
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -44,6 +47,32 @@ class FailureSweepResult:
         return float(self.connectivity[0] - self.connectivity[idx])
 
 
+def broker_hit_counts(graph: ASGraph, brokers: list[int]) -> np.ndarray:
+    """Per-vertex count of brokers inside the closed neighbourhood N[v]."""
+    hits = np.zeros(graph.num_nodes, dtype=np.int64)
+    for b in dict.fromkeys(int(b) for b in brokers):
+        hits[b] += 1
+        hits[graph.neighbors(b)] += 1
+    return hits
+
+
+def coverage_contribution_order(graph: ASGraph, brokers: list[int]) -> list[int]:
+    """Brokers in descending marginal coverage contribution.
+
+    The contribution of broker ``b`` is ``f(B) − f(B \\ {b})`` — the
+    number of vertices only ``b`` covers, i.e. vertices of ``N[b]`` with a
+    broker hit count of exactly one.  Ties break toward the smaller id so
+    the order is deterministic.
+    """
+    brokers = list(dict.fromkeys(int(b) for b in brokers))
+    hits = broker_hit_counts(graph, brokers)
+    contribution = {}
+    for b in brokers:
+        closed = np.append(graph.neighbors(b), b)
+        contribution[b] = int(np.count_nonzero(hits[closed] == 1))
+    return sorted(brokers, key=lambda b: (-contribution[b], b))
+
+
 def failure_sweep(
     graph: ASGraph,
     brokers: list[int],
@@ -56,10 +85,17 @@ def failure_sweep(
     """Remove brokers one batch at a time and measure the damage.
 
     ``strategy="random"`` removes uniformly (expected behaviour under
-    independent outages); ``"targeted"`` removes in descending coverage
-    contribution (an adversary, or the largest members defecting).
+    independent outages); ``"targeted"`` removes in descending marginal
+    coverage contribution (an adversary picking the brokers whose loss
+    uncovers the most vertices); ``"degree"`` removes in descending raw
+    degree (the crude biggest-members-defect model).
+
+    Brokers are removed incrementally from a live mask, so a sweep over
+    ``k`` failures costs ``k`` mask updates plus one connectivity
+    evaluation per reported point — not the O(k²) set rebuilds of the
+    naive formulation.
     """
-    if strategy not in ("random", "targeted"):
+    if strategy not in ("random", "targeted", "degree"):
         raise AlgorithmError(f"unknown strategy {strategy!r}")
     brokers = list(dict.fromkeys(int(b) for b in brokers))
     if not brokers:
@@ -67,19 +103,27 @@ def failure_sweep(
     limit = len(brokers) if max_failures is None else min(max_failures, len(brokers))
     if strategy == "random":
         rng = ensure_rng(seed)
-        order = list(rng.permutation(brokers))
-    else:
-        # Defect biggest-first: order by standalone closed-neighbourhood size.
+        order = [int(b) for b in rng.permutation(brokers)]
+    elif strategy == "degree":
         degrees = graph.degrees()
-        order = sorted(brokers, key=lambda b: -int(degrees[b]))
+        order = sorted(brokers, key=lambda b: (-int(degrees[b]), b))
+    else:
+        order = coverage_contribution_order(graph, brokers)
     removed_counts = list(range(0, limit + 1, step))
     if removed_counts[-1] != limit:
         removed_counts.append(limit)
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    mask[brokers] = True
+    surviving = len(brokers)
     connectivity = []
+    removed_so_far = 0
     for k in removed_counts:
-        surviving = [b for b in brokers if b not in set(order[:k])]
+        for b in order[removed_so_far:k]:
+            mask[b] = False
+        surviving -= k - removed_so_far
+        removed_so_far = k
         connectivity.append(
-            saturated_connectivity(graph, surviving) if surviving else 0.0
+            saturated_connectivity(graph, mask) if surviving else 0.0
         )
     return FailureSweepResult(
         removed=np.asarray(removed_counts),
@@ -89,17 +133,49 @@ def failure_sweep(
 
 
 def single_failure_impact(graph: ASGraph, brokers: list[int]) -> dict:
-    """Worst-case and mean connectivity drop over all single removals."""
+    """Worst-case and mean connectivity drop over all single removals.
+
+    Instead of rebuilding the dominated graph from scratch for each of
+    the ``|B|`` removals, the per-edge broker-endpoint counts are computed
+    once; removing broker ``b`` only deletes the incident edges whose
+    *sole* broker endpoint is ``b``, so removals that delete no edge are
+    answered without touching the connectivity engine at all.
+    """
     brokers = list(dict.fromkeys(int(b) for b in brokers))
     if not brokers:
         raise AlgorithmError("broker set must be non-empty")
-    base = saturated_connectivity(graph, brokers)
+    n = graph.num_nodes
+    src, dst = graph.edge_src, graph.edge_dst
+    mask = np.zeros(n, dtype=bool)
+    mask[brokers] = True
+    # Edge (u, v) survives B ⊙ A while it retains >= 1 broker endpoint.
+    edge_hits = mask[src].astype(np.int8) + mask[dst].astype(np.int8)
+    base_keep = edge_hits > 0
+    base_matrix = build_csr(n, src[base_keep], dst[base_keep], symmetric=True)
+    base = saturated_connectivity(graph, matrix=base_matrix.to_scipy())
+    # Incident edge ids per vertex, built once by sorting the doubled
+    # endpoint list (O(E log E)), then sliced per broker (O(deg)).
+    endpoints = np.concatenate([src, dst])
+    edge_ids = np.concatenate([np.arange(len(src)), np.arange(len(src))])
+    order = np.argsort(endpoints, kind="stable")
+    endpoints, edge_ids = endpoints[order], edge_ids[order]
     drops = []
     worst_broker = brokers[0]
     worst_drop = -1.0
     for b in brokers:
-        rest = [x for x in brokers if x != b]
-        value = saturated_connectivity(graph, rest) if rest else 0.0
+        lo = int(np.searchsorted(endpoints, b, side="left"))
+        hi = int(np.searchsorted(endpoints, b, side="right"))
+        incident = edge_ids[lo:hi]
+        lost = incident[edge_hits[incident] == 1]
+        if len(brokers) == 1:
+            value = 0.0
+        elif lost.size == 0:
+            value = base  # b was redundant: the dominated graph is unchanged.
+        else:
+            keep = base_keep.copy()
+            keep[lost] = False
+            matrix = build_csr(n, src[keep], dst[keep], symmetric=True)
+            value = saturated_connectivity(graph, matrix=matrix.to_scipy())
         drop = base - value
         drops.append(drop)
         if drop > worst_drop:
@@ -164,8 +240,5 @@ def r_covered_fraction(graph: ASGraph, brokers: list[int], redundancy: int) -> f
     """Fraction of vertices with >= ``redundancy`` brokers in N[v]."""
     if redundancy < 1:
         raise AlgorithmError("redundancy must be >= 1")
-    hits = np.zeros(graph.num_nodes, dtype=np.int64)
-    for b in dict.fromkeys(int(b) for b in brokers):
-        hits[b] += 1
-        hits[graph.neighbors(b)] += 1
+    hits = broker_hit_counts(graph, brokers)
     return float(np.mean(hits >= redundancy))

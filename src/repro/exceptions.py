@@ -49,6 +49,26 @@ class ConvergenceError(ReproError):
     """
 
 
+class ExperimentTimeoutError(ReproError):
+    """An experiment exceeded its wall-clock budget.
+
+    Raised by the hardened batch runner when a single experiment blows
+    through the per-experiment ``timeout``; the batch records it as a
+    structured :class:`repro.experiments.runner.ExperimentFailure` and
+    moves on instead of hanging the whole sweep.
+    """
+
+
+class CheckpointError(ReproError):
+    """An experiment checkpoint file is unusable.
+
+    Raised when a resume is attempted against a checkpoint written for a
+    different configuration (scale/seed), an unknown format version, or
+    a corrupt file — silently mixing results from two configurations
+    would poison the sweep.
+    """
+
+
 class EconomicModelError(ReproError):
     """An economic model was configured with invalid parameters.
 

@@ -1,12 +1,22 @@
 """Experiment harness: one module per paper table/figure + ablations."""
 
 from repro.experiments.config import ExperimentConfig, PAPER_BROKER_FRACTIONS
-from repro.experiments.runner import ExperimentResult, list_experiments, run_experiment
+from repro.experiments.runner import (
+    BatchResult,
+    ExperimentFailure,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+    run_experiment_batch,
+)
 
 __all__ = [
     "ExperimentConfig",
     "PAPER_BROKER_FRACTIONS",
     "ExperimentResult",
+    "ExperimentFailure",
+    "BatchResult",
     "run_experiment",
+    "run_experiment_batch",
     "list_experiments",
 ]

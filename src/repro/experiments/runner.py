@@ -1,17 +1,35 @@
-"""Experiment registry and the common result container.
+"""Experiment registry, result container, and the hardened batch runner.
 
 Each experiment module registers a callable ``ExperimentConfig ->
 ExperimentResult``; the CLI and the benchmark suite look experiments up
 by their paper artifact id (``"table1"``, ``"fig5b"``, ...).
+
+:func:`run_experiment_batch` is the fault-tolerant entry point for
+multi-experiment sweeps: per-experiment retry with exponential backoff
+(jitter drawn from a seeded RNG, so a retried batch is reproducible),
+per-experiment wall-clock timeouts, JSON checkpoint/resume so a killed
+sweep continues where it stopped, and structured
+:class:`ExperimentFailure` records so one broken experiment degrades the
+batch gracefully instead of aborting it.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import dataclasses
+import json
+import os
+import tempfile
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.exceptions import ReproError
+import numpy as np
+
+from repro.exceptions import CheckpointError, ExperimentTimeoutError, ReproError
 from repro.experiments.config import ExperimentConfig
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.tables import format_table
 
 
@@ -66,6 +84,7 @@ def _ensure_loaded() -> None:
         fig3,
         fig4,
         fig5,
+        resilience,
         table1,
         table2,
         table3,
@@ -90,3 +109,289 @@ def run_experiment(
             f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
         )
     return _REGISTRY[name](config or ExperimentConfig())
+
+
+# ----------------------------------------------------------------------
+# Hardened batch execution
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """Structured record of one experiment that exhausted its retries."""
+
+    experiment_id: str
+    attempts: int
+    error_type: str
+    message: str
+    elapsed: float
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentFailure":
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            attempts=int(data["attempts"]),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+            elapsed=float(data["elapsed"]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a hardened multi-experiment run."""
+
+    results: list[ExperimentResult]
+    failures: list[ExperimentFailure]
+    resumed: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _jsonify(value):
+    """Coerce numpy scalars/arrays and tuples into JSON-safe values.
+
+    Arbitrary objects (e.g. a ``DatasetSummary`` stuffed into
+    ``paper_values``) degrade to dicts or strings — the rendered table
+    only depends on ``headers``/``rows``, so this is lossless where the
+    resume-equivalence guarantee needs it to be.
+    """
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(dataclasses.asdict(value))
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-normalized form of an :class:`ExperimentResult`.
+
+    Round-tripping through this form stringifies ``paper_values`` keys
+    and turns row tuples into lists — the *rendered* table is identical,
+    which is what checkpoint/resume equivalence is defined over.
+    """
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": _jsonify(list(result.headers)),
+        "rows": _jsonify(result.rows),
+        "notes": result.notes,
+        "paper_values": _jsonify(result.paper_values),
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=str(data["experiment_id"]),
+        title=str(data["title"]),
+        headers=list(data["headers"]),
+        rows=[tuple(row) for row in data["rows"]],
+        notes=str(data.get("notes", "")),
+        paper_values=dict(data.get("paper_values", {})),
+    )
+
+
+_CHECKPOINT_VERSION = 1
+
+
+def _load_checkpoint(path: Path, config: ExperimentConfig) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if data.get("version") != _CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {data.get('version')!r}, "
+            f"expected {_CHECKPOINT_VERSION}"
+        )
+    if data.get("scale") != config.scale or data.get("seed") != config.seed:
+        raise CheckpointError(
+            f"checkpoint {path} was written for scale={data.get('scale')!r} "
+            f"seed={data.get('seed')!r}, not scale={config.scale!r} "
+            f"seed={config.seed!r}"
+        )
+    return data
+
+
+def _write_checkpoint(
+    path: Path,
+    config: ExperimentConfig,
+    completed: dict[str, dict],
+    failures: list[ExperimentFailure],
+) -> None:
+    """Atomic write (tmp file + rename) so a kill never corrupts it."""
+    payload = {
+        "version": _CHECKPOINT_VERSION,
+        "scale": config.scale,
+        "seed": config.seed,
+        "completed": completed,
+        "failures": [f.as_dict() for f in failures],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _run_with_timeout(
+    fn: Callable[[ExperimentConfig], ExperimentResult],
+    config: ExperimentConfig,
+    timeout: float | None,
+    name: str,
+) -> ExperimentResult:
+    if timeout is None:
+        return fn(config)
+    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    future = executor.submit(fn, config)
+    try:
+        return future.result(timeout=timeout)
+    except concurrent.futures.TimeoutError:
+        # The worker thread cannot be killed; it is orphaned (daemonized
+        # via non-waiting shutdown) and its eventual result discarded.
+        future.cancel()
+        raise ExperimentTimeoutError(
+            f"experiment {name!r} exceeded {timeout:g}s wall-clock budget"
+        ) from None
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def backoff_delays(
+    retries: int, *, base: float, cap: float, seed: SeedLike
+) -> list[float]:
+    """Exponential backoff schedule with deterministic jitter.
+
+    Delay before retry ``i`` (1-based) is ``min(cap, base · 2^(i−1))``
+    scaled by a jitter factor in ``[1, 2)`` drawn from the seeded RNG, so
+    the whole retry timeline of a batch is reproducible.
+    """
+    rng = ensure_rng(seed)
+    return [
+        min(cap, base * (2.0 ** i)) * (1.0 + float(rng.random()))
+        for i in range(retries)
+    ]
+
+
+def run_experiment_batch(
+    names: Sequence[str],
+    config: ExperimentConfig | None = None,
+    *,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | None = None,
+    backoff_base: float = 0.1,
+    backoff_cap: float = 30.0,
+    seed: SeedLike = 0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> BatchResult:
+    """Run many experiments, surviving per-experiment failures.
+
+    Each experiment gets ``1 + retries`` attempts; failed attempts back
+    off exponentially with deterministic jitter (``seed``).  ``timeout``
+    bounds each attempt's wall-clock seconds.  With ``checkpoint``, every
+    completed experiment (and exhausted failure) is persisted atomically
+    to JSON, and a rerun pointing at the same file skips straight past
+    them — so a killed sweep resumes instead of restarting.  Results come
+    back in ``names`` order; experiments that exhausted their retries are
+    reported as :class:`ExperimentFailure` records, never as exceptions.
+    """
+    _ensure_loaded()
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ReproError(f"timeout must be positive, got {timeout}")
+    config = config or ExperimentConfig()
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    completed: dict[str, dict] = {}
+    failures: list[ExperimentFailure] = []
+    failed_ids: set[str] = set()
+    resumed: list[str] = []
+    if checkpoint_path is not None and checkpoint_path.exists():
+        state = _load_checkpoint(checkpoint_path, config)
+        completed = dict(state.get("completed", {}))
+        failures = [
+            ExperimentFailure.from_dict(f) for f in state.get("failures", [])
+        ]
+        failed_ids = {f.experiment_id for f in failures}
+        resumed = [n for n in names if n in completed or n in failed_ids]
+    results: dict[str, ExperimentResult] = {}
+    for name in names:
+        if name in results or name in failed_ids:
+            continue  # duplicate in `names`, or already failed pre-resume
+        if name in completed:
+            results[name] = result_from_dict(completed[name])
+            continue
+        fn = _REGISTRY.get(name)
+        delays = backoff_delays(
+            retries, base=backoff_base, cap=backoff_cap, seed=seed
+        )
+        elapsed_total = 0.0
+        last_error: Exception | None = None
+        for attempt in range(1, retries + 2):
+            start = time.perf_counter()
+            try:
+                if fn is None:
+                    raise ReproError(
+                        f"unknown experiment {name!r}; "
+                        f"available: {sorted(_REGISTRY)}"
+                    )
+                outcome = _run_with_timeout(fn, config, timeout, name)
+            except Exception as exc:  # noqa: BLE001 — graceful degradation
+                elapsed_total += time.perf_counter() - start
+                last_error = exc
+                if attempt <= retries:
+                    delay = delays[attempt - 1]
+                    if delay > 0:
+                        sleep(delay)
+                continue
+            elapsed_total += time.perf_counter() - start
+            results[name] = outcome
+            completed[name] = result_to_dict(outcome)
+            last_error = None
+            break
+        if last_error is not None:
+            failures.append(
+                ExperimentFailure(
+                    experiment_id=name,
+                    attempts=retries + 1,
+                    error_type=type(last_error).__name__,
+                    message=str(last_error),
+                    elapsed=elapsed_total,
+                )
+            )
+            failed_ids.add(name)
+        if checkpoint_path is not None:
+            _write_checkpoint(checkpoint_path, config, completed, failures)
+    ordered = [results[n] for n in dict.fromkeys(names) if n in results]
+    batch_failures = [f for f in failures if f.experiment_id in set(names)]
+    return BatchResult(
+        results=ordered, failures=batch_failures, resumed=tuple(resumed)
+    )

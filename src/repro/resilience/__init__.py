@@ -1,0 +1,47 @@
+"""Fault injection, SLA self-healing and deterministic resilience replay.
+
+The failure-domain counterpart of :mod:`repro.simulation`: seeded fault
+schedules (broker crashes, adversarial removals, regional outages, link
+cuts, flapping), a budgeted SLA-driven repair loop, and a replay engine
+producing degradation/recovery reports.
+"""
+
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    compose,
+    flapping_brokers,
+    independent_crashes,
+    link_cut_campaign,
+    regional_outage,
+    targeted_removals,
+)
+from repro.resilience.healing import (
+    RepairRecord,
+    SelfHealingBrokerSet,
+    SlaPolicy,
+)
+from repro.resilience.replay import (
+    ResilienceReport,
+    StepRecord,
+    replay_schedule,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "compose",
+    "independent_crashes",
+    "targeted_removals",
+    "regional_outage",
+    "link_cut_campaign",
+    "flapping_brokers",
+    "SlaPolicy",
+    "RepairRecord",
+    "SelfHealingBrokerSet",
+    "ResilienceReport",
+    "StepRecord",
+    "replay_schedule",
+]

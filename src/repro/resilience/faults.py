@@ -1,0 +1,313 @@
+"""Deterministic fault injection — the failure side of resilience.
+
+A :class:`FaultSchedule` is a seeded, replayable stream of
+:class:`FaultEvent` deltas over discrete time steps, the failure-domain
+sibling of :class:`repro.simulation.churn.ChurnTrace`.  Where churn
+models the Internet's organic evolution, a fault schedule models the
+things that go *wrong* with the coalition itself (Section 7.2's
+stability concerns, and the partial-failure scenarios centralized
+inter-domain schemes must survive):
+
+* :func:`independent_crashes` — memoryless broker outages;
+* :func:`targeted_removals` — an adversary (or the biggest members
+  defecting) removing brokers in descending marginal coverage
+  contribution;
+* :func:`regional_outage` — a correlated failure taking down every
+  broker within a graph-neighbourhood radius of an epicenter;
+* :func:`link_cut_campaign` — inter-AS links being cut over time;
+* :func:`flapping_brokers` — brokers that crash and recover cyclically;
+* :func:`compose` — overlay any of the above into one campaign.
+
+All generators are pure functions of their arguments: the same seed
+yields a bit-identical schedule, so an entire degradation/repair
+trajectory can be replayed exactly (see :mod:`repro.resilience.replay`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.robustness import coverage_contribution_order
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.graph.csr import UNREACHABLE, bfs_levels
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class FaultKind(enum.Enum):
+    BROKER_DOWN = "broker-down"
+    BROKER_UP = "broker-up"
+    LINK_CUT = "link-cut"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault delta.
+
+    ``node`` is set for broker crashes/recoveries, ``endpoints`` for link
+    cuts; ``cause`` records which fault model emitted the event (useful
+    when schedules are composed).
+    """
+
+    step: int
+    kind: FaultKind
+    node: int | None = None
+    endpoints: tuple[int, int] | None = None
+    cause: str = ""
+
+
+def _event_key(event: FaultEvent) -> tuple:
+    return (
+        event.step,
+        event.kind.value,
+        -1 if event.node is None else event.node,
+        event.endpoints or (-1, -1),
+        event.cause,
+    )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A replayable fault campaign over steps ``1..num_steps``.
+
+    Events are kept sorted by ``(step, kind, target)`` so iteration — and
+    therefore every replay — is deterministic regardless of how the
+    schedule was assembled.  Build instances through the generator
+    functions or :meth:`from_events`.
+    """
+
+    num_steps: int
+    events: tuple[FaultEvent, ...]
+    description: str = ""
+
+    @classmethod
+    def from_events(
+        cls, num_steps: int, events: list[FaultEvent] | tuple[FaultEvent, ...],
+        description: str = "",
+    ) -> "FaultSchedule":
+        if num_steps < 0:
+            raise AlgorithmError(f"num_steps must be >= 0, got {num_steps}")
+        ordered = tuple(sorted(events, key=_event_key))
+        for e in ordered:
+            if not 0 <= e.step <= num_steps:
+                raise AlgorithmError(
+                    f"event step {e.step} outside schedule horizon {num_steps}"
+                )
+        return cls(num_steps=num_steps, events=ordered, description=description)
+
+    def at(self, step: int) -> tuple[FaultEvent, ...]:
+        """All events firing at ``step`` (already deterministically ordered)."""
+        return tuple(e for e in self.events if e.step == step)
+
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Overlay two schedules on a shared clock."""
+        description = " + ".join(d for d in (self.description, other.description) if d)
+        return FaultSchedule.from_events(
+            max(self.num_steps, other.num_steps),
+            list(self.events) + list(other.events),
+            description=description,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def compose(*schedules: FaultSchedule, description: str = "") -> FaultSchedule:
+    """Overlay any number of schedules into one campaign."""
+    if not schedules:
+        raise AlgorithmError("compose requires at least one schedule")
+    merged = schedules[0]
+    for sched in schedules[1:]:
+        merged = merged.merge(sched)
+    if description:
+        merged = FaultSchedule.from_events(
+            merged.num_steps, list(merged.events), description=description
+        )
+    return merged
+
+
+def _clean_brokers(brokers: list[int]) -> list[int]:
+    cleaned = sorted(dict.fromkeys(int(b) for b in brokers))
+    if not cleaned:
+        raise AlgorithmError("broker set must be non-empty")
+    return cleaned
+
+
+def independent_crashes(
+    brokers: list[int],
+    *,
+    num_steps: int,
+    crash_prob: float,
+    seed: SeedLike = 0,
+) -> FaultSchedule:
+    """Memoryless outages: each alive broker crashes w.p. ``crash_prob``/step."""
+    if not 0.0 <= crash_prob <= 1.0:
+        raise AlgorithmError(f"crash_prob must be in [0, 1], got {crash_prob}")
+    alive = _clean_brokers(brokers)
+    rng = ensure_rng(seed)
+    events: list[FaultEvent] = []
+    for step in range(1, num_steps + 1):
+        if not alive:
+            break
+        draws = rng.random(len(alive))
+        crashed = [b for b, r in zip(alive, draws) if r < crash_prob]
+        for b in crashed:
+            events.append(
+                FaultEvent(step, FaultKind.BROKER_DOWN, node=b, cause="independent")
+            )
+        alive = [b for b in alive if b not in set(crashed)]
+    return FaultSchedule.from_events(num_steps, events, description="independent")
+
+
+def targeted_removals(
+    graph: ASGraph,
+    brokers: list[int],
+    *,
+    count: int,
+    start_step: int = 1,
+    spacing: int = 1,
+) -> FaultSchedule:
+    """Adversarial removals in descending marginal coverage contribution.
+
+    One broker falls every ``spacing`` steps starting at ``start_step``;
+    the order is the deterministic hit list of
+    :func:`repro.core.robustness.coverage_contribution_order`.
+    """
+    cleaned = _clean_brokers(brokers)
+    if count < 1 or count > len(cleaned):
+        raise AlgorithmError(f"count {count} out of range 1..{len(cleaned)}")
+    if start_step < 1 or spacing < 1:
+        raise AlgorithmError("start_step and spacing must be >= 1")
+    order = coverage_contribution_order(graph, cleaned)[:count]
+    events = [
+        FaultEvent(start_step + i * spacing, FaultKind.BROKER_DOWN, node=b,
+                   cause="targeted")
+        for i, b in enumerate(order)
+    ]
+    return FaultSchedule.from_events(
+        start_step + (count - 1) * spacing, events, description="targeted"
+    )
+
+
+def regional_outage(
+    graph: ASGraph,
+    brokers: list[int],
+    *,
+    radius: int = 1,
+    step: int = 1,
+    epicenter: int | None = None,
+    seed: SeedLike = 0,
+) -> FaultSchedule:
+    """Correlated outage: every broker within ``radius`` hops of an epicenter.
+
+    Models a regional event (power, submarine cable, natural disaster)
+    taking out co-located coalition members at once.  The epicenter
+    defaults to a uniformly drawn broker.
+    """
+    cleaned = _clean_brokers(brokers)
+    if radius < 0:
+        raise AlgorithmError(f"radius must be >= 0, got {radius}")
+    if step < 1:
+        raise AlgorithmError(f"step must be >= 1, got {step}")
+    if epicenter is None:
+        rng = ensure_rng(seed)
+        epicenter = cleaned[int(rng.integers(len(cleaned)))]
+    if not 0 <= epicenter < graph.num_nodes:
+        raise AlgorithmError(f"epicenter {epicenter} out of range")
+    dist = bfs_levels(graph.adj, int(epicenter))
+    victims = [
+        b for b in cleaned if dist[b] != UNREACHABLE and int(dist[b]) <= radius
+    ]
+    events = [
+        FaultEvent(step, FaultKind.BROKER_DOWN, node=b, cause="regional")
+        for b in victims
+    ]
+    return FaultSchedule.from_events(step, events, description="regional")
+
+
+def link_cut_campaign(
+    graph: ASGraph,
+    *,
+    num_steps: int,
+    cuts_per_step: int,
+    seed: SeedLike = 0,
+    brokers: list[int] | None = None,
+) -> FaultSchedule:
+    """Cut ``cuts_per_step`` distinct links per step, sampled uniformly.
+
+    When ``brokers`` is given the campaign only cuts broker-incident
+    links — the edges that actually carry the dominated graph, i.e. the
+    most damaging cuts an adversary could make.
+    """
+    if cuts_per_step < 1:
+        raise AlgorithmError(f"cuts_per_step must be >= 1, got {cuts_per_step}")
+    src, dst = graph.edge_src, graph.edge_dst
+    if brokers is not None:
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[_clean_brokers(brokers)] = True
+        candidates = np.flatnonzero(mask[src] | mask[dst])
+    else:
+        candidates = np.arange(graph.num_edges)
+    if candidates.size == 0:
+        return FaultSchedule.from_events(num_steps, [], description="link-cut")
+    total = min(num_steps * cuts_per_step, int(candidates.size))
+    rng = ensure_rng(seed)
+    chosen = rng.choice(candidates, size=total, replace=False)
+    events = [
+        FaultEvent(
+            1 + i // cuts_per_step,
+            FaultKind.LINK_CUT,
+            endpoints=(int(src[e]), int(dst[e])),
+            cause="link-cut",
+        )
+        for i, e in enumerate(chosen)
+    ]
+    return FaultSchedule.from_events(num_steps, events, description="link-cut")
+
+
+def flapping_brokers(
+    brokers: list[int],
+    *,
+    num_steps: int,
+    num_flappers: int = 1,
+    down_for: int = 1,
+    up_for: int | None = None,
+    seed: SeedLike = 0,
+) -> FaultSchedule:
+    """Brokers that crash and recover cyclically (the BGP-flap analogue).
+
+    Each flapper gets a seeded phase offset; from its phase on it repeats
+    ``down_for`` steps down, then ``up_for`` (default ``down_for``) steps
+    up, until the horizon.  Exercises the self-healer's behaviour when
+    capacity keeps coming back.
+    """
+    cleaned = _clean_brokers(brokers)
+    if down_for < 1:
+        raise AlgorithmError(f"down_for must be >= 1, got {down_for}")
+    up = down_for if up_for is None else up_for
+    if up < 1:
+        raise AlgorithmError(f"up_for must be >= 1, got {up}")
+    if num_flappers < 1 or num_flappers > len(cleaned):
+        raise AlgorithmError(
+            f"num_flappers {num_flappers} out of range 1..{len(cleaned)}"
+        )
+    rng = ensure_rng(seed)
+    flappers = sorted(
+        int(b) for b in rng.choice(cleaned, size=num_flappers, replace=False)
+    )
+    cycle = down_for + up
+    events: list[FaultEvent] = []
+    for b in flappers:
+        phase = int(rng.integers(1, cycle + 1))
+        t = phase
+        while t <= num_steps:
+            events.append(FaultEvent(t, FaultKind.BROKER_DOWN, node=b,
+                                     cause="flapping"))
+            if t + down_for <= num_steps:
+                events.append(FaultEvent(t + down_for, FaultKind.BROKER_UP,
+                                         node=b, cause="flapping"))
+            t += cycle
+    return FaultSchedule.from_events(num_steps, events, description="flapping")

@@ -1,0 +1,257 @@
+"""SLA monitoring and budgeted self-healing of the broker set.
+
+The coalition sells a guarantee — saturated E2E connectivity — so the
+natural SLA is *stay within a threshold of the pre-fault baseline*.
+:class:`SelfHealingBrokerSet` absorbs :class:`FaultEvent` deltas, keeps
+the degraded topology and broker roster, and, whenever connectivity
+falls below the SLA, runs a budgeted greedy *repair*: the same
+connected-growth patching rule as
+:class:`repro.simulation.churn.IncrementalBrokerSet`, but driven by the
+connectivity SLA instead of a coverage target, and with a per-incident
+spare budget (a coalition cannot recruit unbounded replacements
+overnight).
+
+Everything is deterministic: candidate scans are sorted, ties break to
+the smallest id, and no RNG is consulted — so a seeded fault schedule
+replays to bit-identical broker sets and repair records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.connectivity import saturated_connectivity
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.graph.csr import build_csr
+from repro.resilience.faults import FaultEvent, FaultKind
+from repro.simulation.churn import MutableTopology
+
+
+@dataclass(frozen=True)
+class SlaPolicy:
+    """When to repair and how much repair is allowed.
+
+    ``threshold`` is relative: the SLA is violated when saturated
+    connectivity drops below ``threshold × baseline``.  Each violation
+    may recruit at most ``repair_budget`` replacement brokers, and the
+    whole campaign at most ``max_total_added`` (``None`` = unbounded).
+    """
+
+    threshold: float = 0.9
+    repair_budget: int = 5
+    max_total_added: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise AlgorithmError("SLA threshold must be in (0, 1]")
+        if self.repair_budget < 0:
+            raise AlgorithmError("repair_budget must be >= 0")
+
+
+@dataclass(frozen=True)
+class RepairRecord:
+    """One SLA-triggered repair incident."""
+
+    step: int
+    before: float
+    after: float
+    added: tuple[int, ...]
+    healed: bool
+
+
+class SelfHealingBrokerSet:
+    """Broker set + degraded topology under a fault stream.
+
+    The topology view is a :class:`MutableTopology` (link cuts applied)
+    mirrored by a numpy edge-alive mask so the dominated graph ``B ⊙ A``
+    can be rebuilt vectorized for each connectivity probe.  Crashed
+    brokers are parked in a ``down`` set: they stop dominating edges but
+    may return via ``BROKER_UP`` (flapping), at which point they resume
+    service — replacements recruited meanwhile simply stay.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        brokers: list[int],
+        *,
+        policy: SlaPolicy | None = None,
+    ) -> None:
+        self._graph = graph
+        brokers = sorted(dict.fromkeys(int(b) for b in brokers))
+        if not brokers:
+            raise AlgorithmError("broker set must be non-empty")
+        for b in brokers:
+            if not 0 <= b < graph.num_nodes:
+                raise AlgorithmError(f"broker id {b} out of range")
+        self.policy = policy or SlaPolicy()
+        self._topo = MutableTopology(graph)
+        self._edge_alive = np.ones(graph.num_edges, dtype=bool)
+        self._edge_index = {
+            (min(int(u), int(v)), max(int(u), int(v))): i
+            for i, (u, v) in enumerate(zip(graph.edge_src, graph.edge_dst))
+        }
+        self._active = set(brokers)
+        self._down: set[int] = set()
+        self._mask = np.zeros(graph.num_nodes, dtype=bool)
+        self._mask[brokers] = True
+        self.added: list[int] = []
+        self.repairs: list[RepairRecord] = []
+        self.baseline = self.connectivity()
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def active_brokers(self) -> list[int]:
+        return sorted(self._active)
+
+    @property
+    def down_brokers(self) -> list[int]:
+        return sorted(self._down)
+
+    @property
+    def sla_target(self) -> float:
+        return self.policy.threshold * self.baseline
+
+    def connectivity(self) -> float:
+        """Saturated connectivity of the degraded dominated graph."""
+        src, dst = self._graph.edge_src, self._graph.edge_dst
+        keep = self._edge_alive & (self._mask[src] | self._mask[dst])
+        matrix = build_csr(
+            self._graph.num_nodes, src[keep], dst[keep], symmetric=True
+        )
+        return saturated_connectivity(self._graph, matrix=matrix.to_scipy())
+
+    def covered_mask(self) -> np.ndarray:
+        """Vertices covered by the active brokers on the degraded topology."""
+        src, dst = self._graph.edge_src, self._graph.edge_dst
+        s, d = src[self._edge_alive], dst[self._edge_alive]
+        covered = self._mask.copy()
+        covered[d[self._mask[s]]] = True
+        covered[s[self._mask[d]]] = True
+        return covered
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def apply(self, event: FaultEvent) -> None:
+        """Absorb one fault delta (no SLA check — see :meth:`maybe_repair`)."""
+        if event.kind is FaultKind.BROKER_DOWN:
+            assert event.node is not None
+            if event.node in self._active:
+                self._active.discard(event.node)
+                self._down.add(event.node)
+                self._mask[event.node] = False
+        elif event.kind is FaultKind.BROKER_UP:
+            assert event.node is not None
+            if event.node in self._down:
+                self._down.discard(event.node)
+                self._active.add(event.node)
+                self._mask[event.node] = True
+        elif event.kind is FaultKind.LINK_CUT:
+            assert event.endpoints is not None
+            u, v = event.endpoints
+            key = (min(u, v), max(u, v))
+            idx = self._edge_index.get(key)
+            if idx is not None and self._edge_alive[idx]:
+                self._edge_alive[idx] = False
+                self._topo.remove_link(u, v)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def maybe_repair(self, step: int, *, current: float | None = None) -> RepairRecord | None:
+        """Check the SLA and, if violated, run one budgeted repair.
+
+        ``current`` short-circuits the connectivity probe when the caller
+        already measured it.  Returns the :class:`RepairRecord`, or
+        ``None`` when the SLA holds.
+        """
+        value = self.connectivity() if current is None else current
+        if value >= self.sla_target:
+            return None
+        before = value
+        added: list[int] = []
+        budget = self.policy.repair_budget
+        if self.policy.max_total_added is not None:
+            budget = min(budget, self.policy.max_total_added - len(self.added))
+        while budget > 0 and value < self.sla_target:
+            candidate = self._best_candidate()
+            if candidate is None:
+                candidate = self._best_bridge(value)
+            if candidate is None:
+                break
+            self._active.add(candidate)
+            self._mask[candidate] = True
+            self.added.append(candidate)
+            added.append(candidate)
+            budget -= 1
+            value = self.connectivity()
+        record = RepairRecord(
+            step=step,
+            before=before,
+            after=value,
+            added=tuple(added),
+            healed=value >= self.sla_target,
+        )
+        self.repairs.append(record)
+        return record
+
+    def _best_candidate(self) -> int | None:
+        """Highest coverage-gain recruit, MaxSG connected-growth rule.
+
+        Candidates are the covered region and its frontier (so the
+        dominated region keeps growing connectedly, as in
+        ``IncrementalBrokerSet._repair``), falling back to uncovered
+        vertices when faults have detached whole regions.  Crashed
+        brokers are not eligible — they are down, not for hire.
+        """
+        covered = self.covered_mask()
+        adjacency = self._topo.adjacency
+        candidates: set[int] = set()
+        for v in np.flatnonzero(covered):
+            v = int(v)
+            candidates.add(v)
+            candidates |= adjacency.get(v, set())
+        candidates -= self._active
+        candidates -= self._down
+        if not candidates:
+            candidates = set(
+                int(v) for v in np.flatnonzero(~covered)
+            ) - self._active - self._down
+        best, best_gain = None, 0
+        for c in sorted(candidates):
+            closed = adjacency.get(c, set()) | {c}
+            gain = sum(1 for v in closed if not covered[v])
+            if gain > best_gain:
+                best, best_gain = c, gain
+        return best
+
+    def _best_bridge(self, current: float, *, probe_limit: int = 20) -> int | None:
+        """Fallback when no recruit gains coverage: bridge components.
+
+        Full coverage does not imply a connected dominated graph — link
+        cuts can split it while every vertex still touches a broker.  A
+        new broker then helps by dominating the edges *around* itself, so
+        the top-``probe_limit`` highest-degree non-brokers are scored by
+        their actual connectivity delta (exact, but bounded).
+        """
+        degrees = {
+            v: len(adj) for v, adj in self._topo.adjacency.items()
+            if v not in self._active and v not in self._down
+        }
+        if not degrees:
+            return None
+        probes = sorted(degrees, key=lambda v: (-degrees[v], v))[:probe_limit]
+        best, best_value = None, current
+        for c in probes:
+            self._mask[c] = True
+            value = self.connectivity()
+            self._mask[c] = False
+            if value > best_value + 1e-15:
+                best, best_value = c, value
+        return best

@@ -1,0 +1,144 @@
+"""Deterministic replay of a fault schedule through the self-healer.
+
+``replay_schedule`` is the resilience experiment loop: step the clock,
+apply the step's faults, measure the degraded connectivity, let the SLA
+monitor repair, and record everything.  Because the schedule is a frozen
+event stream and the healer consults no RNG, two replays of the same
+schedule produce bit-identical :class:`ResilienceReport` objects — the
+property the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.asgraph import ASGraph
+from repro.resilience.faults import FaultSchedule
+from repro.resilience.healing import RepairRecord, SelfHealingBrokerSet, SlaPolicy
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Connectivity trajectory at one step of the replay."""
+
+    step: int
+    faults: int
+    degraded: float  # after this step's faults, before any repair
+    healed: float    # after the SLA repair (== degraded when none ran)
+    added: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Full trajectory of one fault campaign + repair loop."""
+
+    description: str
+    baseline: float
+    sla_target: float
+    steps: tuple[StepRecord, ...]
+    repairs: tuple[RepairRecord, ...]
+    final_brokers: tuple[int, ...]
+
+    # ------------------------------------------------------------------
+    # Summary metrics
+    # ------------------------------------------------------------------
+    @property
+    def min_degraded(self) -> float:
+        return min((s.degraded for s in self.steps), default=self.baseline)
+
+    @property
+    def final_connectivity(self) -> float:
+        return self.steps[-1].healed if self.steps else self.baseline
+
+    @property
+    def total_added(self) -> int:
+        return sum(len(s.added) for s in self.steps)
+
+    def recovery_times(self) -> list[int]:
+        """Steps spent below the SLA target per violation episode.
+
+        An episode opens when the *healed* connectivity of a step ends
+        below the SLA target and closes at the first step back at/above
+        it; a violation repaired within its own step counts as 0 (the
+        repair restored the SLA before the step closed).
+        """
+        times: list[int] = []
+        open_since: int | None = None
+        for record in self.steps:
+            below = record.healed < self.sla_target
+            if below and open_since is None:
+                open_since = record.step
+            elif not below and open_since is not None:
+                times.append(record.step - open_since)
+                open_since = None
+        if open_since is not None:
+            times.append(self.steps[-1].step - open_since + 1)
+        return times
+
+    def as_rows(self) -> list[tuple]:
+        """Table rows (step, faults, degraded, healed, recruits)."""
+        return [
+            (
+                s.step,
+                s.faults,
+                f"{100 * s.degraded:.2f}%",
+                f"{100 * s.healed:.2f}%",
+                ",".join(str(b) for b in s.added) or "-",
+            )
+            for s in self.steps
+        ]
+
+    def summary(self) -> str:
+        recovery = self.recovery_times()
+        return (
+            f"baseline {100 * self.baseline:.2f}%, "
+            f"SLA {100 * self.sla_target:.2f}%, "
+            f"min degraded {100 * self.min_degraded:.2f}%, "
+            f"final {100 * self.final_connectivity:.2f}%, "
+            f"{len(self.repairs)} repairs adding {self.total_added} brokers, "
+            f"recovery steps {recovery if recovery else '[]'}"
+        )
+
+
+def replay_schedule(
+    graph: ASGraph,
+    brokers: list[int],
+    schedule: FaultSchedule,
+    *,
+    policy: SlaPolicy | None = None,
+    heal: bool = True,
+) -> ResilienceReport:
+    """Run ``schedule`` against ``brokers`` and record the trajectory.
+
+    ``heal=False`` replays the raw degradation (the no-insurance curve
+    the paper's Section 7.2 worries about); ``heal=True`` lets the SLA
+    monitor recruit repairs after each step's faults.
+    """
+    healer = SelfHealingBrokerSet(graph, brokers, policy=policy)
+    steps: list[StepRecord] = []
+    for step in range(1, schedule.num_steps + 1):
+        events = schedule.at(step)
+        for event in events:
+            healer.apply(event)
+        degraded = healer.connectivity()
+        record = None
+        if heal:
+            record = healer.maybe_repair(step, current=degraded)
+        healed = record.after if record is not None else degraded
+        steps.append(
+            StepRecord(
+                step=step,
+                faults=len(events),
+                degraded=degraded,
+                healed=healed,
+                added=record.added if record is not None else (),
+            )
+        )
+    return ResilienceReport(
+        description=schedule.description,
+        baseline=healer.baseline,
+        sla_target=healer.sla_target,
+        steps=tuple(steps),
+        repairs=tuple(healer.repairs),
+        final_brokers=tuple(healer.active_brokers),
+    )

@@ -4,6 +4,7 @@ from repro.simulation.churn import (
     ChurnEvent,
     ChurnTrace,
     IncrementalBrokerSet,
+    MutableTopology,
     generate_churn_trace,
 )
 from repro.simulation.marketplace import (
@@ -17,6 +18,7 @@ __all__ = [
     "ChurnTrace",
     "generate_churn_trace",
     "IncrementalBrokerSet",
+    "MutableTopology",
     "ServiceRequest",
     "MarketplaceReport",
     "simulate_marketplace",

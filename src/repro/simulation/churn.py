@@ -133,8 +133,14 @@ def generate_churn_trace(
     return ChurnTrace(base=graph, events=events)
 
 
-class _MutableTopology:
-    """Adjacency-set view of an ASGraph that absorbs churn deltas."""
+class MutableTopology:
+    """Adjacency-set view of an ASGraph that absorbs topology deltas.
+
+    Shared by the churn maintainer below and by the fault-injection
+    self-healing loop (:mod:`repro.resilience.healing`): both need a
+    cheap mutable adjacency with node/link add/remove and an ``alive``
+    set, without rebuilding the immutable :class:`ASGraph`.
+    """
 
     def __init__(self, graph: ASGraph) -> None:
         self.adjacency: dict[int, set[int]] = {
@@ -209,7 +215,7 @@ class IncrementalBrokerSet:
     ) -> None:
         if not 0.0 < coverage_target <= 1.0:
             raise AlgorithmError("coverage_target must be in (0, 1]")
-        self._topo = _MutableTopology(graph)
+        self._topo = MutableTopology(graph)
         self._brokers = set(int(b) for b in brokers)
         if not self._brokers:
             raise AlgorithmError("broker set must be non-empty")

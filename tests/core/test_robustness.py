@@ -3,9 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.core.connectivity import saturated_connectivity
 from repro.core.coverage import covered_mask
 from repro.core.maxsg import maxsg
 from repro.core.robustness import (
+    broker_hit_counts,
+    coverage_contribution_order,
     failure_sweep,
     r_covered_fraction,
     redundant_greedy,
@@ -56,6 +59,75 @@ class TestFailureSweep:
         with pytest.raises(AlgorithmError):
             failure_sweep(star10, [0], strategy="chaotic")
 
+    def test_degree_strategy_orders_by_degree(self, two_triangles):
+        # 2 and 3 have degree 3 (triangle + bridge); the rest degree 2.
+        sweep_degree = failure_sweep(
+            two_triangles, [0, 2, 4], strategy="degree", max_failures=1
+        )
+        # removing broker 2 first (highest degree) must match a manual removal
+        manual = saturated_connectivity(two_triangles, [0, 4])
+        assert sweep_degree.connectivity[1] == pytest.approx(manual)
+
+    def test_targeted_uses_marginal_contribution(self, star10):
+        # Brokers {0, 1}: the hub uniquely covers leaves 2..9 (8 vertices),
+        # leaf 1 uniquely covers nothing — so "targeted" removes 0 first
+        # even though both orderings are degree-compatible for [1, 0].
+        order = coverage_contribution_order(star10, [1, 0])
+        assert order == [0, 1]
+        sweep = failure_sweep(star10, [1, 0], strategy="targeted", max_failures=1)
+        # hub gone: only edge (0,1) stays dominated -> 2/90 ordered pairs
+        assert sweep.connectivity[1] == pytest.approx(
+            saturated_connectivity(star10, [1])
+        )
+
+    def test_matches_from_scratch_removal(self, tiny_internet):
+        """The incremental mask produces the same curve as naive rebuilds."""
+        brokers = maxsg(tiny_internet, 12)
+        sweep = failure_sweep(
+            tiny_internet, brokers, strategy="targeted", max_failures=6, step=2
+        )
+        order = coverage_contribution_order(tiny_internet, brokers)
+        for idx, k in enumerate(sweep.removed):
+            surviving = [b for b in brokers if b not in set(order[:k])]
+            expected = (
+                saturated_connectivity(tiny_internet, surviving)
+                if surviving else 0.0
+            )
+            assert sweep.connectivity[idx] == pytest.approx(expected)
+
+
+class TestDropAt:
+    def test_k_zero_is_no_drop(self, star10):
+        sweep = failure_sweep(star10, [0], strategy="targeted")
+        assert sweep.drop_at(0) == 0.0
+
+    def test_k_not_in_sweep_raises(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 8)
+        sweep = failure_sweep(
+            tiny_internet, brokers, strategy="targeted", max_failures=6, step=2
+        )
+        assert list(sweep.removed) == [0, 2, 4, 6]
+        with pytest.raises(AlgorithmError):
+            sweep.drop_at(3)  # skipped by step=2
+        with pytest.raises(AlgorithmError):
+            sweep.drop_at(7)  # beyond the sweep
+        with pytest.raises(AlgorithmError):
+            sweep.drop_at(-1)
+
+    def test_last_step_full_drop(self, star10):
+        sweep = failure_sweep(star10, [0], strategy="targeted")
+        last = int(sweep.removed[-1])
+        assert sweep.drop_at(last) == pytest.approx(
+            float(sweep.connectivity[0])
+        )
+
+
+class TestBrokerHitCounts:
+    def test_star(self, star10):
+        hits = broker_hit_counts(star10, [0, 1])
+        assert hits[0] == 2 and hits[1] == 2
+        assert all(hits[v] == 1 for v in range(2, 10))
+
 
 class TestSingleFailureImpact:
     def test_star_hub_catastrophic(self, star10):
@@ -71,6 +143,20 @@ class TestSingleFailureImpact:
     def test_empty_rejected(self, star10):
         with pytest.raises(AlgorithmError):
             single_failure_impact(star10, [])
+
+    def test_matches_naive_recompute(self, tiny_internet):
+        """Edge-hit incremental removal equals from-scratch evaluation."""
+        brokers = maxsg(tiny_internet, 10)
+        impact = single_failure_impact(tiny_internet, brokers)
+        naive_drops = []
+        for b in brokers:
+            rest = [x for x in brokers if x != b]
+            value = saturated_connectivity(tiny_internet, rest)
+            naive_drops.append(impact["base"] - value)
+        assert impact["worst_drop"] == pytest.approx(max(naive_drops))
+        assert impact["mean_drop"] == pytest.approx(
+            float(np.mean(naive_drops))
+        )
 
 
 class TestRedundantGreedy:

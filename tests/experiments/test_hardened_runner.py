@@ -1,0 +1,242 @@
+"""Fault-tolerance tests for the hardened batch runner.
+
+Fake experiments are registered under ``_hr_*`` ids and removed again
+after each test, so the real registry stays clean.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.exceptions import CheckpointError, ReproError
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import (
+    _REGISTRY,
+    BatchResult,
+    ExperimentFailure,
+    ExperimentResult,
+    backoff_delays,
+    register,
+    result_from_dict,
+    result_to_dict,
+    run_experiment_batch,
+)
+
+CONFIG = ExperimentConfig(scale="tiny", seed=1)
+
+
+@pytest.fixture()
+def registry():
+    """Register fake experiments; unregister on teardown."""
+    added = []
+
+    def add(name, fn):
+        register(name)(fn)
+        added.append(name)
+
+    yield add
+    for name in added:
+        _REGISTRY.pop(name, None)
+
+
+def make_result(name, rows=((1, 2),)):
+    return ExperimentResult(
+        experiment_id=name,
+        title=f"T-{name}",
+        headers=[f"h{i}" for i in range(len(rows[0]))],
+        rows=[tuple(r) for r in rows],
+        notes="n",
+        paper_values={"x": 1.5},
+    )
+
+
+class TestHappyPath:
+    def test_results_in_request_order(self, registry):
+        registry("_hr_b", lambda c: make_result("_hr_b"))
+        registry("_hr_a", lambda c: make_result("_hr_a"))
+        batch = run_experiment_batch(["_hr_b", "_hr_a"], CONFIG)
+        assert [r.experiment_id for r in batch.results] == ["_hr_b", "_hr_a"]
+        assert batch.ok
+        assert batch.failures == []
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            run_experiment_batch(["table1"], CONFIG, retries=-1)
+        with pytest.raises(ReproError):
+            run_experiment_batch(["table1"], CONFIG, timeout=0)
+
+
+class TestRetries:
+    def test_flaky_recovers_with_backoff(self, registry):
+        calls = {"n": 0}
+
+        def flaky(config):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return make_result("_hr_flaky")
+
+        registry("_hr_flaky", flaky)
+        slept = []
+        batch = run_experiment_batch(
+            ["_hr_flaky"], CONFIG, retries=2, backoff_base=0.25, seed=0,
+            sleep=slept.append,
+        )
+        assert batch.ok
+        assert calls["n"] == 3
+        # two backoff sleeps, exponential, jitter in [1, 2)
+        assert len(slept) == 2
+        assert 0.25 <= slept[0] < 0.5
+        assert 0.5 <= slept[1] < 1.0
+        assert slept == backoff_delays(2, base=0.25, cap=30.0, seed=0)[:2]
+
+    def test_exhaustion_records_structured_failure(self, registry):
+        """Acceptance: a raising experiment is retried with backoff and,
+        on exhaustion, recorded while the rest still complete."""
+
+        def broken(config):
+            raise ValueError("deliberately broken")
+
+        registry("_hr_broken", broken)
+        registry("_hr_ok", lambda c: make_result("_hr_ok"))
+        slept = []
+        batch = run_experiment_batch(
+            ["_hr_broken", "_hr_ok"], CONFIG, retries=2, sleep=slept.append
+        )
+        assert not batch.ok
+        assert len(slept) == 2  # backed off before each retry
+        [failure] = batch.failures
+        assert failure.experiment_id == "_hr_broken"
+        assert failure.attempts == 3
+        assert failure.error_type == "ValueError"
+        assert "deliberately broken" in failure.message
+        assert failure.elapsed >= 0.0
+        # the healthy experiment still completed
+        assert [r.experiment_id for r in batch.results] == ["_hr_ok"]
+
+    def test_unknown_experiment_is_a_failure_not_a_crash(self):
+        batch = run_experiment_batch(["_hr_missing"], CONFIG)
+        [failure] = batch.failures
+        assert failure.error_type == "ReproError"
+        assert "unknown experiment" in failure.message
+
+    def test_backoff_deterministic_and_capped(self):
+        a = backoff_delays(5, base=1.0, cap=4.0, seed=42)
+        b = backoff_delays(5, base=1.0, cap=4.0, seed=42)
+        assert a == b
+        assert all(d <= 8.0 for d in a)  # cap 4.0 x jitter < 2
+
+
+class TestTimeout:
+    def test_hanging_experiment_times_out(self, registry):
+        def hang(config):
+            time.sleep(5.0)
+            return make_result("_hr_hang")
+
+        registry("_hr_hang", hang)
+        registry("_hr_fast", lambda c: make_result("_hr_fast"))
+        start = time.perf_counter()
+        batch = run_experiment_batch(
+            ["_hr_hang", "_hr_fast"], CONFIG, timeout=0.2
+        )
+        assert time.perf_counter() - start < 4.0
+        [failure] = batch.failures
+        assert failure.error_type == "ExperimentTimeoutError"
+        assert "wall-clock" in failure.message
+        assert [r.experiment_id for r in batch.results] == ["_hr_fast"]
+
+    def test_fast_experiment_unaffected_by_timeout(self, registry):
+        registry("_hr_quick", lambda c: make_result("_hr_quick"))
+        batch = run_experiment_batch(["_hr_quick"], CONFIG, timeout=30.0)
+        assert batch.ok
+
+
+class TestCheckpoint:
+    def test_resume_equals_uninterrupted(self, registry, tmp_path):
+        """Acceptance: killing a checkpointed batch midway and resuming
+        yields the same final result rows as an uninterrupted run."""
+        crash_once = {"armed": True}
+
+        def volatile(config):
+            if crash_once["armed"]:
+                crash_once["armed"] = False
+                raise KeyboardInterrupt  # simulates the process dying
+            return make_result("_hr_v", rows=((7, 8),))
+
+        registry("_hr_s1", lambda c: make_result("_hr_s1", rows=((1, 2),)))
+        registry("_hr_v", volatile)
+        registry("_hr_s2", lambda c: make_result("_hr_s2", rows=((3, 4),)))
+        names = ["_hr_s1", "_hr_v", "_hr_s2"]
+
+        # Uninterrupted reference run (no crash, no checkpoint).
+        crash_once["armed"] = False
+        reference = run_experiment_batch(names, CONFIG)
+        crash_once["armed"] = True
+
+        ckpt = tmp_path / "sweep.json"
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment_batch(names, CONFIG, checkpoint=ckpt)
+        # the kill left a valid checkpoint with the first experiment done
+        saved = json.loads(ckpt.read_text())
+        assert list(saved["completed"]) == ["_hr_s1"]
+
+        resumed = run_experiment_batch(names, CONFIG, checkpoint=ckpt)
+        assert resumed.ok
+        assert resumed.resumed == ("_hr_s1",)
+        assert [result_to_dict(r) for r in resumed.results] == [
+            result_to_dict(r) for r in reference.results
+        ]
+
+    def test_failures_are_checkpointed_and_not_retried(self, registry, tmp_path):
+        calls = {"n": 0}
+
+        def broken(config):
+            calls["n"] += 1
+            raise ValueError("still broken")
+
+        registry("_hr_cbroken", broken)
+        registry("_hr_cok", lambda c: make_result("_hr_cok"))
+        ckpt = tmp_path / "sweep.json"
+        names = ["_hr_cbroken", "_hr_cok"]
+        first = run_experiment_batch(names, CONFIG, checkpoint=ckpt)
+        assert not first.ok and calls["n"] == 1
+        second = run_experiment_batch(names, CONFIG, checkpoint=ckpt)
+        assert calls["n"] == 1  # failure loaded from checkpoint, not rerun
+        assert [f.experiment_id for f in second.failures] == ["_hr_cbroken"]
+        assert [r.experiment_id for r in second.results] == ["_hr_cok"]
+
+    def test_config_mismatch_rejected(self, registry, tmp_path):
+        registry("_hr_m", lambda c: make_result("_hr_m"))
+        ckpt = tmp_path / "sweep.json"
+        run_experiment_batch(["_hr_m"], CONFIG, checkpoint=ckpt)
+        other = ExperimentConfig(scale="small", seed=1)
+        with pytest.raises(CheckpointError):
+            run_experiment_batch(["_hr_m"], other, checkpoint=ckpt)
+
+    def test_corrupt_checkpoint_rejected(self, registry, tmp_path):
+        registry("_hr_c", lambda c: make_result("_hr_c"))
+        ckpt = tmp_path / "sweep.json"
+        ckpt.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            run_experiment_batch(["_hr_c"], CONFIG, checkpoint=ckpt)
+
+
+class TestSerialization:
+    def test_result_round_trip_renders_identically(self):
+        result = make_result("_hr_r", rows=((1, "x", 2.5), (3, "y", 4.0)))
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.render() == result.render()
+        assert restored.experiment_id == result.experiment_id
+
+    def test_failure_round_trip(self):
+        failure = ExperimentFailure(
+            experiment_id="x", attempts=3, error_type="ValueError",
+            message="boom", elapsed=1.25,
+        )
+        assert ExperimentFailure.from_dict(failure.as_dict()) == failure
+
+    def test_batch_ok_property(self):
+        assert BatchResult(results=[], failures=[]).ok
+        failure = ExperimentFailure("x", 1, "E", "m", 0.0)
+        assert not BatchResult(results=[], failures=[failure]).ok

@@ -1,0 +1,90 @@
+"""Property-based tests for the robustness module.
+
+Pins down :func:`redundant_greedy`'s lazy-heap staleness logic against a
+naive O(n²k) reference implementation of multi-cover greedy — both break
+ties toward the smaller vertex id, so on every instance they must pick
+the *same* brokers in the same order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.robustness import broker_hit_counts, redundant_greedy
+from repro.graph.asgraph import ASGraph
+
+
+@st.composite
+def random_graphs(draw, min_nodes=2, max_nodes=14):
+    n = draw(st.integers(min_nodes, max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible),
+            min_size=1,
+            max_size=min(40, len(possible)),
+            unique=True,
+        )
+    )
+    return ASGraph.from_edges(n, edges)
+
+
+def naive_multicover_greedy(graph, budget, redundancy):
+    """Reference: recompute every gain from scratch each round (O(n²k))."""
+    n = graph.num_nodes
+    hits = np.zeros(n, dtype=np.int64)
+    chosen = []
+    chosen_set = set()
+    for _ in range(budget):
+        best, best_gain = None, 0
+        for v in range(n):  # ascending id = smallest-id tie-break
+            if v in chosen_set:
+                continue
+            closed = np.append(graph.neighbors(v), v)
+            gain = int(np.count_nonzero(hits[closed] < redundancy))
+            if gain > best_gain:
+                best, best_gain = v, gain
+        if best is None:
+            break
+        hits[best] += 1
+        hits[graph.neighbors(best)] += 1
+        chosen.append(best)
+        chosen_set.add(best)
+    return chosen
+
+
+def multicover_objective(graph, brokers, redundancy):
+    """Σ_v min(hits(v), r) — the monotone submodular objective."""
+    hits = broker_hit_counts(graph, brokers)
+    return int(np.minimum(hits, redundancy).sum())
+
+
+class TestRedundantGreedyMatchesNaive:
+    @given(random_graphs(), st.integers(1, 3), st.integers(1, 10))
+    @settings(max_examples=120, deadline=None)
+    def test_same_selection(self, graph, redundancy, budget_raw):
+        budget = min(budget_raw, graph.num_nodes)
+        lazy = redundant_greedy(graph, budget, redundancy)
+        naive = naive_multicover_greedy(graph, budget, redundancy)
+        assert lazy == naive
+
+    @given(random_graphs(), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_objective_matches_naive(self, graph, redundancy):
+        budget = max(1, graph.num_nodes // 2)
+        lazy = redundant_greedy(graph, budget, redundancy)
+        naive = naive_multicover_greedy(graph, budget, redundancy)
+        assert multicover_objective(graph, lazy, redundancy) == (
+            multicover_objective(graph, naive, redundancy)
+        )
+
+    @given(random_graphs(), st.integers(2, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_objective_monotone_in_budget(self, graph, redundancy):
+        small = redundant_greedy(graph, 1, redundancy)
+        large = redundant_greedy(
+            graph, min(4, graph.num_nodes), redundancy
+        )
+        assert multicover_objective(graph, large, redundancy) >= (
+            multicover_objective(graph, small, redundancy)
+        )

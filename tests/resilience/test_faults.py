@@ -1,0 +1,200 @@
+"""Unit tests for the fault models and schedule composition."""
+
+import pytest
+
+from repro.core.maxsg import maxsg
+from repro.core.robustness import coverage_contribution_order
+from repro.exceptions import AlgorithmError
+from repro.graph.csr import UNREACHABLE, bfs_levels
+from repro.resilience import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    compose,
+    flapping_brokers,
+    independent_crashes,
+    link_cut_campaign,
+    regional_outage,
+    targeted_removals,
+)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_and_validated(self):
+        events = [
+            FaultEvent(3, FaultKind.BROKER_DOWN, node=5),
+            FaultEvent(1, FaultKind.BROKER_DOWN, node=9),
+            FaultEvent(1, FaultKind.BROKER_DOWN, node=2),
+        ]
+        sched = FaultSchedule.from_events(3, events)
+        assert [e.step for e in sched.events] == [1, 1, 3]
+        assert [e.node for e in sched.at(1)] == [2, 9]
+        assert len(sched) == 3
+
+    def test_event_outside_horizon_rejected(self):
+        with pytest.raises(AlgorithmError):
+            FaultSchedule.from_events(
+                2, [FaultEvent(5, FaultKind.BROKER_DOWN, node=0)]
+            )
+
+    def test_merge_takes_longer_horizon(self):
+        a = FaultSchedule.from_events(
+            2, [FaultEvent(1, FaultKind.BROKER_DOWN, node=0)], description="a"
+        )
+        b = FaultSchedule.from_events(
+            5, [FaultEvent(4, FaultKind.BROKER_DOWN, node=1)], description="b"
+        )
+        merged = a.merge(b)
+        assert merged.num_steps == 5
+        assert len(merged) == 2
+        assert merged.description == "a + b"
+
+    def test_compose_requires_schedule(self):
+        with pytest.raises(AlgorithmError):
+            compose()
+
+
+class TestIndependentCrashes:
+    def test_deterministic_under_seed(self):
+        brokers = list(range(20))
+        a = independent_crashes(brokers, num_steps=10, crash_prob=0.3, seed=5)
+        b = independent_crashes(brokers, num_steps=10, crash_prob=0.3, seed=5)
+        assert a == b
+
+    def test_no_double_crash(self):
+        sched = independent_crashes(
+            list(range(30)), num_steps=20, crash_prob=0.5, seed=0
+        )
+        crashed = [e.node for e in sched.events]
+        assert len(crashed) == len(set(crashed))
+
+    def test_prob_extremes(self):
+        assert len(independent_crashes([1, 2], num_steps=5, crash_prob=0.0)) == 0
+        certain = independent_crashes([1, 2], num_steps=5, crash_prob=1.0)
+        assert {e.step for e in certain.events} == {1}
+        with pytest.raises(AlgorithmError):
+            independent_crashes([1], num_steps=5, crash_prob=1.5)
+
+
+class TestTargetedRemovals:
+    def test_order_is_contribution_order(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 12)
+        sched = targeted_removals(tiny_internet, brokers, count=5)
+        expected = coverage_contribution_order(tiny_internet, brokers)[:5]
+        assert [e.node for e in sched.events] == expected
+        assert [e.step for e in sched.events] == [1, 2, 3, 4, 5]
+        assert sched.num_steps == 5
+
+    def test_spacing(self, star10):
+        sched = targeted_removals(
+            star10, [0, 1], count=2, start_step=2, spacing=3
+        )
+        assert [e.step for e in sched.events] == [2, 5]
+
+    def test_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            targeted_removals(star10, [0], count=2)
+        with pytest.raises(AlgorithmError):
+            targeted_removals(star10, [0], count=1, spacing=0)
+
+
+class TestRegionalOutage:
+    def test_victims_within_radius(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 15)
+        epicenter = brokers[0]
+        sched = regional_outage(
+            tiny_internet, brokers, radius=2, epicenter=epicenter, step=3
+        )
+        dist = bfs_levels(tiny_internet.adj, epicenter)
+        victims = {e.node for e in sched.events}
+        assert epicenter in victims
+        for b in brokers:
+            in_region = dist[b] != UNREACHABLE and int(dist[b]) <= 2
+            assert (b in victims) == in_region
+        assert all(e.step == 3 for e in sched.events)
+
+    def test_default_epicenter_seeded(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 10)
+        a = regional_outage(tiny_internet, brokers, seed=3)
+        b = regional_outage(tiny_internet, brokers, seed=3)
+        assert a == b
+
+    def test_radius_zero_hits_only_epicenter(self, star10):
+        sched = regional_outage(star10, [0, 1], radius=0, epicenter=0)
+        assert [e.node for e in sched.events] == [0]
+
+
+class TestLinkCutCampaign:
+    def test_distinct_edges_and_horizon(self, tiny_internet):
+        sched = link_cut_campaign(
+            tiny_internet, num_steps=4, cuts_per_step=3, seed=2
+        )
+        assert len(sched) == 12
+        assert len({e.endpoints for e in sched.events}) == 12
+        assert max(e.step for e in sched.events) <= 4
+
+    def test_broker_incident_restriction(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 8)
+        mask = set(brokers)
+        sched = link_cut_campaign(
+            tiny_internet, num_steps=3, cuts_per_step=4, seed=2, brokers=brokers
+        )
+        for e in sched.events:
+            u, v = e.endpoints
+            assert u in mask or v in mask
+
+    def test_deterministic(self, tiny_internet):
+        a = link_cut_campaign(tiny_internet, num_steps=3, cuts_per_step=2, seed=9)
+        b = link_cut_campaign(tiny_internet, num_steps=3, cuts_per_step=2, seed=9)
+        assert a == b
+
+
+class TestFlappingBrokers:
+    def test_down_up_alternate(self):
+        sched = flapping_brokers(
+            list(range(10)), num_steps=20, num_flappers=3, down_for=2, seed=4
+        )
+        by_node = {}
+        for e in sched.events:
+            by_node.setdefault(e.node, []).append(e)
+        assert len(by_node) == 3
+        for events in by_node.values():
+            kinds = [e.kind for e in sorted(events, key=lambda e: e.step)]
+            # strictly alternating, starting with a crash
+            assert kinds[0] is FaultKind.BROKER_DOWN
+            for a, b in zip(kinds, kinds[1:]):
+                assert a is not b
+
+    def test_recovery_follows_downtime(self):
+        sched = flapping_brokers(
+            [7], num_steps=30, num_flappers=1, down_for=3, up_for=2, seed=1
+        )
+        downs = [e.step for e in sched.events if e.kind is FaultKind.BROKER_DOWN]
+        ups = [e.step for e in sched.events if e.kind is FaultKind.BROKER_UP]
+        for d, u in zip(downs, ups):
+            assert u == d + 3
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            flapping_brokers([1], num_steps=5, num_flappers=2)
+        with pytest.raises(AlgorithmError):
+            flapping_brokers([1], num_steps=5, down_for=0)
+
+
+class TestComposedCampaign:
+    def test_compose_is_deterministic(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 10)
+
+        def build():
+            return compose(
+                independent_crashes(brokers, num_steps=6, crash_prob=0.1, seed=3),
+                regional_outage(tiny_internet, brokers, radius=1, step=3, seed=3),
+                link_cut_campaign(
+                    tiny_internet, num_steps=6, cuts_per_step=2, seed=3
+                ),
+                description="campaign",
+            )
+
+        a, b = build(), build()
+        assert a == b
+        assert a.description == "campaign"

@@ -1,0 +1,144 @@
+"""Unit tests for the SLA monitor and self-healing broker set."""
+
+import pytest
+
+from repro.core.connectivity import saturated_connectivity
+from repro.core.coverage import covered_mask
+from repro.core.maxsg import maxsg
+from repro.exceptions import AlgorithmError
+from repro.resilience import (
+    FaultEvent,
+    FaultKind,
+    SelfHealingBrokerSet,
+    SlaPolicy,
+)
+
+
+def down(node, step=1):
+    return FaultEvent(step, FaultKind.BROKER_DOWN, node=node)
+
+
+def up(node, step=1):
+    return FaultEvent(step, FaultKind.BROKER_UP, node=node)
+
+
+def cut(u, v, step=1):
+    return FaultEvent(step, FaultKind.LINK_CUT, endpoints=(u, v))
+
+
+class TestStateTracking:
+    def test_baseline_matches_engine(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 15)
+        healer = SelfHealingBrokerSet(tiny_internet, brokers)
+        assert healer.baseline == pytest.approx(
+            saturated_connectivity(tiny_internet, brokers)
+        )
+
+    def test_covered_mask_matches_oracle(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 10)
+        healer = SelfHealingBrokerSet(tiny_internet, brokers)
+        assert (
+            healer.covered_mask() == covered_mask(tiny_internet, brokers)
+        ).all()
+
+    def test_crash_and_recover(self, star10):
+        healer = SelfHealingBrokerSet(star10, [0, 1])
+        healer.apply(down(0))
+        assert healer.active_brokers == [1]
+        assert healer.down_brokers == [0]
+        healer.apply(up(0))
+        assert healer.active_brokers == [0, 1]
+        assert healer.down_brokers == []
+
+    def test_unknown_recovery_ignored(self, star10):
+        healer = SelfHealingBrokerSet(star10, [0])
+        healer.apply(up(5))  # 5 was never a broker
+        assert healer.active_brokers == [0]
+
+    def test_link_cut_removes_dominated_edge(self, two_triangles):
+        healer = SelfHealingBrokerSet(two_triangles, [2, 3])
+        base = healer.connectivity()
+        healer.apply(cut(2, 3))
+        assert healer.connectivity() < base
+        # cutting again is a no-op
+        value = healer.connectivity()
+        healer.apply(cut(3, 2))
+        assert healer.connectivity() == value
+
+    def test_validation(self, star10):
+        with pytest.raises(AlgorithmError):
+            SelfHealingBrokerSet(star10, [])
+        with pytest.raises(AlgorithmError):
+            SelfHealingBrokerSet(star10, [99])
+        with pytest.raises(AlgorithmError):
+            SlaPolicy(threshold=0.0)
+        with pytest.raises(AlgorithmError):
+            SlaPolicy(repair_budget=-1)
+
+
+class TestRepair:
+    def test_no_repair_when_sla_holds(self, star10):
+        healer = SelfHealingBrokerSet(star10, [0, 1])
+        healer.apply(down(1))  # hub still covers everything
+        assert healer.maybe_repair(1) is None
+        assert healer.repairs == []
+
+    def test_repair_recruits_replacement(self, star10):
+        policy = SlaPolicy(threshold=0.9, repair_budget=2)
+        healer = SelfHealingBrokerSet(star10, [0], policy=policy)
+        healer.apply(down(0))
+        record = healer.maybe_repair(1)
+        assert record is not None
+        assert record.before == 0.0
+        assert len(record.added) > 0
+        assert record.after > record.before
+        # recruits are deterministic: smallest-id best-gain candidate first
+        assert record.added[0] == min(record.added)
+        # the crashed broker itself is never re-hired
+        assert 0 not in record.added
+
+    def test_repair_budget_respected(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 12)
+        policy = SlaPolicy(threshold=0.99, repair_budget=3)
+        healer = SelfHealingBrokerSet(tiny_internet, brokers, policy=policy)
+        for b in brokers[:8]:
+            healer.apply(down(b))
+        record = healer.maybe_repair(1)
+        assert record is not None
+        assert len(record.added) <= 3
+
+    def test_max_total_added_caps_campaign(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 12)
+        policy = SlaPolicy(
+            threshold=0.99, repair_budget=5, max_total_added=2
+        )
+        healer = SelfHealingBrokerSet(tiny_internet, brokers, policy=policy)
+        for b in brokers[:6]:
+            healer.apply(down(b))
+        healer.maybe_repair(1)
+        for b in brokers[6:10]:
+            healer.apply(down(b))
+        healer.maybe_repair(2)
+        assert len(healer.added) <= 2
+
+    def test_healed_flag(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 15)
+        policy = SlaPolicy(threshold=0.5, repair_budget=10)
+        healer = SelfHealingBrokerSet(tiny_internet, brokers, policy=policy)
+        healer.apply(down(brokers[0]))
+        record = healer.maybe_repair(1)
+        if record is not None:
+            assert record.healed == (record.after >= healer.sla_target)
+
+    def test_deterministic_repairs(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 12)
+
+        def run():
+            policy = SlaPolicy(threshold=0.95, repair_budget=4)
+            healer = SelfHealingBrokerSet(tiny_internet, brokers, policy=policy)
+            for b in brokers[:5]:
+                healer.apply(down(b))
+            healer.maybe_repair(1)
+            return healer.active_brokers, healer.repairs
+
+        assert run() == run()

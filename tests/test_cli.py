@@ -58,6 +58,56 @@ class TestCommands:
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "tableXX", "--scale", "tiny"]) == 1
 
+    def test_experiment_unknown_reports_failure(self, capsys):
+        main(["experiment", "tableXX", "--scale", "tiny", "--retries", "0"])
+        err = capsys.readouterr().err
+        assert "FAILED tableXX" in err and "unknown experiment" in err
+
+    def test_experiment_checkpoint_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "sweep.json"
+        args = ["experiment", "table2", "--scale", "tiny", "--seed", "1",
+                "--checkpoint", str(ckpt)]
+        assert main(args) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(args) == 0  # second run resumes from the checkpoint
+        out = capsys.readouterr().out
+        assert "resumed 1 experiment(s)" in out
+        assert "Table 2" in out
+
+
+class TestResilienceCommand:
+    def test_mixed_model_runs(self, capsys):
+        code = main([
+            "resilience", "--scale", "tiny", "--seed", "1",
+            "--model", "mixed", "--steps", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resilience replay" in out
+        assert "baseline" in out and "repairs" in out
+
+    def test_targeted_no_heal(self, capsys):
+        code = main([
+            "resilience", "--scale", "tiny", "--seed", "1",
+            "--model", "targeted", "--steps", "4", "--no-heal",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "healing off" in out
+        assert "0 repairs" in out
+
+    def test_flapping_model(self, capsys):
+        code = main([
+            "resilience", "--scale", "tiny", "--seed", "2",
+            "--model", "flapping", "--steps", "6", "--budget", "10",
+        ])
+        assert code == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resilience", "--model", "gremlins"])
+
 
 class TestReportAndExport:
     def test_report_to_file(self, tmp_path, capsys):
