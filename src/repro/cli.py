@@ -6,6 +6,12 @@ Subcommands:
 * ``summarize`` — print the Table-2 style summary of a saved topology.
 * ``select`` — run a broker-selection algorithm on a scale profile.
 * ``experiment`` — run one (or all) of the paper's tables/figures.
+* ``sweep`` — parallel, cache-aware multi-seed/budget sweeps (fig2b, table5).
+* ``cache`` — inspect or clear an on-disk result cache.
+
+``experiment``, ``sweep`` and ``resilience`` accept ``--workers``,
+``--backend`` and ``--cache-dir`` (the parallel executor + result cache
+from :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -116,6 +122,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         checkpoint=args.checkpoint,
         seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     if batch.resumed:
         print(f"resumed {len(batch.resumed)} experiment(s) from {args.checkpoint}")
@@ -132,64 +141,150 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if batch.ok else 1
 
 
-def _cmd_resilience(args: argparse.Namespace) -> int:
-    from repro.core.maxsg import maxsg
+def _build_fault_schedule(graph, brokers, args, seed: int):
     from repro.experiments.resilience import build_mixed_schedule
     from repro.resilience import (
-        SlaPolicy,
         flapping_brokers,
         independent_crashes,
         link_cut_campaign,
         regional_outage,
-        replay_schedule,
         targeted_removals,
     )
+
+    steps = args.steps
+    if args.model == "independent":
+        return independent_crashes(
+            brokers, num_steps=steps, crash_prob=args.crash_prob, seed=seed
+        )
+    if args.model == "targeted":
+        return targeted_removals(graph, brokers, count=min(steps, len(brokers)))
+    if args.model == "regional":
+        return regional_outage(graph, brokers, radius=args.radius, step=1, seed=seed)
+    if args.model == "linkcut":
+        return link_cut_campaign(
+            graph, num_steps=steps, brokers=brokers, seed=seed,
+            cuts_per_step=max(1, graph.num_edges // 500),
+        )
+    if args.model == "flapping":
+        return flapping_brokers(
+            brokers, num_steps=steps, seed=seed,
+            num_flappers=max(1, len(brokers) // 5), down_for=2,
+        )
+    return build_mixed_schedule(graph, brokers, seed)  # mixed — the fig5d campaign
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.core.maxsg import maxsg
+    from repro.resilience import SlaPolicy, replay_many
     from repro.utils.tables import format_table
 
     graph = load_internet(args.scale, seed=args.seed)
     budget = args.budget or max(1, round(0.019 * graph.num_nodes))
     brokers = maxsg(graph, budget)
-    steps = args.steps
-    if args.model == "independent":
-        schedule = independent_crashes(
-            brokers, num_steps=steps, crash_prob=args.crash_prob, seed=args.seed
-        )
-    elif args.model == "targeted":
-        schedule = targeted_removals(
-            graph, brokers, count=min(steps, len(brokers))
-        )
-    elif args.model == "regional":
-        schedule = regional_outage(
-            graph, brokers, radius=args.radius, step=1, seed=args.seed
-        )
-    elif args.model == "linkcut":
-        schedule = link_cut_campaign(
-            graph, num_steps=steps, brokers=brokers, seed=args.seed,
-            cuts_per_step=max(1, graph.num_edges // 500),
-        )
-    elif args.model == "flapping":
-        schedule = flapping_brokers(
-            brokers, num_steps=steps, seed=args.seed,
-            num_flappers=max(1, len(brokers) // 5), down_for=2,
-        )
-    else:  # mixed — the fig5d campaign
-        schedule = build_mixed_schedule(graph, brokers, args.seed)
+    seeds = list(range(args.seed, args.seed + max(1, args.replicates)))
+    schedules = [_build_fault_schedule(graph, brokers, args, s) for s in seeds]
     policy = SlaPolicy(threshold=args.sla, repair_budget=args.repair_budget)
-    report = replay_schedule(
-        graph, brokers, schedule, policy=policy, heal=not args.no_heal
+    sweep = replay_many(
+        graph,
+        brokers,
+        schedules,
+        policy=policy,
+        heal=not args.no_heal,
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
     )
-    title = (
-        f"Resilience replay: {args.model} x{schedule.num_steps} steps, "
-        f"{len(schedule)} faults, |B|={len(brokers)}"
-        f"{' (healing off)' if args.no_heal else ''}"
-    )
-    print(format_table(
-        ["step", "faults", "degraded", "healed", "recruits"],
-        report.as_rows(),
-        title=title,
-    ))
-    print(f"  {report.summary()}")
+    for seed, schedule, report in zip(seeds, schedules, sweep.reports):
+        title = (
+            f"Resilience replay: {args.model} x{schedule.num_steps} steps, "
+            f"{len(schedule)} faults, |B|={len(brokers)}, seed={seed}"
+            f"{' (healing off)' if args.no_heal else ''}"
+        )
+        print(format_table(
+            ["step", "faults", "degraded", "healed", "recruits"],
+            report.as_rows(),
+            title=title,
+        ))
+        print(f"  {report.summary()}")
+    if args.cache_dir:
+        print(
+            f"cache: {sweep.cache_hits} hit(s), {sweep.cache_misses} miss(es) "
+            f"in {args.cache_dir}"
+        )
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig
+
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        num_sources=args.num_sources,
+    )
+    budgets = args.budgets or None
+    if args.kind == "fig2b":
+        from repro.experiments.fig2 import fig2b_seed_sweep
+
+        result = fig2b_seed_sweep(
+            config,
+            seeds=args.seeds or None,
+            budgets=budgets,
+            workers=args.workers,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+        )
+    else:  # table5
+        from repro.experiments.table5 import table5_budget_sweep
+
+        result = table5_budget_sweep(
+            config,
+            budgets=budgets,
+            top=args.top,
+            workers=args.workers,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+        )
+    text = result.to_json(indent=2 if args.pretty else None)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.kind} sweep ({len(result.payload['cells'])} cells) "
+              f"to {args.output}")
+    else:
+        print(text)
+    if args.cache_dir:
+        print(
+            f"cache: {result.cache_hits} hit(s), {result.cache_misses} miss(es) "
+            f"in {args.cache_dir}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {args.cache_dir}")
+        return 0
+    print(cache.stats().render())
+    return 0
+
+
+def _add_parallel_flags(p: argparse.ArgumentParser) -> None:
+    """The shared executor/cache knobs (``repro.parallel``)."""
+    from repro.parallel.executor import BACKENDS
+
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker count for the parallel executor")
+    p.add_argument("--backend", choices=BACKENDS, default="serial",
+                   help="execution backend (process = shared-memory graph)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache directory")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,7 +326,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None,
                    help="JSON checkpoint file; reruns resume past "
                         "completed experiments")
+    _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("sweep",
+                       help="parallel, cache-aware multi-seed/budget sweep")
+    p.add_argument("kind", choices=("fig2b", "table5"))
+    p.add_argument("--scale", choices=available_scales(), default="tiny")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seeds", type=int, nargs="*", default=None,
+                   help="sampling seeds (fig2b; default: the graph seed)")
+    p.add_argument("--budgets", type=int, nargs="*", default=None,
+                   help="broker budgets (default: the paper's three)")
+    p.add_argument("--num-sources", type=int, default=None,
+                   help="connectivity sample size (default: exact)")
+    p.add_argument("--top", type=int, default=10,
+                   help="ranked rows per cell (table5)")
+    p.add_argument("--pretty", action="store_true", help="indent the JSON")
+    p.add_argument("--output", default=None, help="write JSON to file")
+    _add_parallel_flags(p)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or clear a result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("cache_dir", help="cache directory")
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("resilience",
                        help="replay a fault campaign + SLA self-healing")
@@ -253,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max replacement brokers per SLA violation")
     p.add_argument("--no-heal", action="store_true",
                    help="replay the raw degradation without repairs")
+    p.add_argument("--replicates", type=int, default=1,
+                   help="replay this many seeded campaigns (seed, seed+1, ...)")
+    _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser("report", help="render experiments as a markdown report")

@@ -93,6 +93,7 @@ class BrokerSelector:
         seed: SeedLike = 0,
         degree_threshold: int = 0,
         evaluate: bool = True,
+        cache=None,
     ) -> SelectionResult:
         """Run ``algorithm`` and evaluate the resulting broker set.
 
@@ -100,8 +101,38 @@ class BrokerSelector:
         ``sc`` / ``ixp`` / ``tier1``.  ``evaluate=False`` skips the
         connectivity evaluation (useful inside parameter sweeps that will
         evaluate in bulk later).
+
+        ``cache`` (a :class:`repro.parallel.ResultCache`) memoizes the
+        whole selection+evaluation on disk, keyed by the graph digest and
+        every selection knob.  Only integer/None seeds are cacheable — a
+        live ``Generator`` has unknowable state, so it bypasses the cache.
         """
         graph = self._graph
+        cache_params = None
+        if cache is not None and (seed is None or isinstance(seed, int)):
+            cache_params = {
+                "algorithm": algorithm,
+                "budget": budget,
+                "beta": beta,
+                "seed": seed,
+                "degree_threshold": degree_threshold,
+                "evaluate": evaluate,
+            }
+            hit = cache.get(
+                graph_digest=graph.digest(),
+                algorithm="broker-selection",
+                params=cache_params,
+            )
+            if hit is not None:
+                return SelectionResult(
+                    algorithm=str(hit["algorithm"]),
+                    broker_set=[int(b) for b in hit["broker_set"]],
+                    coverage=int(hit["coverage"]),
+                    coverage_fraction=float(hit["coverage_fraction"]),
+                    saturated_connectivity=float(hit["saturated_connectivity"]),
+                    mcbg_feasible=bool(hit["mcbg_feasible"]),
+                    parameters=dict(hit["parameters"]),
+                )
         params: dict = {}
         if algorithm in BUDGETED_ALGORITHMS:
             if budget is None:
@@ -133,7 +164,7 @@ class BrokerSelector:
             )
 
         if not evaluate:
-            return SelectionResult(
+            result = SelectionResult(
                 algorithm=algorithm,
                 broker_set=brokers,
                 coverage=0,
@@ -142,7 +173,24 @@ class BrokerSelector:
                 mcbg_feasible=False,
                 parameters=params,
             )
-        return self.evaluate(brokers, algorithm=algorithm, parameters=params)
+        else:
+            result = self.evaluate(brokers, algorithm=algorithm, parameters=params)
+        if cache_params is not None:
+            cache.put(
+                {
+                    "algorithm": result.algorithm,
+                    "broker_set": result.broker_set,
+                    "coverage": result.coverage,
+                    "coverage_fraction": result.coverage_fraction,
+                    "saturated_connectivity": result.saturated_connectivity,
+                    "mcbg_feasible": result.mcbg_feasible,
+                    "parameters": result.parameters,
+                },
+                graph_digest=graph.digest(),
+                algorithm="broker-selection",
+                params=cache_params,
+            )
+        return result
 
     def evaluate(
         self,

@@ -12,6 +12,8 @@ IXPB and Tier1Only stay low.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.approx_mcbg import approx_mcbg
@@ -26,6 +28,13 @@ from repro.core.connectivity import connectivity_curve
 from repro.core.maxsg import maxsg
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.sweeps import (
+    SweepResult,
+    jsonify_cell,
+    run_graph_tasks,
+    worker_graph,
+)
+from repro.parallel.cache import ResultCache
 from repro.utils.rng import spawn_rngs
 
 
@@ -95,4 +104,136 @@ def run_fig2b(config: ExperimentConfig) -> ExperimentResult:
         rows=rows,
         paper_values={"curves": curves, "budget": budget},
         notes="Paper ordering: MaxSG ~ Approx > DB ~ PRB >> IXPB > Tier1Only.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 2b-style multi-seed / multi-budget prefix sweep
+# ----------------------------------------------------------------------
+
+#: Cache tag for one (seed, budget) connectivity cell of the sweep.
+FIG2B_CELL_TAG = "fig2b-cell"
+
+
+def _fig2b_cell(task: dict) -> dict:
+    """One sweep cell: l-hop connectivity of a MaxSG prefix.
+
+    Runs in a sweep worker; the graph comes from the worker slot (a
+    shared-memory attachment under the process backend), the MaxSG
+    prefix rides along in the task.
+    """
+    graph = worker_graph()
+    curve = connectivity_curve(
+        graph,
+        task["brokers"],
+        max_hops=task["max_hops"],
+        num_sources=task["num_sources"],
+        seed=task["seed"],
+    )
+    return {
+        "fractions": [float(f) for f in curve.fractions],
+        "saturated": float(curve.saturated),
+        "num_sources": int(curve.num_sources),
+        "exact": bool(curve.exact),
+    }
+
+
+def fig2b_seed_sweep(
+    config: ExperimentConfig,
+    *,
+    seeds: list[int] | None = None,
+    budgets: list[int] | None = None,
+    workers: int = 1,
+    backend: str = "serial",
+    cache_dir: str | Path | None = None,
+    chunk_size: int | None = None,
+) -> SweepResult:
+    """Fig. 2b's prefix sweep across sampling seeds and broker budgets.
+
+    One MaxSG run at the largest budget provides every prefix (greedy
+    selection order is prefix-consistent), then each ``(seed, budget)``
+    cell — an independent ``O(l(|V|+|E|))`` connectivity evaluation — is
+    dispatched through the parallel executor and the result cache.  The
+    returned payload is bit-identical across backends and across
+    cold/warm cache runs.
+    """
+    graph = config.graph()
+    if budgets is None:
+        budgets = sorted(config.broker_budgets().values())
+    else:
+        budgets = sorted(dict.fromkeys(int(b) for b in budgets))
+    seeds = [config.seed] if seeds is None else [int(s) for s in seeds]
+    brokers_full = maxsg(graph, max(budgets))
+    digest = graph.digest()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    cells: dict[tuple[int, int], dict] = {}
+    tasks: list[dict] = []
+    for s in seeds:
+        for b in budgets:
+            params = {
+                "seed": s,
+                "budget": b,
+                "max_hops": config.max_hops,
+                "num_sources": config.num_sources,
+                "algorithm": "maxsg-prefix",
+            }
+            if cache is not None:
+                hit = cache.get(
+                    graph_digest=digest, algorithm=FIG2B_CELL_TAG, params=params
+                )
+                if hit is not None:
+                    cells[(s, b)] = hit
+                    continue
+            tasks.append(
+                {
+                    "seed": s,
+                    "budget": b,
+                    "brokers": brokers_full[: min(b, len(brokers_full))],
+                    "max_hops": config.max_hops,
+                    "num_sources": config.num_sources,
+                    "params": params,
+                }
+            )
+    computed = run_graph_tasks(
+        graph,
+        _fig2b_cell,
+        tasks,
+        backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
+    ).values()
+    for task, cell in zip(tasks, computed):
+        if cache is not None:
+            cell = cache.put(
+                cell,
+                graph_digest=digest,
+                algorithm=FIG2B_CELL_TAG,
+                params=task["params"],
+            )
+        else:
+            cell = jsonify_cell(cell)
+        cells[(task["seed"], task["budget"])] = cell
+
+    payload = {
+        "sweep": "fig2b",
+        "scale": config.scale,
+        "graph_seed": config.seed,
+        "graph_digest": digest,
+        "algorithm": "maxsg-prefix",
+        "max_hops": config.max_hops,
+        "num_sources": config.num_sources,
+        "seeds": seeds,
+        "budgets": budgets,
+        "alliance_size": len(brokers_full),
+        "cells": [
+            {"seed": s, "budget": b, **cells[(s, b)]}
+            for s in seeds
+            for b in budgets
+        ],
+    }
+    return SweepResult(
+        payload=payload,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
     )

@@ -15,7 +15,6 @@ batch gracefully instead of aborting it.
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import json
 import os
@@ -27,8 +26,10 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.exceptions import CheckpointError, ExperimentTimeoutError, ReproError
+from repro.exceptions import CheckpointError, ReproError
 from repro.experiments.config import ExperimentConfig
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import BACKENDS, parallel_map, run_with_timeout
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.tables import format_table
 
@@ -261,29 +262,6 @@ def _write_checkpoint(
         raise
 
 
-def _run_with_timeout(
-    fn: Callable[[ExperimentConfig], ExperimentResult],
-    config: ExperimentConfig,
-    timeout: float | None,
-    name: str,
-) -> ExperimentResult:
-    if timeout is None:
-        return fn(config)
-    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
-    future = executor.submit(fn, config)
-    try:
-        return future.result(timeout=timeout)
-    except concurrent.futures.TimeoutError:
-        # The worker thread cannot be killed; it is orphaned (daemonized
-        # via non-waiting shutdown) and its eventual result discarded.
-        future.cancel()
-        raise ExperimentTimeoutError(
-            f"experiment {name!r} exceeded {timeout:g}s wall-clock budget"
-        ) from None
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
-
-
 def backoff_delays(
     retries: int, *, base: float, cap: float, seed: SeedLike
 ) -> list[float]:
@@ -300,6 +278,98 @@ def backoff_delays(
     ]
 
 
+def _attempt_experiment(
+    name: str,
+    config: ExperimentConfig,
+    *,
+    retries: int,
+    timeout: float | None,
+    backoff_base: float,
+    backoff_cap: float,
+    seed: SeedLike,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[ExperimentResult | None, ExperimentFailure | None]:
+    """One experiment's full attempt loop (retries + backoff + timeout).
+
+    Timeouts run through :func:`repro.parallel.executor.run_with_timeout`
+    — a fresh daemon thread per attempt, so a timed-out attempt is
+    abandoned without delaying any later attempt or task (the previous
+    per-experiment ``ThreadPoolExecutor`` leaked a live non-daemon
+    worker on every timeout).
+    """
+    fn = _REGISTRY.get(name)
+    delays = backoff_delays(retries, base=backoff_base, cap=backoff_cap, seed=seed)
+    elapsed_total = 0.0
+    last_error: Exception | None = None
+    for attempt in range(1, retries + 2):
+        start = time.perf_counter()
+        try:
+            if fn is None:
+                raise ReproError(
+                    f"unknown experiment {name!r}; "
+                    f"available: {sorted(_REGISTRY)}"
+                )
+            outcome = run_with_timeout(
+                fn, (config,), timeout=timeout, name=name
+            )
+        except Exception as exc:  # noqa: BLE001 — graceful degradation
+            elapsed_total += time.perf_counter() - start
+            last_error = exc
+            if attempt <= retries:
+                delay = delays[attempt - 1]
+                if delay > 0:
+                    sleep(delay)
+            continue
+        elapsed_total += time.perf_counter() - start
+        return outcome, None
+    assert last_error is not None
+    return None, ExperimentFailure(
+        experiment_id=name,
+        attempts=retries + 1,
+        error_type=type(last_error).__name__,
+        message=str(last_error),
+        elapsed=elapsed_total,
+    )
+
+
+def _batch_task(task: tuple) -> tuple[str, dict]:
+    """Worker-side wrapper for one experiment of a parallel batch.
+
+    Returns picklable ``("ok", result_dict)`` / ``("fail",
+    failure_dict)`` tuples; the parent re-inflates them.
+    """
+    name, config, retries, timeout, backoff_base, backoff_cap, seed = task
+    _ensure_loaded()
+    outcome, failure = _attempt_experiment(
+        name,
+        config,
+        retries=retries,
+        timeout=timeout,
+        backoff_base=backoff_base,
+        backoff_cap=backoff_cap,
+        seed=seed,
+    )
+    if failure is not None:
+        return ("fail", failure.as_dict())
+    assert outcome is not None
+    return ("ok", result_to_dict(outcome))
+
+
+#: Cache tag for experiment-level entries (``<tag>:<experiment id>``).
+_EXPERIMENT_CACHE_TAG = "experiment"
+
+
+def _experiment_cache_params(config: ExperimentConfig) -> dict:
+    """The config knobs an experiment's output can depend on."""
+    return {
+        "scale": config.scale,
+        "seed": config.seed,
+        "num_sources": config.num_sources,
+        "max_hops": config.max_hops,
+        "beta": config.beta,
+    }
+
+
 def run_experiment_batch(
     names: Sequence[str],
     config: ExperimentConfig | None = None,
@@ -311,6 +381,9 @@ def run_experiment_batch(
     backoff_cap: float = 30.0,
     seed: SeedLike = 0,
     sleep: Callable[[float], None] = time.sleep,
+    workers: int = 1,
+    backend: str = "serial",
+    cache_dir: str | Path | None = None,
 ) -> BatchResult:
     """Run many experiments, surviving per-experiment failures.
 
@@ -322,12 +395,25 @@ def run_experiment_batch(
     them — so a killed sweep resumes instead of restarting.  Results come
     back in ``names`` order; experiments that exhausted their retries are
     reported as :class:`ExperimentFailure` records, never as exceptions.
+
+    ``workers``/``backend`` fan the pending experiments out through
+    :func:`repro.parallel.parallel_map` (``backend="serial"`` or
+    ``workers=1`` keeps the historical sequential loop; the parallel
+    path uses real ``time.sleep`` for backoff and returns results that
+    are render-identical to the sequential ones, like checkpoint
+    resume).  ``cache_dir`` adds a content-addressed result cache keyed
+    by graph digest + experiment id + config + code version: warm
+    entries skip execution entirely and count as completed.
     """
     _ensure_loaded()
     if retries < 0:
         raise ReproError(f"retries must be >= 0, got {retries}")
     if timeout is not None and timeout <= 0:
         raise ReproError(f"timeout must be positive, got {timeout}")
+    if backend not in BACKENDS:
+        raise ReproError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
     config = config or ExperimentConfig()
     checkpoint_path = Path(checkpoint) if checkpoint is not None else None
     completed: dict[str, dict] = {}
@@ -342,56 +428,108 @@ def run_experiment_batch(
         ]
         failed_ids = {f.experiment_id for f in failures}
         resumed = [n for n in names if n in completed or n in failed_ids]
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    cache_digest = config.graph().digest() if cache is not None else ""
+    cache_params = _experiment_cache_params(config) if cache is not None else {}
+
     results: dict[str, ExperimentResult] = {}
-    for name in names:
-        if name in results or name in failed_ids:
-            continue  # duplicate in `names`, or already failed pre-resume
+    pending: list[str] = []
+    for name in dict.fromkeys(names):
+        if name in failed_ids:
+            continue
         if name in completed:
             results[name] = result_from_dict(completed[name])
             continue
-        fn = _REGISTRY.get(name)
-        delays = backoff_delays(
-            retries, base=backoff_base, cap=backoff_cap, seed=seed
-        )
-        elapsed_total = 0.0
-        last_error: Exception | None = None
-        for attempt in range(1, retries + 2):
-            start = time.perf_counter()
-            try:
-                if fn is None:
-                    raise ReproError(
-                        f"unknown experiment {name!r}; "
-                        f"available: {sorted(_REGISTRY)}"
-                    )
-                outcome = _run_with_timeout(fn, config, timeout, name)
-            except Exception as exc:  # noqa: BLE001 — graceful degradation
-                elapsed_total += time.perf_counter() - start
-                last_error = exc
-                if attempt <= retries:
-                    delay = delays[attempt - 1]
-                    if delay > 0:
-                        sleep(delay)
-                continue
-            elapsed_total += time.perf_counter() - start
-            results[name] = outcome
-            completed[name] = result_to_dict(outcome)
-            last_error = None
-            break
-        if last_error is not None:
-            failures.append(
-                ExperimentFailure(
-                    experiment_id=name,
-                    attempts=retries + 1,
-                    error_type=type(last_error).__name__,
-                    message=str(last_error),
-                    elapsed=elapsed_total,
-                )
+        if cache is not None:
+            hit = cache.get(
+                graph_digest=cache_digest,
+                algorithm=f"{_EXPERIMENT_CACHE_TAG}:{name}",
+                params=cache_params,
             )
-            failed_ids.add(name)
+            if hit is not None:
+                results[name] = result_from_dict(hit)
+                completed[name] = hit
+                continue
+        pending.append(name)
+    if checkpoint_path is not None and (completed or failures):
+        _write_checkpoint(checkpoint_path, config, completed, failures)
+
+    def record_success(name: str, outcome: ExperimentResult) -> None:
+        results[name] = outcome
+        as_dict = result_to_dict(outcome)
+        completed[name] = as_dict
+        if cache is not None:
+            cache.put(
+                as_dict,
+                graph_digest=cache_digest,
+                algorithm=f"{_EXPERIMENT_CACHE_TAG}:{name}",
+                params=cache_params,
+            )
+
+    if workers > 1 and backend != "serial" and pending:
+        tasks = [
+            (name, config, retries, timeout, backoff_base, backoff_cap, seed)
+            for name in pending
+        ]
+        wave = parallel_map(
+            _batch_task,
+            tasks,
+            backend=backend,
+            workers=workers,
+            chunk_size=1,
+            capture_errors=True,
+        )
+        for name, outcome, task_failure in zip(
+            pending, wave.results, _failures_by_index(wave, len(pending))
+        ):
+            if task_failure is not None:
+                failures.append(
+                    ExperimentFailure(
+                        experiment_id=name,
+                        attempts=retries + 1,
+                        error_type=task_failure.error_type,
+                        message=task_failure.message,
+                        elapsed=0.0,
+                    )
+                )
+                failed_ids.add(name)
+                continue
+            status, payload = outcome
+            if status == "ok":
+                record_success(name, result_from_dict(payload))
+            else:
+                failures.append(ExperimentFailure.from_dict(payload))
+                failed_ids.add(name)
         if checkpoint_path is not None:
             _write_checkpoint(checkpoint_path, config, completed, failures)
+    else:
+        for name in pending:
+            outcome, failure = _attempt_experiment(
+                name,
+                config,
+                retries=retries,
+                timeout=timeout,
+                backoff_base=backoff_base,
+                backoff_cap=backoff_cap,
+                seed=seed,
+                sleep=sleep,
+            )
+            if failure is not None:
+                failures.append(failure)
+                failed_ids.add(name)
+            else:
+                assert outcome is not None
+                record_success(name, outcome)
+            if checkpoint_path is not None:
+                _write_checkpoint(checkpoint_path, config, completed, failures)
     ordered = [results[n] for n in dict.fromkeys(names) if n in results]
     batch_failures = [f for f in failures if f.experiment_id in set(names)]
     return BatchResult(
         results=ordered, failures=batch_failures, resumed=tuple(resumed)
     )
+
+
+def _failures_by_index(wave, count: int) -> list:
+    """Spread a ``ParallelResult``'s failures back onto task indices."""
+    by_index = {f.index: f for f in wave.failures}
+    return [by_index.get(i) for i in range(count)]

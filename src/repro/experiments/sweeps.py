@@ -1,0 +1,126 @@
+"""Shared plumbing for parallel, cache-aware experiment sweeps.
+
+The seed/budget sweeps in :mod:`repro.experiments.fig2`,
+:mod:`repro.experiments.table5` and :mod:`repro.resilience.replay` all
+follow the same shape: one fixed topology, many independent cells, each
+cell addressable in the result cache.  This module centralizes the three
+pieces they share:
+
+* the **worker graph slot** — process-backend workers attach the
+  shared-memory graph once (pool initializer) and every task reads it
+  from a module global instead of unpickling the topology per task;
+* :func:`run_graph_tasks` — dispatch tasks through
+  :func:`repro.parallel.parallel_map`, publishing the graph via
+  :class:`repro.parallel.SharedGraphStore` only when a process pool
+  actually needs it;
+* :class:`SweepResult` + :func:`jsonify_cell` — every sweep returns a
+  deterministic JSON-safe ``payload`` (bit-identical between cold,
+  warm-cache and any-backend runs; the equivalence suite pins this)
+  alongside cache hit/miss counters that are *not* part of the payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.graph.asgraph import ASGraph
+from repro.parallel.executor import ParallelResult, parallel_map
+from repro.parallel.shm import AttachedGraph, SharedGraphHandle, SharedGraphStore
+
+#: Graph visible to sweep workers; set directly (serial/thread) or by the
+#: process-pool initializer (shared-memory attach).
+_WORKER_GRAPH: ASGraph | None = None
+#: Keeps the worker's attachment alive for the lifetime of the process.
+_WORKER_ATTACHMENT: AttachedGraph | None = None
+
+
+def set_worker_graph(graph: ASGraph | None) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def worker_graph() -> ASGraph:
+    if _WORKER_GRAPH is None:
+        raise RuntimeError(
+            "sweep worker graph is not initialized; tasks must run through "
+            "run_graph_tasks()"
+        )
+    return _WORKER_GRAPH
+
+
+def _attach_worker_graph(handle: SharedGraphHandle) -> None:
+    """Process-pool initializer: attach the shared graph zero-copy."""
+    global _WORKER_ATTACHMENT
+    _WORKER_ATTACHMENT = AttachedGraph(handle)
+    set_worker_graph(_WORKER_ATTACHMENT.graph)
+
+
+def run_graph_tasks(
+    graph: ASGraph,
+    fn: Callable,
+    tasks: Sequence,
+    *,
+    backend: str = "serial",
+    workers: int = 1,
+    chunk_size: int | None = None,
+    capture_errors: bool = False,
+) -> ParallelResult:
+    """Run graph-bound ``fn`` over ``tasks`` under the chosen backend.
+
+    For the process backend the graph is published once through shared
+    memory and attached by each worker's initializer; serial and thread
+    backends share the caller's object directly.  ``fn`` reads the graph
+    via :func:`worker_graph` so the tasks themselves stay small and
+    picklable.
+    """
+    if backend == "process" and tasks:
+        with SharedGraphStore(graph) as store:
+            return parallel_map(
+                fn,
+                tasks,
+                backend=backend,
+                workers=workers,
+                chunk_size=chunk_size,
+                capture_errors=capture_errors,
+                initializer=_attach_worker_graph,
+                initargs=(store.handle,),
+            )
+    set_worker_graph(graph)
+    return parallel_map(
+        fn,
+        tasks,
+        backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
+        capture_errors=capture_errors,
+    )
+
+
+def jsonify_cell(cell: dict) -> dict:
+    """JSON round-trip a freshly computed cell.
+
+    A warm cache hit comes back through JSON; round-tripping the cold
+    path too makes cold and warm sweep payloads bit-identical.
+    """
+    return json.loads(json.dumps(cell))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A sweep's deterministic payload plus its cache counters.
+
+    ``payload`` is pure content — identical bytes for serial, thread,
+    process, cold-cache and warm-cache runs of the same sweep.
+    ``cache_hits``/``cache_misses`` describe *this* invocation and are
+    deliberately kept out of the payload.
+    """
+
+    payload: dict
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Canonical JSON of the payload (the bit-identity contract)."""
+        return json.dumps(self.payload, sort_keys=True, indent=indent)

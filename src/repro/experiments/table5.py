@@ -9,11 +9,22 @@ ASes appearing further down.  We regenerate the ranking (selection order
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.core.connectivity import saturated_connectivity
+from repro.core.coverage import coverage_fraction
 from repro.core.maxsg import maxsg
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.sweeps import (
+    SweepResult,
+    jsonify_cell,
+    run_graph_tasks,
+    worker_graph,
+)
+from repro.parallel.cache import ResultCache
 from repro.types import BusinessCategory
 
 
@@ -59,4 +70,127 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "Paper's top ranks mix IXPs and transit/access ISPs; composition "
             f"here: {histogram}."
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 5-style ranking sweep across broker budgets
+# ----------------------------------------------------------------------
+
+#: Cache tag for one budget cell of the ranking sweep.
+TABLE5_CELL_TAG = "table5-cell"
+
+
+def _table5_cell(task: dict) -> dict:
+    """One budget's ranking/composition/evaluation cell (worker side)."""
+    graph = worker_graph()
+    brokers = task["brokers"]
+    degrees = graph.degrees()
+    cats = graph.categories[np.asarray(brokers)]
+    composition = {
+        cat.name: int(np.count_nonzero(cats == int(cat)))
+        for cat in BusinessCategory
+    }
+    top10 = brokers[: max(len(brokers) // 10, 1)]
+    ixp_in_top = float(
+        np.mean(graph.categories[np.asarray(top10)] == int(BusinessCategory.IXP))
+    )
+    top_rows = [
+        [
+            rank,
+            BusinessCategory(int(graph.categories[b])).name,
+            graph.name_of(b),
+            int(degrees[b]),
+        ]
+        for rank, b in enumerate(brokers[: task["top"]], start=1)
+    ]
+    return {
+        "alliance_size": len(brokers),
+        "coverage_fraction": float(coverage_fraction(graph, brokers)),
+        "saturated_connectivity": float(saturated_connectivity(graph, brokers)),
+        "composition": composition,
+        "ixp_fraction_in_top_decile": ixp_in_top,
+        "top": top_rows,
+    }
+
+
+def table5_budget_sweep(
+    config: ExperimentConfig,
+    *,
+    budgets: list[int] | None = None,
+    top: int = 10,
+    workers: int = 1,
+    backend: str = "serial",
+    cache_dir: str | Path | None = None,
+    chunk_size: int | None = None,
+) -> SweepResult:
+    """Table 5's ranking regenerated at many broker budgets.
+
+    Like :func:`repro.experiments.fig2.fig2b_seed_sweep`, one MaxSG run
+    at the largest budget yields every prefix; each budget's evaluation
+    (coverage, saturated connectivity, composition, top ranks) is an
+    independent cell dispatched through the executor + cache.
+    """
+    graph = config.graph()
+    if budgets is None:
+        budgets = sorted(config.broker_budgets().values())
+    else:
+        budgets = sorted(dict.fromkeys(int(b) for b in budgets))
+    brokers_full = maxsg(graph, max(budgets))
+    digest = graph.digest()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    cells: dict[int, dict] = {}
+    tasks: list[dict] = []
+    for b in budgets:
+        params = {"budget": b, "top": top, "algorithm": "maxsg-prefix"}
+        if cache is not None:
+            hit = cache.get(
+                graph_digest=digest, algorithm=TABLE5_CELL_TAG, params=params
+            )
+            if hit is not None:
+                cells[b] = hit
+                continue
+        tasks.append(
+            {
+                "budget": b,
+                "top": top,
+                "brokers": brokers_full[: min(b, len(brokers_full))],
+                "params": params,
+            }
+        )
+    computed = run_graph_tasks(
+        graph,
+        _table5_cell,
+        tasks,
+        backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
+    ).values()
+    for task, cell in zip(tasks, computed):
+        if cache is not None:
+            cell = cache.put(
+                cell,
+                graph_digest=digest,
+                algorithm=TABLE5_CELL_TAG,
+                params=task["params"],
+            )
+        else:
+            cell = jsonify_cell(cell)
+        cells[task["budget"]] = cell
+
+    payload = {
+        "sweep": "table5",
+        "scale": config.scale,
+        "graph_seed": config.seed,
+        "graph_digest": digest,
+        "algorithm": "maxsg-prefix",
+        "top": top,
+        "budgets": budgets,
+        "cells": [{"budget": b, **cells[b]} for b in budgets],
+    }
+    return SweepResult(
+        payload=payload,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
     )

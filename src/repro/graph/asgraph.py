@@ -16,6 +16,8 @@ without re-walking Python dictionaries.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -154,6 +156,33 @@ class ASGraph:
             return self.names[v]
         prefix = "IXP" if self.kinds[v] == int(NodeKind.IXP) else "AS"
         return f"{prefix}{v}"
+
+    def digest(self) -> str:
+        """SHA-256 content digest of the topology and all metadata.
+
+        Two graphs have equal digests iff their CSR arrays, metadata
+        arrays, canonical edge lists and names are identical — the
+        content address the result cache uses to invalidate entries when
+        the underlying topology changes in any way.
+        """
+        h = hashlib.sha256()
+        arrays = (
+            self.adj.indptr,
+            self.adj.indices,
+            self.kinds,
+            self.tiers,
+            self.categories,
+            self.edge_src,
+            self.edge_dst,
+            self.edge_rels,
+        )
+        for arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        h.update(json.dumps(list(self.names)).encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Node-class masks

@@ -1,0 +1,337 @@
+"""Backend-agnostic task execution for experiment sweeps.
+
+:func:`parallel_map` runs one function over many items with a
+configurable backend:
+
+* ``serial`` — a plain loop in the calling process (the reference
+  semantics every other backend must reproduce bit-for-bit);
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  (useful when tasks release the GIL inside NumPy/SciPy kernels);
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (true parallelism; the task function and items must be picklable).
+
+Determinism is the design center: per-task RNGs are derived *in the
+parent* from a root seed and the task index (``SeedSequence.spawn``), so
+results never depend on the backend, the worker count, or the chunking.
+Failures are captured per task as :class:`TaskFailure` records that
+convert directly into the experiment runner's ``ExperimentFailure``
+machinery instead of aborting the whole sweep.
+
+:func:`run_with_timeout` is the wall-clock guard used by the hardened
+experiment runner.  Unlike the previous per-experiment
+``ThreadPoolExecutor`` (whose non-daemon worker leaked and kept running
+after a timeout), it runs the task on a *daemon* thread, records
+abandoned workers in an orphan registry, and never makes a later task
+wait behind a timed-out one.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import threading
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentTimeoutError, ReproError
+from repro.utils.rng import SeedLike
+
+Backend = Literal["serial", "thread", "process"]
+
+#: Backends accepted by :func:`parallel_map` (and the CLI ``--backend`` flags).
+BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task that raised (or died) in a sweep."""
+
+    index: int
+    item_repr: str
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def as_experiment_failure(
+        self, experiment_id: str | None = None, *, attempts: int = 1,
+        elapsed: float = 0.0,
+    ):
+        """Convert into the batch runner's ``ExperimentFailure`` record."""
+        from repro.experiments.runner import ExperimentFailure
+
+        return ExperimentFailure(
+            experiment_id=experiment_id
+            if experiment_id is not None
+            else f"task[{self.index}]",
+            attempts=attempts,
+            error_type=self.error_type,
+            message=self.message,
+            elapsed=elapsed,
+        )
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Outcome of a :func:`parallel_map` call.
+
+    ``results[i]`` holds task ``i``'s return value, or ``None`` when the
+    task failed; failed tasks are described in ``failures`` (sorted by
+    task index).
+    """
+
+    results: list
+    failures: tuple[TaskFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def values(self) -> list:
+        """All results, raising if any task failed."""
+        if self.failures:
+            first = self.failures[0]
+            raise ReproError(
+                f"task {first.index} ({first.item_repr}) failed: "
+                f"{first.error_type}: {first.message}"
+            )
+        return list(self.results)
+
+
+def derive_task_seeds(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences, one per task index.
+
+    Derivation happens once, in the parent, purely from ``seed`` and the
+    task index — the same task always sees the same RNG stream no matter
+    which backend or worker executes it.
+    """
+    if count < 0:
+        raise ReproError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        root = seed.bit_generator.seed_seq
+    else:
+        root = np.random.SeedSequence(seed)
+    return list(root.spawn(count))
+
+
+def _chunk_bounds(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    return [(lo, min(lo + chunk_size, total)) for lo in range(0, total, chunk_size)]
+
+
+def _run_chunk(
+    fn: Callable,
+    indexed_items: Sequence[tuple[int, Any]],
+    seeds: Sequence[np.random.SeedSequence] | None,
+    capture_errors: bool,
+) -> list[tuple[int, bool, Any]]:
+    """Execute one chunk; returns ``(index, ok, value_or_failure_tuple)``.
+
+    Runs in the worker (possibly another process), so failures are
+    returned as plain picklable tuples rather than exception objects.
+    """
+    out: list[tuple[int, bool, Any]] = []
+    for pos, (index, item) in enumerate(indexed_items):
+        try:
+            if seeds is not None:
+                rng = np.random.default_rng(seeds[pos])
+                value = fn(item, rng)
+            else:
+                value = fn(item)
+        except Exception as exc:  # noqa: BLE001 — captured per task
+            if not capture_errors:
+                raise
+            out.append(
+                (
+                    index,
+                    False,
+                    (type(exc).__name__, str(exc), _traceback.format_exc()),
+                )
+            )
+        else:
+            out.append((index, True, value))
+    return out
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    *,
+    backend: str = "serial",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    seed: SeedLike | None = None,
+    capture_errors: bool = False,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> ParallelResult:
+    """Map ``fn`` over ``items`` under the chosen execution backend.
+
+    Parameters
+    ----------
+    fn:
+        Called as ``fn(item)`` — or ``fn(item, rng)`` when ``seed`` is
+        given.  Must be picklable (module-level) for ``backend="process"``.
+    backend:
+        One of :data:`BACKENDS`.  All backends produce identical results
+        in item order.
+    workers:
+        Pool size for ``thread``/``process`` (default 4; ignored by
+        ``serial``).
+    chunk_size:
+        Items per submitted future (default: ~4 chunks per worker);
+        amortizes IPC overhead for the process backend.
+    seed:
+        Root seed for per-task RNG derivation (see
+        :func:`derive_task_seeds`).  ``None`` calls ``fn(item)`` without
+        an RNG.
+    capture_errors:
+        When true, a raising (or crashing) task becomes a
+        :class:`TaskFailure` and the rest of the sweep continues; when
+        false the first error propagates.
+    initializer, initargs:
+        Per-worker setup hook (e.g. attaching a shared-memory graph).
+        For ``serial`` the initializer runs once in the caller.
+    """
+    if backend not in BACKENDS:
+        raise ReproError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    items = list(items)
+    total = len(items)
+    seeds = derive_task_seeds(seed, total) if seed is not None else None
+    if workers is None:
+        workers = 4
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+
+    results: list = [None] * total
+    failures: list[TaskFailure] = []
+
+    def absorb(chunk_out: list[tuple[int, bool, Any]]) -> None:
+        for index, ok, value in chunk_out:
+            if ok:
+                results[index] = value
+            else:
+                error_type, message, tb = value
+                failures.append(
+                    TaskFailure(
+                        index=index,
+                        item_repr=repr(items[index])[:200],
+                        error_type=error_type,
+                        message=message,
+                        traceback=tb,
+                    )
+                )
+
+    if backend == "serial" or total == 0:
+        if initializer is not None:
+            initializer(*initargs)
+        absorb(_run_chunk(fn, list(enumerate(items)), seeds, capture_errors))
+        failures.sort(key=lambda f: f.index)
+        return ParallelResult(results=results, failures=tuple(failures))
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(total / (workers * 4)))
+    bounds = _chunk_bounds(total, chunk_size)
+    if backend == "thread":
+        pool_cls = concurrent.futures.ThreadPoolExecutor
+        pool_kwargs = dict(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+    else:
+        pool_cls = concurrent.futures.ProcessPoolExecutor
+        pool_kwargs = dict(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+    with pool_cls(**pool_kwargs) as pool:
+        futures = {}
+        for lo, hi in bounds:
+            indexed = [(i, items[i]) for i in range(lo, hi)]
+            chunk_seeds = seeds[lo:hi] if seeds is not None else None
+            fut = pool.submit(_run_chunk, fn, indexed, chunk_seeds, capture_errors)
+            futures[fut] = (lo, hi)
+        for fut in concurrent.futures.as_completed(futures):
+            lo, hi = futures[fut]
+            try:
+                absorb(fut.result())
+            except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
+                if not capture_errors:
+                    raise
+                for i in range(lo, hi):
+                    failures.append(
+                        TaskFailure(
+                            index=i,
+                            item_repr=repr(items[i])[:200],
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                        )
+                    )
+    failures.sort(key=lambda f: f.index)
+    return ParallelResult(results=results, failures=tuple(failures))
+
+
+# ----------------------------------------------------------------------
+# Wall-clock timeouts without leaking non-daemon threads
+# ----------------------------------------------------------------------
+
+_orphan_lock = threading.Lock()
+_orphans: list[threading.Thread] = []
+
+
+def _record_orphan(thread: threading.Thread) -> None:
+    with _orphan_lock:
+        _orphans.append(thread)
+        # Compact: forget orphans that have since finished on their own.
+        _orphans[:] = [t for t in _orphans if t.is_alive()]
+
+
+def orphaned_worker_count() -> int:
+    """Daemon workers abandoned by a timeout that are still running."""
+    with _orphan_lock:
+        _orphans[:] = [t for t in _orphans if t.is_alive()]
+        return len(_orphans)
+
+
+def run_with_timeout(
+    fn: Callable,
+    args: tuple = (),
+    *,
+    timeout: float | None = None,
+    name: str = "task",
+):
+    """Run ``fn(*args)`` bounded by ``timeout`` wall-clock seconds.
+
+    The task runs on a dedicated *daemon* thread; on timeout the thread
+    is abandoned (Python threads cannot be killed), registered in the
+    orphan registry for observability, and an
+    :class:`ExperimentTimeoutError` is raised immediately.  Because each
+    call gets a fresh daemon thread, a timed-out task never delays
+    subsequent tasks and never blocks interpreter shutdown.
+    """
+    if timeout is None:
+        return fn(*args)
+    if timeout <= 0:
+        raise ReproError(f"timeout must be positive, got {timeout}")
+    box: dict[str, Any] = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            box["value"] = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 — re-raised in caller
+            box["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(
+        target=target, name=f"repro-timeout-{name}", daemon=True
+    )
+    thread.start()
+    if not done.wait(timeout):
+        _record_orphan(thread)
+        raise ExperimentTimeoutError(
+            f"experiment {name!r} exceeded {timeout:g}s wall-clock budget"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box.get("value")

@@ -23,9 +23,14 @@ from repro.resilience.healing import (
     SlaPolicy,
 )
 from repro.resilience.replay import (
+    ReplaySweep,
     ResilienceReport,
     StepRecord,
+    replay_many,
     replay_schedule,
+    report_from_dict,
+    report_to_dict,
+    schedule_cache_params,
 )
 
 __all__ = [
@@ -41,7 +46,12 @@ __all__ = [
     "SlaPolicy",
     "RepairRecord",
     "SelfHealingBrokerSet",
+    "ReplaySweep",
     "ResilienceReport",
     "StepRecord",
+    "replay_many",
     "replay_schedule",
+    "report_from_dict",
+    "report_to_dict",
+    "schedule_cache_params",
 ]

@@ -11,6 +11,7 @@ property the determinism tests pin down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.graph.asgraph import ASGraph
 from repro.resilience.faults import FaultSchedule
@@ -141,4 +142,222 @@ def replay_schedule(
         steps=tuple(steps),
         repairs=tuple(healer.repairs),
         final_brokers=tuple(healer.active_brokers),
+    )
+
+
+# ----------------------------------------------------------------------
+# Serialization (result-cache entries are JSON)
+# ----------------------------------------------------------------------
+
+def report_to_dict(report: ResilienceReport) -> dict:
+    """JSON-safe form of a :class:`ResilienceReport` (lossless)."""
+    return {
+        "description": report.description,
+        "baseline": report.baseline,
+        "sla_target": report.sla_target,
+        "steps": [
+            {
+                "step": s.step,
+                "faults": s.faults,
+                "degraded": s.degraded,
+                "healed": s.healed,
+                "added": list(s.added),
+            }
+            for s in report.steps
+        ],
+        "repairs": [
+            {
+                "step": r.step,
+                "before": r.before,
+                "after": r.after,
+                "added": list(r.added),
+                "healed": r.healed,
+            }
+            for r in report.repairs
+        ],
+        "final_brokers": list(report.final_brokers),
+    }
+
+
+def report_from_dict(data: dict) -> ResilienceReport:
+    """Inverse of :func:`report_to_dict`."""
+    return ResilienceReport(
+        description=str(data["description"]),
+        baseline=float(data["baseline"]),
+        sla_target=float(data["sla_target"]),
+        steps=tuple(
+            StepRecord(
+                step=int(s["step"]),
+                faults=int(s["faults"]),
+                degraded=float(s["degraded"]),
+                healed=float(s["healed"]),
+                added=tuple(int(b) for b in s["added"]),
+            )
+            for s in data["steps"]
+        ),
+        repairs=tuple(
+            RepairRecord(
+                step=int(r["step"]),
+                before=float(r["before"]),
+                after=float(r["after"]),
+                added=tuple(int(b) for b in r["added"]),
+                healed=bool(r["healed"]),
+            )
+            for r in data["repairs"]
+        ),
+        final_brokers=tuple(int(b) for b in data["final_brokers"]),
+    )
+
+
+def schedule_cache_params(schedule: FaultSchedule) -> dict:
+    """Canonical JSON-safe identity of a fault schedule (cache key part)."""
+    return {
+        "num_steps": schedule.num_steps,
+        "description": schedule.description,
+        "events": [
+            [
+                e.step,
+                e.kind.value,
+                -1 if e.node is None else int(e.node),
+                list(e.endpoints) if e.endpoints is not None else [-1, -1],
+                e.cause,
+            ]
+            for e in schedule.events
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Parallel, cache-aware replay sweeps
+# ----------------------------------------------------------------------
+
+#: Cache tag for one replayed schedule.
+REPLAY_CELL_TAG = "resilience-replay"
+
+
+def _replay_cell(task: dict) -> dict:
+    """Replay one schedule against the worker's shared graph."""
+    from repro.experiments.sweeps import worker_graph
+
+    report = replay_schedule(
+        worker_graph(),
+        task["brokers"],
+        task["schedule"],
+        policy=task["policy"],
+        heal=task["heal"],
+    )
+    return report_to_dict(report)
+
+
+@dataclass(frozen=True)
+class ReplaySweep:
+    """Outcome of :func:`replay_many`.
+
+    ``reports`` are full :class:`ResilienceReport` objects (inflated
+    from the deterministic JSON cells in ``payload``); the cache
+    counters describe this invocation only and are not in the payload.
+    """
+
+    reports: tuple[ResilienceReport, ...]
+    payload: dict
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def replay_many(
+    graph: ASGraph,
+    brokers: list[int],
+    schedules: list[FaultSchedule],
+    *,
+    policy: SlaPolicy | None = None,
+    heal: bool = True,
+    workers: int = 1,
+    backend: str = "serial",
+    cache_dir: str | Path | None = None,
+    chunk_size: int | None = None,
+) -> ReplaySweep:
+    """Replay many fault campaigns over one shared topology.
+
+    Each schedule's replay is independent — the embarrassingly parallel
+    shape of a multi-seed resilience sweep — so replays are dispatched
+    through :func:`repro.experiments.sweeps.run_graph_tasks` (shared-
+    memory graph under the process backend) and cached content-addressed
+    by graph digest + brokers + policy + the schedule's canonical event
+    stream.  Because :func:`replay_schedule` is deterministic, cached
+    and recomputed cells are bit-identical.
+    """
+    from repro.experiments.sweeps import jsonify_cell, run_graph_tasks
+    from repro.parallel.cache import ResultCache
+
+    policy = policy if policy is not None else SlaPolicy()
+    brokers = [int(b) for b in brokers]
+    digest = graph.digest()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    policy_params = {
+        "threshold": policy.threshold,
+        "repair_budget": policy.repair_budget,
+        "max_total_added": policy.max_total_added,
+    }
+
+    cells: dict[int, dict] = {}
+    tasks: list[dict] = []
+    for index, schedule in enumerate(schedules):
+        params = {
+            "brokers": brokers,
+            "policy": policy_params,
+            "heal": heal,
+            "schedule": schedule_cache_params(schedule),
+        }
+        if cache is not None:
+            hit = cache.get(
+                graph_digest=digest, algorithm=REPLAY_CELL_TAG, params=params
+            )
+            if hit is not None:
+                cells[index] = hit
+                continue
+        tasks.append(
+            {
+                "index": index,
+                "schedule": schedule,
+                "brokers": brokers,
+                "policy": policy,
+                "heal": heal,
+                "params": params,
+            }
+        )
+    computed = run_graph_tasks(
+        graph,
+        _replay_cell,
+        tasks,
+        backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
+    ).values()
+    for task, cell in zip(tasks, computed):
+        if cache is not None:
+            cell = cache.put(
+                cell,
+                graph_digest=digest,
+                algorithm=REPLAY_CELL_TAG,
+                params=task["params"],
+            )
+        else:
+            cell = jsonify_cell(cell)
+        cells[task["index"]] = cell
+
+    ordered = [cells[i] for i in range(len(schedules))]
+    payload = {
+        "sweep": "resilience-replay",
+        "graph_digest": digest,
+        "brokers": brokers,
+        "heal": heal,
+        "policy": policy_params,
+        "num_schedules": len(schedules),
+        "cells": ordered,
+    }
+    return ReplaySweep(
+        reports=tuple(report_from_dict(c) for c in ordered),
+        payload=payload,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
     )

@@ -1,12 +1,15 @@
-"""Shared fixtures: small deterministic topologies for the whole suite."""
+"""Shared fixtures: small deterministic topologies for the whole suite.
+
+The seeded internets delegate to the cached builders in
+``tests/fixtures.py`` so fixture and non-fixture consumers (property
+tests, golden scripts, benchmarks) share one graph instance per seed.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.datasets.loader import load_internet
-from repro.datasets.synthetic_internet import InternetConfig, generate_internet
 from repro.graph.asgraph import ASGraph
 from repro.graph.generators import (
     complete_graph,
@@ -14,19 +17,25 @@ from repro.graph.generators import (
     path_graph,
     star_graph,
 )
+from tests import fixtures
 
 
 @pytest.fixture(scope="session")
 def tiny_internet() -> ASGraph:
     """The 604-node tiny profile — shared, read-only."""
-    return load_internet("tiny", seed=1)
+    return fixtures.internet("tiny", 1)
+
+
+@pytest.fixture(scope="session")
+def tiny_internet4() -> ASGraph:
+    """A second tiny profile (seed 4) for cross-seed/integration tests."""
+    return fixtures.internet("tiny", 4)
 
 
 @pytest.fixture(scope="session")
 def mini_internet() -> ASGraph:
     """An even smaller custom internet (~120 nodes) for exact checks."""
-    config = InternetConfig().scaled(100 / 51_757)
-    return generate_internet(config, seed=3)
+    return fixtures.mini_internet_graph(3)
 
 
 @pytest.fixture()

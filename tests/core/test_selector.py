@@ -13,9 +13,9 @@ def selector(tiny_internet_module):
 
 @pytest.fixture(scope="module")
 def tiny_internet_module():
-    from repro.datasets.loader import load_internet
+    from tests import fixtures
 
-    return load_internet("tiny", seed=1)
+    return fixtures.internet("tiny", 1)
 
 
 class TestSelect:
@@ -84,3 +84,33 @@ class TestEvaluate:
     def test_connectivity_curve_passthrough(self, selector):
         curve = selector.connectivity_curve(None, max_hops=3)
         assert curve.max_hops == 3
+
+
+class TestSelectorCache:
+    def test_hit_returns_equal_result(self, selector, tmp_path):
+        from repro.parallel.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cold = selector.select("maxsg", 10, cache=cache)
+        warm = selector.select("maxsg", 10, cache=cache)
+        assert warm == cold
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_generator_seed_bypasses_cache(self, selector, tmp_path):
+        import numpy as np
+
+        from repro.parallel.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        rng = np.random.default_rng(0)
+        selector.select("random", 5, seed=rng, cache=cache)
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.stats().entries == 0
+
+    def test_distinct_knobs_distinct_entries(self, selector, tmp_path):
+        from repro.parallel.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        selector.select("greedy", 5, cache=cache)
+        selector.select("greedy", 6, cache=cache)
+        assert cache.stats().entries == 2

@@ -222,6 +222,132 @@ class TestCheckpoint:
             run_experiment_batch(["_hr_c"], CONFIG, checkpoint=ckpt)
 
 
+class TestTimeoutIsolation:
+    """Satellite of the executor refactor: a timed-out task must leave
+
+    nothing behind that can slow the rest of the batch down.
+    """
+
+    def test_timed_out_task_does_not_delay_subsequent_tasks(self, registry):
+        def hang(config):
+            time.sleep(10.0)
+            return make_result("_hr_th")
+
+        registry("_hr_th", hang)
+        registry("_hr_tf1", lambda c: make_result("_hr_tf1"))
+        registry("_hr_tf2", lambda c: make_result("_hr_tf2"))
+        start = time.perf_counter()
+        batch = run_experiment_batch(
+            ["_hr_th", "_hr_tf1", "_hr_tf2"], CONFIG, timeout=0.1
+        )
+        elapsed = time.perf_counter() - start
+        # The old pooled implementation joined the leaked worker, so the
+        # batch took ~10s; the daemon-thread design finishes immediately.
+        assert elapsed < 2.0
+        assert [r.experiment_id for r in batch.results] == ["_hr_tf1", "_hr_tf2"]
+        assert [f.experiment_id for f in batch.failures] == ["_hr_th"]
+
+    def test_abandoned_worker_lands_in_orphan_registry(self, registry):
+        from repro.parallel.executor import orphaned_worker_count
+
+        def hang(config):
+            time.sleep(0.5)
+            return make_result("_hr_to")
+
+        registry("_hr_to", hang)
+        before = orphaned_worker_count()
+        batch = run_experiment_batch(["_hr_to"], CONFIG, timeout=0.05)
+        assert not batch.ok
+        assert orphaned_worker_count() >= before + 1
+        time.sleep(0.6)  # the orphan finishes and is forgotten
+        assert orphaned_worker_count() <= before
+
+
+class TestParallelBatch:
+    """The ``workers``/``backend``/``cache_dir`` wave of the runner."""
+
+    def _register_trio(self, registry):
+        registry("_hr_p1", lambda c: make_result("_hr_p1", rows=((1, 2),)))
+        registry("_hr_p2", lambda c: make_result("_hr_p2", rows=((3, 4),)))
+        registry("_hr_p3", lambda c: make_result("_hr_p3", rows=((5, 6),)))
+        return ["_hr_p1", "_hr_p2", "_hr_p3"]
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_parallel_matches_serial(self, registry, backend):
+        names = self._register_trio(registry)
+        serial = run_experiment_batch(names, CONFIG)
+        parallel = run_experiment_batch(
+            names, CONFIG, workers=2, backend=backend
+        )
+        assert parallel.ok
+        assert [result_to_dict(r) for r in parallel.results] == [
+            result_to_dict(r) for r in serial.results
+        ]
+
+    def test_parallel_failure_is_structured(self, registry):
+        def broken(config):
+            raise ValueError("parallel boom")
+
+        registry("_hr_pbad", broken)
+        registry("_hr_pok", lambda c: make_result("_hr_pok"))
+        batch = run_experiment_batch(
+            ["_hr_pbad", "_hr_pok"], CONFIG, workers=2, backend="thread"
+        )
+        assert not batch.ok
+        [failure] = batch.failures
+        assert failure.experiment_id == "_hr_pbad"
+        assert failure.error_type == "ValueError"
+        assert [r.experiment_id for r in batch.results] == ["_hr_pok"]
+
+    def test_invalid_backend_and_workers(self):
+        with pytest.raises(ReproError, match="backend"):
+            run_experiment_batch(["table1"], CONFIG, backend="gpu")
+        with pytest.raises(ReproError, match="workers"):
+            run_experiment_batch(["table1"], CONFIG, workers=0)
+
+    def test_cache_skips_recompute(self, registry, tmp_path):
+        calls = {"n": 0}
+
+        def counting(config):
+            calls["n"] += 1
+            return make_result("_hr_cc", rows=((calls["n"], 0),))
+
+        registry("_hr_cc", counting)
+        cold = run_experiment_batch(["_hr_cc"], CONFIG, cache_dir=tmp_path)
+        warm = run_experiment_batch(["_hr_cc"], CONFIG, cache_dir=tmp_path)
+        assert calls["n"] == 1
+        assert [result_to_dict(r) for r in warm.results] == [
+            result_to_dict(r) for r in cold.results
+        ]
+
+    def test_cache_respects_config(self, registry, tmp_path):
+        calls = {"n": 0}
+
+        def counting(config):
+            calls["n"] += 1
+            return make_result("_hr_cv")
+
+        registry("_hr_cv", counting)
+        run_experiment_batch(["_hr_cv"], CONFIG, cache_dir=tmp_path)
+        other = ExperimentConfig(scale="tiny", seed=1, max_hops=3)
+        run_experiment_batch(["_hr_cv"], other, cache_dir=tmp_path)
+        assert calls["n"] == 2  # different config -> different cache key
+
+    def test_parallel_wave_writes_checkpoint(self, registry, tmp_path):
+        names = self._register_trio(registry)
+        ckpt = tmp_path / "wave.json"
+        batch = run_experiment_batch(
+            names, CONFIG, workers=2, backend="thread", checkpoint=ckpt
+        )
+        assert batch.ok
+        saved = json.loads(ckpt.read_text())
+        assert sorted(saved["completed"]) == sorted(names)
+        resumed = run_experiment_batch(
+            names, CONFIG, workers=2, backend="thread", checkpoint=ckpt
+        )
+        assert resumed.resumed == tuple(names)
+
+
 class TestSerialization:
     def test_result_round_trip_renders_identically(self):
         result = make_result("_hr_r", rows=((1, "x", 2.5), (3, "y", 4.0)))

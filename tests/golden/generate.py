@@ -1,0 +1,83 @@
+"""Golden-number generator for the selection algorithms.
+
+The committed snapshot (``golden_numbers.json``) pins the coverage and
+saturated-connectivity percentages of ``greedy_max_coverage``,
+``lazy_greedy_max_coverage`` and ``maxsg`` at the paper's three broker
+budgets (0.19 % / 1.9 % / 6.8 % of the vertices, Table 1's rows) on the
+seeded fixture graphs.  Any drift in the generator, the algorithms, or
+the coverage engine shows up as a diff against the snapshot.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src:. python -m tests.golden.generate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.connectivity import saturated_connectivity
+from repro.core.coverage import coverage_fraction
+from repro.core.greedy import greedy_max_coverage, lazy_greedy_max_coverage
+from repro.core.maxsg import maxsg
+from tests import fixtures
+
+GOLDEN_PATH = Path(__file__).with_name("golden_numbers.json")
+
+#: name -> selection function pinned by the snapshot.
+ALGORITHMS = {
+    "greedy": greedy_max_coverage,
+    "lazy_greedy": lazy_greedy_max_coverage,
+    "maxsg": maxsg,
+}
+
+#: label -> fixture-graph builder.
+GRAPHS = {
+    "tiny-seed1": lambda: fixtures.internet("tiny", 1),
+    "mini-seed3": lambda: fixtures.mini_internet_graph(3),
+}
+
+
+def compute_golden() -> dict:
+    """The current numbers, formatted exactly like the snapshot."""
+    golden: dict = {}
+    for label, build in GRAPHS.items():
+        graph = build()
+        budgets = fixtures.paper_budgets(graph)
+        entry = {
+            "num_nodes": graph.num_nodes,
+            "graph_digest": graph.digest(),
+            "budgets": budgets,
+            "algorithms": {},
+        }
+        for name, fn in ALGORITHMS.items():
+            cells = {}
+            for frac_label, budget in budgets.items():
+                brokers = fn(graph, budget)
+                cells[frac_label] = {
+                    "budget": budget,
+                    "size": len(brokers),
+                    # Table-1 shape: two-decimal percentages, as strings,
+                    # so the assertion is a string equality (no epsilon).
+                    "coverage_pct": f"{100 * coverage_fraction(graph, brokers):.2f}",
+                    "saturated_pct": (
+                        f"{100 * saturated_connectivity(graph, brokers):.2f}"
+                    ),
+                }
+            entry["algorithms"][name] = cells
+        golden[label] = entry
+    return golden
+
+
+def load_golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def main() -> None:
+    GOLDEN_PATH.write_text(json.dumps(compute_golden(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Content-addressed result cache: keys, invalidation, atomicity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.parallel.cache import (
+    ResultCache,
+    cache_key,
+    canonicalize_params,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+KEY = dict(graph_digest="g1", algorithm="alg", params={"a": 1})
+
+
+class TestCanonicalize:
+    def test_numpy_scalars_and_arrays(self):
+        params = {"i": np.int64(3), "f": np.float64(0.5), "v": np.arange(3)}
+        assert canonicalize_params(params) == {"i": 3, "f": 0.5, "v": [0, 1, 2]}
+
+    def test_tuples_equal_lists(self):
+        assert cache_key(
+            graph_digest="g", algorithm="a", params={"b": (1, 2)}
+        ) == cache_key(graph_digest="g", algorithm="a", params={"b": [1, 2]})
+
+    def test_key_order_irrelevant(self):
+        assert cache_key(
+            graph_digest="g", algorithm="a", params={"x": 1, "y": 2}
+        ) == cache_key(graph_digest="g", algorithm="a", params={"y": 2, "x": 1})
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(ReproError, match="JSON-like"):
+            canonicalize_params({"f": object()})
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(**KEY) is None
+        cache.put({"value": 7}, **KEY)
+        assert cache.get(**KEY) == {"value": 7}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_put_returns_json_roundtrip(self, cache):
+        stored = cache.put({"xs": (1, 2)}, **KEY)
+        assert stored == {"xs": [1, 2]}  # tuple became a JSON list
+        assert cache.get(**KEY) == stored
+
+    def test_get_or_compute(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        first = cache.get_or_compute(compute, **KEY)
+        second = cache.get_or_compute(compute, **KEY)
+        assert first == second == {"n": 1}
+        assert len(calls) == 1
+
+    def test_unserializable_value_rejected(self, cache):
+        with pytest.raises(ReproError, match="JSON-serializable"):
+            cache.put({"bad": object()}, **KEY)
+
+
+class TestInvalidation:
+    def test_graph_digest_invalidates(self, cache):
+        cache.put({"v": 1}, **KEY)
+        assert cache.get(graph_digest="g2", algorithm="alg", params={"a": 1}) is None
+
+    def test_algorithm_invalidates(self, cache):
+        cache.put({"v": 1}, **KEY)
+        assert cache.get(graph_digest="g1", algorithm="other", params={"a": 1}) is None
+
+    def test_params_invalidate(self, cache):
+        cache.put({"v": 1}, **KEY)
+        assert cache.get(graph_digest="g1", algorithm="alg", params={"a": 2}) is None
+
+    def test_version_invalidates(self, cache):
+        cache.put({"v": 1}, **KEY)
+        assert cache.get(**KEY, version="999.0") is None
+        cache.put({"v": 2}, **KEY, version="999.0")
+        assert cache.get(**KEY) == {"v": 1}
+        assert cache.get(**KEY, version="999.0") == {"v": 2}
+
+    def test_graph_digest_changes_with_topology(self, tiny_internet):
+        from tests import fixtures
+
+        assert tiny_internet.digest() == fixtures.internet("tiny", 1).digest()
+        assert tiny_internet.digest() != fixtures.internet("tiny", 4).digest()
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, cache):
+        cache.put({"v": 1}, **KEY)
+        cache.put({"v": 2}, graph_digest="g2", algorithm="alg", params={})
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert "2 entries" in stats.render()
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put({"v": 1}, **KEY)
+        entry = next(cache.cache_dir.glob("*/*.json"))
+        entry.write_text("{not json")
+        assert cache.get(**KEY) is None
+
+    def test_no_tmp_files_left_behind(self, cache):
+        for i in range(5):
+            cache.put({"v": i}, graph_digest="g", algorithm="a", params={"i": i})
+        leftovers = list(cache.cache_dir.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_entries_are_valid_standalone_json(self, cache):
+        cache.put({"v": 1}, **KEY)
+        entry = next(cache.cache_dir.glob("*/*.json"))
+        payload = json.loads(entry.read_text())
+        assert payload["algorithm"] == "alg"
+        assert payload["value"] == {"v": 1}
+
+    def test_stats_on_missing_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.stats().entries == 0
+        assert cache.clear() == 0

@@ -1,0 +1,177 @@
+"""Unit tests for the backend-agnostic parallel executor."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentTimeoutError, ReproError
+from repro.parallel.executor import (
+    BACKENDS,
+    ParallelResult,
+    TaskFailure,
+    derive_task_seeds,
+    orphaned_worker_count,
+    parallel_map,
+    run_with_timeout,
+)
+
+
+# Module-level workers so the process backend can pickle them.
+def _square(x):
+    return x * x
+
+
+def _noisy(x, rng):
+    return x + float(rng.random())
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * 10
+
+
+def _sleep_then(x):
+    time.sleep(x)
+    return x
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_match_serial(self, backend):
+        items = list(range(13))
+        expected = parallel_map(_square, items).values()
+        got = parallel_map(_square, items, backend=backend, workers=3).values()
+        assert got == expected == [x * x for x in items]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seeded_backends_match_serial(self, backend):
+        items = list(range(9))
+        expected = parallel_map(_noisy, items, seed=42).values()
+        got = parallel_map(
+            _noisy, items, backend=backend, workers=3, seed=42
+        ).values()
+        assert got == expected
+
+    def test_chunking_does_not_change_results(self):
+        items = list(range(10))
+        baseline = parallel_map(_noisy, items, seed=7).values()
+        for chunk_size in (1, 3, 10):
+            got = parallel_map(
+                _noisy, items, backend="thread", workers=2,
+                chunk_size=chunk_size, seed=7,
+            ).values()
+            assert got == baseline
+
+    def test_empty_items(self):
+        result = parallel_map(_square, [])
+        assert result.ok
+        assert result.values() == []
+
+    def test_unknown_backend(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            parallel_map(_square, [1], backend="gpu")
+
+    def test_bad_workers(self):
+        with pytest.raises(ReproError, match="workers"):
+            parallel_map(_square, [1], backend="thread", workers=0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_error_capture(self, backend):
+        result = parallel_map(
+            _fail_on_three, [1, 2, 3, 4], backend=backend, workers=2,
+            chunk_size=1, capture_errors=True,
+        )
+        assert not result.ok
+        assert result.results == [10, 20, None, 40]
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.index == 2
+        assert failure.error_type == "ValueError"
+        assert "three is right out" in failure.message
+
+    def test_values_raises_on_failure(self):
+        result = parallel_map(_fail_on_three, [3], capture_errors=True)
+        with pytest.raises(ReproError, match="ValueError"):
+            result.values()
+
+    def test_error_propagates_without_capture(self):
+        with pytest.raises(ValueError, match="three"):
+            parallel_map(_fail_on_three, [1, 3])
+
+    def test_failure_converts_to_experiment_failure(self):
+        from repro.experiments.runner import ExperimentFailure
+
+        result = parallel_map(_fail_on_three, [3], capture_errors=True)
+        failure = result.failures[0].as_experiment_failure("sweep", attempts=2)
+        assert isinstance(failure, ExperimentFailure)
+        assert failure.experiment_id == "sweep"
+        assert failure.attempts == 2
+        assert failure.error_type == "ValueError"
+
+    def test_serial_initializer_runs(self):
+        seen = []
+        parallel_map(_square, [1], initializer=seen.append, initargs=("x",))
+        assert seen == ["x"]
+
+
+class TestDeriveTaskSeeds:
+    def test_deterministic(self):
+        a = derive_task_seeds(5, 4)
+        b = derive_task_seeds(5, 4)
+        streams_a = [np.random.default_rng(s).random() for s in a]
+        streams_b = [np.random.default_rng(s).random() for s in b]
+        assert streams_a == streams_b
+
+    def test_tasks_get_distinct_streams(self):
+        seeds = derive_task_seeds(0, 3)
+        draws = {np.random.default_rng(s).random() for s in seeds}
+        assert len(draws) == 3
+
+    def test_generator_seed(self):
+        rng = np.random.default_rng(11)
+        assert len(derive_task_seeds(rng, 2)) == 2
+
+    def test_negative_count(self):
+        with pytest.raises(ReproError):
+            derive_task_seeds(0, -1)
+
+
+class TestRunWithTimeout:
+    def test_no_timeout_runs_inline(self):
+        assert run_with_timeout(_square, (6,)) == 36
+
+    def test_within_budget(self):
+        assert run_with_timeout(_sleep_then, (0.01,), timeout=5.0) == 0.01
+
+    def test_timeout_raises(self):
+        with pytest.raises(ExperimentTimeoutError, match="budget"):
+            run_with_timeout(_sleep_then, (5.0,), timeout=0.05, name="slow")
+
+    def test_error_propagates(self):
+        with pytest.raises(ValueError, match="three"):
+            run_with_timeout(_fail_on_three, (3,), timeout=5.0)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ReproError, match="positive"):
+            run_with_timeout(_square, (1,), timeout=0)
+
+    def test_timed_out_task_does_not_delay_next(self):
+        """The old pooled implementation made task N+1 wait for a leaked
+
+        worker from task N; the daemon-thread design must not.
+        """
+        with pytest.raises(ExperimentTimeoutError):
+            run_with_timeout(_sleep_then, (3.0,), timeout=0.05)
+        start = time.monotonic()
+        assert run_with_timeout(_square, (2,), timeout=5.0) == 4
+        assert time.monotonic() - start < 1.0
+
+    def test_orphan_registry_tracks_abandoned_worker(self):
+        before = orphaned_worker_count()
+        with pytest.raises(ExperimentTimeoutError):
+            run_with_timeout(_sleep_then, (0.5,), timeout=0.05)
+        assert orphaned_worker_count() >= before + 1
+        time.sleep(0.6)  # the abandoned worker finishes on its own
+        assert orphaned_worker_count() <= before

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the parallel/cache layer.
+
+Three equivalences the subsystem promises, probed over random inputs:
+
+* any backend of :func:`parallel_map` reproduces the serial results,
+  whatever the items, worker count, chunking, or seed;
+* a cache hit returns exactly what the cold compute returned;
+* ``lazy_greedy_max_coverage`` matches ``greedy_max_coverage`` on random
+  graphs (the lazy evaluation is an optimization, not a semantic change).
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_max_coverage, lazy_greedy_max_coverage
+from repro.graph.asgraph import ASGraph
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import parallel_map
+
+
+@st.composite
+def random_graphs(draw, min_nodes=3, max_nodes=25):
+    """A random simple graph as an ASGraph."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible),
+            min_size=1,
+            max_size=min(60, len(possible)),
+            unique=True,
+        )
+    )
+    return ASGraph.from_edges(n, edges)
+
+
+# Module-level so the process backend can pickle it.
+def _mix(x, rng):
+    return (x * 3 + 1, float(rng.random()))
+
+
+def _double(x):
+    return x * 2
+
+
+class TestBackendEquivalence:
+    @given(
+        items=st.lists(st.integers(-1000, 1000), max_size=20),
+        workers=st.integers(1, 3),
+        chunk_size=st.one_of(st.none(), st.integers(1, 7)),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_thread_matches_serial(self, items, workers, chunk_size, seed):
+        serial = parallel_map(_mix, items, seed=seed).values()
+        threaded = parallel_map(
+            _mix, items, backend="thread", workers=workers,
+            chunk_size=chunk_size, seed=seed,
+        ).values()
+        assert threaded == serial
+
+    @given(
+        items=st.lists(st.integers(-1000, 1000), min_size=1, max_size=8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=5, deadline=None)  # process pools are expensive
+    def test_process_matches_serial(self, items, seed):
+        serial = parallel_map(_mix, items, seed=seed).values()
+        procs = parallel_map(
+            _mix, items, backend="process", workers=2, seed=seed
+        ).values()
+        assert procs == serial
+
+
+class TestCacheEquivalence:
+    @given(
+        value=st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(-(2**53), 2**53),
+                st.text(max_size=20),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=8), children, max_size=4),
+            ),
+            max_leaves=12,
+        ),
+        params=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.integers(-100, 100), st.text(max_size=8)),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hit_equals_cold_compute(self, value, params):
+        with tempfile.TemporaryDirectory() as d:
+            cache = ResultCache(d)
+            cold = cache.put(
+                {"v": value}, graph_digest="g", algorithm="prop", params=params
+            )
+            warm = cache.get(graph_digest="g", algorithm="prop", params=params)
+            assert warm == cold
+
+    @given(items=st.lists(st.integers(0, 50), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_get_or_compute_idempotent(self, items):
+        with tempfile.TemporaryDirectory() as d:
+            cache = ResultCache(d)
+
+            def compute():
+                return parallel_map(_double, items).values()
+
+            key = dict(graph_digest="g", algorithm="sweep", params={"items": items})
+            cold = cache.get_or_compute(compute, **key)
+            warm = cache.get_or_compute(compute, **key)
+            assert cold == warm == [x * 2 for x in items]
+            assert cache.hits == 1
+
+
+class TestGreedyEquivalence:
+    @given(graph=random_graphs(), budget=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_lazy_greedy_matches_eager_greedy(self, graph, budget):
+        budget = min(budget, graph.num_nodes)
+        eager = greedy_max_coverage(graph, budget)
+        lazy = lazy_greedy_max_coverage(graph, budget)
+        assert lazy == eager

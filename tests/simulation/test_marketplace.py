@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.maxsg import maxsg
 from repro.exceptions import AlgorithmError, EconomicModelError
 from repro.simulation.marketplace import (
     MarketplaceReport,
@@ -41,10 +40,10 @@ class TestGenerateRequests:
 class TestSimulateMarketplace:
     @pytest.fixture(scope="class")
     def setup(self):
-        from repro.datasets.loader import load_internet
+        from tests import fixtures
 
-        graph = load_internet("tiny", seed=1)
-        brokers = maxsg(graph, 41)
+        graph = fixtures.internet("tiny", 1)
+        brokers = list(fixtures.maxsg_brokers("tiny", 1, 41))
         requests = generate_requests(graph, 300, seed=0)
         return graph, brokers, requests
 

@@ -143,3 +143,68 @@ class TestReportAndExport:
         ])
         assert code == 0
         assert "graph topology" in out.read_text()
+
+
+class TestSweepAndCache:
+    def test_sweep_fig2b_to_file_with_cache(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        cache = tmp_path / "cache"
+        argv = [
+            "sweep", "fig2b", "--scale", "tiny", "--seed", "1",
+            "--seeds", "1", "2", "--budgets", "5", "12",
+            "--cache-dir", str(cache), "--output", str(out),
+        ]
+        assert main(argv) == 0
+        first = out.read_text()
+        assert "0 hit(s), 4 miss(es)" in capsys.readouterr().err
+        # warm rerun: bit-identical file, all hits
+        assert main(argv) == 0
+        assert out.read_text() == first
+        assert "4 hit(s), 0 miss(es)" in capsys.readouterr().err
+
+    def test_sweep_table5_stdout(self, capsys):
+        code = main([
+            "sweep", "table5", "--scale", "tiny", "--seed", "1",
+            "--budgets", "5", "--top", "3",
+        ])
+        assert code == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["sweep"] == "table5"
+        assert len(payload["cells"]) == 1
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main([
+            "sweep", "table5", "--scale", "tiny", "--seed", "1",
+            "--budgets", "5", "--cache-dir", str(cache),
+        ])
+        capsys.readouterr()
+        assert main(["cache", "stats", str(cache)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", str(cache)]) == 0
+        assert "removed 1 cached result(s)" in capsys.readouterr().out
+
+    def test_experiment_parallel_flags(self, tmp_path, capsys):
+        code = main([
+            "experiment", "table2", "--scale", "tiny", "--seed", "1",
+            "--workers", "2", "--backend", "thread",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_resilience_replicates(self, capsys):
+        code = main([
+            "resilience", "--scale", "tiny", "--seed", "1", "--budget", "10",
+            "--model", "independent", "--steps", "3", "--crash-prob", "0.4",
+            "--replicates", "2", "--workers", "2", "--backend", "thread",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed=1" in out and "seed=2" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig2b", "--backend", "gpu"])

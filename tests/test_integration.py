@@ -27,13 +27,14 @@ from repro.routing import (
     DirectionalPolicy,
     policy_connectivity_curve,
 )
+from tests import fixtures
 
 
 @pytest.mark.slow
 class TestFullPipeline:
-    def test_structural_pipeline(self):
+    def test_structural_pipeline(self, tiny_internet4):
         """Generate -> select -> verify -> evaluate, as in the README."""
-        graph = load_internet("tiny", seed=4)
+        graph = tiny_internet4
         summary = summarize(graph, estimate_short_paths=True, seed=0)
         assert summary.beta is not None
 
@@ -48,10 +49,10 @@ class TestFullPipeline:
             result.saturated_connectivity, abs=1e-9
         )
 
-    def test_routing_pipeline(self):
+    def test_routing_pipeline(self, tiny_internet4):
         """Broker set -> router -> SLAs -> policy evaluation."""
-        graph = load_internet("tiny", seed=4)
-        brokers = maxsg(graph, 40)
+        graph = tiny_internet4
+        brokers = list(fixtures.maxsg_brokers("tiny", 4, 40))
         router = BrokerRouter(graph, brokers)
 
         rng = np.random.default_rng(0)
@@ -75,9 +76,9 @@ class TestFullPipeline:
         )
         assert policy.saturated <= free.saturated + 0.02
 
-    def test_economic_pipeline(self):
+    def test_economic_pipeline(self, tiny_internet4):
         """Broker set value -> pricing -> bargaining -> revenue split."""
-        graph = load_internet("tiny", seed=4)
+        graph = tiny_internet4
         from repro.core import lazy_greedy_max_coverage, saturated_connectivity
 
         players = lazy_greedy_max_coverage(graph, 6)
@@ -99,7 +100,7 @@ class TestFullPipeline:
         )
 
     def test_reproducibility_end_to_end(self):
-        """Same seeds, same everything."""
+        """Same seeds, same everything (bypassing the fixture cache)."""
         a = load_internet("tiny", seed=9)
         b = load_internet("tiny", seed=9)
         brokers_a = maxsg(a, 20)
