@@ -32,6 +32,38 @@ def warm_graph(config):
     return config.graph()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _bench_tracing():
+    """Record a JSONL span trace of the whole benchmark session.
+
+    Enabled by pointing ``REPRO_BENCH_TRACE`` at an output file (CI
+    uploads it as the benchmark-job artifact); otherwise the default
+    no-op tracer stays installed and the benchmarks run untraced.
+    """
+    path = os.environ.get("REPRO_BENCH_TRACE")
+    if not path:
+        yield
+        return
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer(metadata={"harness": "benchmarks"})
+    with use_tracer(tracer):
+        yield
+    count = tracer.export(path)
+    print(f"\nwrote {count} benchmark trace record(s) to {path}")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append the kernel metric counters accumulated across the session."""
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    snapshot = registry.snapshot()
+    if any(snapshot["counters"].values()):
+        print()
+        print(registry.render(title="Kernel metrics (whole benchmark session)"))
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+"""Overhead guard: disabled observability must cost (almost) nothing.
+
+The obs design contract is that instrumented kernels aggregate locally
+and flush per *call*, with the default :class:`NullTracer` reducing every
+span to one shared no-op context manager.  This benchmark pins that
+contract: the selection kernels run with metrics on + NullTracer (the
+default production configuration) within 3 % of the fully-suspended
+baseline (``metrics_disabled`` — every helper short-circuits on the flag,
+which is as close to un-instrumented code as exists).
+
+Timing interleaves baseline/instrumented samples and takes the *median
+of per-pair ratios*: each ratio compares two runs adjacent in time, so
+CPU-frequency drift and scheduler noise cancel pairwise, and the median
+over many pairs ignores the outlier pairs that survive.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.connectivity import saturated_connectivity
+from repro.core.greedy import lazy_greedy_max_coverage
+from repro.core.maxsg import maxsg
+from repro.obs import NullTracer, get_tracer, metrics_disabled, use_tracer
+
+pytestmark = pytest.mark.slow
+
+#: Acceptance bound: no-op instrumentation within 3 % of the baseline.
+MAX_OVERHEAD = 0.03
+REPETITIONS = 40
+
+
+def _min_time(fn, repetitions: int = REPETITIONS) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _pairwise_overhead(fn) -> tuple[float, float, float]:
+    """(baseline_min, instrumented_min, median per-pair ratio)."""
+    baseline = instrumented = float("inf")
+    ratios = []
+    for _ in range(REPETITIONS):
+        with metrics_disabled():
+            t0 = time.perf_counter()
+            fn()
+            base = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fn()
+        inst = time.perf_counter() - t0
+        baseline = min(baseline, base)
+        instrumented = min(instrumented, inst)
+        ratios.append(inst / base)
+    return baseline, instrumented, statistics.median(ratios)
+
+
+def _workload(graph):
+    """One mixed selection + evaluation pass over every hot kernel."""
+    brokers = lazy_greedy_max_coverage(graph, 24)
+    brokers = maxsg(graph, 24)
+    saturated_connectivity(graph, brokers)
+
+
+def test_noop_observability_overhead(benchmark, warm_graph):
+    assert isinstance(get_tracer(), NullTracer)
+
+    def measure():
+        _workload(warm_graph)  # common warm-up before the measurements
+        return _pairwise_overhead(lambda: _workload(warm_graph))
+
+    baseline, instrumented, ratio = run_once(benchmark, measure)
+    overhead = ratio - 1.0
+    print(
+        f"\nbaseline min {baseline * 1e3:.2f} ms, "
+        f"instrumented min {instrumented * 1e3:.2f} ms, "
+        f"median pairwise overhead {overhead * 100:+.2f}%"
+    )
+    assert overhead <= MAX_OVERHEAD
+
+
+def test_enabled_tracer_records_without_blowup(warm_graph):
+    """Sanity companion: a real tracer records per-round spans and stays
+    within a loose factor of the untraced run (it is opt-in, not free)."""
+    from repro.obs import Tracer
+
+    untraced = _min_time(lambda: _workload(warm_graph), repetitions=5)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        traced = _min_time(lambda: _workload(warm_graph), repetitions=5)
+    assert any(r["name"] == "maxsg.round" for r in tracer.records)
+    assert traced <= untraced * 2.0  # recording spans must not explode cost

@@ -8,15 +8,20 @@ Subcommands:
 * ``experiment`` — run one (or all) of the paper's tables/figures.
 * ``sweep`` — parallel, cache-aware multi-seed/budget sweeps (fig2b, table5).
 * ``cache`` — inspect or clear an on-disk result cache.
+* ``trace`` — run one experiment with span tracing on and summarize it.
+* ``metrics`` — run an experiment (cold + warm-cache) and report the
+  kernel/cache/runner counters from :mod:`repro.obs`.
 
 ``experiment``, ``sweep`` and ``resilience`` accept ``--workers``,
 ``--backend`` and ``--cache-dir`` (the parallel executor + result cache
-from :mod:`repro.parallel`).
+from :mod:`repro.parallel`) plus ``--trace-out FILE`` (JSONL span trace
+via :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.datasets.loader import available_scales, load_internet
@@ -263,6 +268,79 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, run_experiment
+    from repro.obs import Tracer, use_tracer
+    from repro.utils.tables import format_table
+
+    tracer = Tracer(metadata={
+        "command": "trace",
+        "experiment": args.name,
+        "scale": args.scale,
+        "seed": args.seed,
+    })
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    with use_tracer(tracer):
+        result = run_experiment(args.name, config)
+    if args.show_result:
+        print(result.render())
+        print()
+    rows = [
+        (name, count, f"{total:.4f}", f"{total / count:.6f}")
+        for name, (count, total) in sorted(
+            tracer.aggregate().items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    print(format_table(
+        ["span", "count", "total s", "mean s"],
+        rows,
+        title=f"Trace summary: {args.name} ({args.scale}, seed {args.seed})",
+    ))
+    if args.output:
+        count = tracer.export(args.output)
+        print(f"wrote {count} trace record(s) to {args.output}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.experiments import ExperimentConfig, run_experiment_batch
+    from repro.obs import get_registry
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    tmp = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-metrics-")
+        cache_dir = tmp.name
+    try:
+        for _ in range(max(1, args.runs)):
+            batch = run_experiment_batch(
+                [args.experiment], config, cache_dir=cache_dir, seed=args.seed
+            )
+            if not batch.ok:
+                for failure in batch.failures:
+                    print(
+                        f"FAILED {failure.experiment_id}: "
+                        f"{failure.error_type}: {failure.message}",
+                        file=sys.stderr,
+                    )
+                return 1
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    registry = get_registry()
+    if args.format == "json":
+        print(registry.to_json(indent=2))
+    else:
+        print(registry.render(
+            title=f"Metrics: {args.experiment} x{max(1, args.runs)} "
+                  f"({args.scale}, seed {args.seed})"
+        ))
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.parallel.cache import ResultCache
 
@@ -285,6 +363,37 @@ def _add_parallel_flags(p: argparse.ArgumentParser) -> None:
                    help="execution backend (process = shared-memory graph)")
     p.add_argument("--cache-dir", default=None,
                    help="content-addressed result cache directory")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record a JSONL span trace of the run to FILE")
+
+
+@contextlib.contextmanager
+def _maybe_trace(args: argparse.Namespace):
+    """Install a recording tracer for the command when ``--trace-out`` is set.
+
+    The trace is exported even when the command fails, so a crashing run
+    still leaves its spans behind for debugging.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        yield
+        return
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer(metadata={
+        "command": args.command,
+        "scale": getattr(args, "scale", None),
+        "seed": getattr(args, "seed", None),
+    })
+    with use_tracer(tracer):
+        try:
+            yield
+        finally:
+            count = tracer.export(trace_out)
+            print(
+                f"wrote {count} trace record(s) to {trace_out}",
+                file=sys.stderr,
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,6 +461,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("cache_dir", help="cache directory")
     p.set_defaults(fn=_cmd_cache)
 
+    p = sub.add_parser("trace",
+                       help="run one experiment with span tracing on")
+    p.add_argument("name", help="experiment id (e.g. table1, fig5b)")
+    p.add_argument("--scale", choices=available_scales(), default="small")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the JSONL trace to FILE")
+    p.add_argument("--show-result", action="store_true",
+                   help="print the experiment's rendered output first")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="run an experiment and report kernel metrics")
+    p.add_argument("--experiment", default="table1",
+                   help="experiment id to drive the kernels (default: table1)")
+    p.add_argument("--scale", choices=available_scales(), default="tiny")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--runs", type=int, default=2,
+                   help="repetitions (default 2 = cold run + warm-cache rerun)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: a temp directory)")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=_cmd_metrics)
+
     p = sub.add_parser("resilience",
                        help="replay a fault campaign + SLA self-healing")
     p.add_argument("--scale", choices=available_scales(), default="tiny")
@@ -400,7 +533,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.fn(args)
+        with _maybe_trace(args):
+            return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -29,6 +29,7 @@ from repro.core.greedy import lazy_greedy_max_coverage
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.graph.csr import bfs_parents
+from repro.obs import add_counter, get_tracer, observe, profiled
 
 
 def repair_budget_split(budget: int, beta: int) -> tuple[int, int]:
@@ -78,6 +79,7 @@ def _interior_repairs(path: list[int]) -> list[int]:
     return [path[i] for i in range(2, len(path) - 1, 2)]
 
 
+@profiled("kernel.approx_mcbg")
 def approx_mcbg(
     graph: ASGraph,
     budget: int,
@@ -122,7 +124,9 @@ def approx_mcbg(
         x_star = budget
     else:
         x_star, _h = repair_budget_split(budget, beta)
-    pre = lazy_greedy_max_coverage(graph, x_star)
+    tracer = get_tracer()
+    with tracer.span("approx_mcbg.preselect", x_star=x_star):
+        pre = lazy_greedy_max_coverage(graph, x_star)
     if not pre:
         raise AlgorithmError("greedy pre-selection returned no brokers")
 
@@ -131,23 +135,27 @@ def approx_mcbg(
     best_root = roots[0]
     pre_set = set(pre)
     for root in roots:
-        parent = bfs_parents(graph.adj, root)
-        repair: set[int] = set()
-        for v in pre:
-            if v == root:
-                continue
-            if parent[v] == -1:
-                continue  # different component — no path to stitch
-            path = [v]
-            while path[-1] != root:
-                path.append(int(parent[path[-1]]))
-            repair.update(
-                w for w in _interior_repairs(path) if w not in pre_set
-            )
+        with tracer.span("approx_mcbg.stitch", root=root) as span:
+            parent = bfs_parents(graph.adj, root)
+            repair: set[int] = set()
+            for v in pre:
+                if v == root:
+                    continue
+                if parent[v] == -1:
+                    continue  # different component — no path to stitch
+                path = [v]
+                while path[-1] != root:
+                    path.append(int(parent[path[-1]]))
+                repair.update(
+                    w for w in _interior_repairs(path) if w not in pre_set
+                )
+            span.set(repair_size=len(repair))
         if best_repair is None or len(repair) < len(best_repair):
             best_repair = repair
             best_root = root
     assert best_repair is not None
+    add_counter("kernel.approx_mcbg.roots_tried", len(roots))
+    observe("kernel.approx_mcbg.repair_size", len(best_repair))
 
     brokers = list(pre) + sorted(best_repair)
     if mode == "strict" and len(brokers) > budget:

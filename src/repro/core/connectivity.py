@@ -24,6 +24,7 @@ from repro.core.domination import dominated_matrix
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.graph.csr import batched_hop_reach, connected_components
+from repro.obs import profiled
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -64,6 +65,7 @@ def _effective_matrix(
     return dominated_matrix(graph, brokers)
 
 
+@profiled("kernel.saturated_connectivity")
 def saturated_connectivity(
     graph: ASGraph,
     brokers: np.ndarray | list[int] | None = None,
@@ -86,6 +88,7 @@ def saturated_connectivity(
     return float((sizes * (sizes - 1)).sum() / (n * (n - 1)))
 
 
+@profiled("kernel.connectivity_curve")
 def connectivity_curve(
     graph: ASGraph,
     brokers: np.ndarray | list[int] | None = None,

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
+from repro.obs import add_counter
 
 
 class CoverageOracle:
@@ -90,6 +91,7 @@ class CoverageOracle:
 
 def coverage_value(graph: ASGraph, brokers: Iterable[int]) -> int:
     """One-shot ``f(B)`` for an arbitrary broker collection."""
+    add_counter("kernel.coverage.value_calls")
     covered = covered_mask(graph, brokers)
     return int(np.count_nonzero(covered))
 

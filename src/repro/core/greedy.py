@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.coverage import CoverageOracle
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
+from repro.obs import add_counter, get_tracer, profiled
 
 
 def _validate_budget(graph: ASGraph, budget: int) -> None:
@@ -35,6 +36,7 @@ def _validate_budget(graph: ASGraph, budget: int) -> None:
         )
 
 
+@profiled("kernel.greedy")
 def greedy_max_coverage(
     graph: ASGraph,
     budget: int,
@@ -57,25 +59,33 @@ def greedy_max_coverage(
     )
     if len(pool) == 0:
         raise AlgorithmError("candidate pool is empty")
+    tracer = get_tracer()
+    evaluations = 0
     oracle = CoverageOracle(graph)
     chosen: list[int] = []
     chosen_mask = np.zeros(graph.num_nodes, dtype=bool)
-    for _ in range(budget):
-        best_v, best_gain = -1, 0
-        for v in pool:
-            if chosen_mask[v]:
-                continue
-            gain = oracle.marginal_gain(int(v))
-            if gain > best_gain:
-                best_v, best_gain = int(v), gain
-        if best_v < 0:
-            break  # nothing adds coverage — all reachable vertices covered
-        oracle.add(best_v)
-        chosen.append(best_v)
-        chosen_mask[best_v] = True
+    for round_no in range(budget):
+        with tracer.span("greedy.round", round=round_no) as span:
+            best_v, best_gain = -1, 0
+            for v in pool:
+                if chosen_mask[v]:
+                    continue
+                evaluations += 1
+                gain = oracle.marginal_gain(int(v))
+                if gain > best_gain:
+                    best_v, best_gain = int(v), gain
+            if best_v < 0:
+                break  # nothing adds coverage — all reachable vertices covered
+            oracle.add(best_v)
+            chosen.append(best_v)
+            chosen_mask[best_v] = True
+            span.set(vertex=best_v, gain=best_gain)
+    add_counter("kernel.greedy.gain_evaluations", evaluations)
+    add_counter("kernel.greedy.rounds", len(chosen))
     return chosen
 
 
+@profiled("kernel.lazy_greedy")
 def lazy_greedy_max_coverage(
     graph: ASGraph,
     budget: int,
@@ -97,6 +107,9 @@ def lazy_greedy_max_coverage(
     )
     if len(pool) == 0:
         raise AlgorithmError("candidate pool is empty")
+    tracer = get_tracer()
+    evaluations = 0
+    repops = 0
     oracle = CoverageOracle(graph)
     # Initial gains are the closed-neighbourhood sizes.
     degrees = graph.degrees()
@@ -105,19 +118,35 @@ def lazy_greedy_max_coverage(
     stale = np.zeros(graph.num_nodes, dtype=np.int64)  # round the gain was cached in
     round_no = 0
     chosen: list[int] = []
-    while heap and len(chosen) < budget:
-        neg_gain, v = heapq.heappop(heap)
-        if stale[v] != round_no:
-            gain = oracle.marginal_gain(v)
-            stale[v] = round_no
-            if gain > 0:
-                heapq.heappush(heap, (-gain, v))
-            continue
-        if -neg_gain <= 0:
-            break
-        oracle.add(v)
-        chosen.append(v)
-        round_no += 1
+    done = False
+    # Outer loop = one selection round; the inner loop pops (and lazily
+    # re-evaluates) candidates until one is fresh at the top of the heap.
+    while heap and len(chosen) < budget and not done:
+        with tracer.span("lazy_greedy.round", round=round_no) as span:
+            while True:
+                if not heap:
+                    done = True
+                    break
+                neg_gain, v = heapq.heappop(heap)
+                if stale[v] != round_no:
+                    evaluations += 1
+                    gain = oracle.marginal_gain(v)
+                    stale[v] = round_no
+                    if gain > 0:
+                        repops += 1
+                        heapq.heappush(heap, (-gain, v))
+                    continue
+                if -neg_gain <= 0:
+                    done = True
+                    break
+                oracle.add(v)
+                chosen.append(v)
+                round_no += 1
+                span.set(vertex=v, gain=-neg_gain)
+                break
+    add_counter("kernel.lazy_greedy.gain_evaluations", evaluations)
+    add_counter("kernel.lazy_greedy.heap_repops", repops)
+    add_counter("kernel.lazy_greedy.rounds", len(chosen))
     return chosen
 
 

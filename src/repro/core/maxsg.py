@@ -32,9 +32,11 @@ import numpy as np
 from repro.core.coverage import CoverageOracle
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
+from repro.obs import add_counter, get_tracer, observe_many, profiled
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+@profiled("kernel.maxsg")
 def maxsg(
     graph: ASGraph,
     budget: int,
@@ -69,6 +71,9 @@ def maxsg(
     elif not 0 <= seed_vertex < n:
         raise AlgorithmError(f"seed vertex {seed_vertex} out of range")
 
+    tracer = get_tracer()
+    evaluations = 0
+    repops = 0
     oracle = CoverageOracle(graph)
     in_broker_set = np.zeros(n, dtype=bool)
     in_heap = np.zeros(n, dtype=bool)
@@ -78,10 +83,12 @@ def maxsg(
 
     def push_candidates(new_nodes: np.ndarray, round_no: int) -> None:
         """Admit uncovered/covered nodes adjacent to the region as candidates."""
+        nonlocal evaluations
         for v in new_nodes:
             v = int(v)
             if in_heap[v] or in_broker_set[v]:
                 continue
+            evaluations += 1
             gain = oracle.marginal_gain(v)
             if gain <= 0:
                 # Zero-gain vertices may become useful only if gains grew,
@@ -93,19 +100,23 @@ def maxsg(
             heapq.heappush(heap, (-gain, v))
 
     chosen: list[int] = []
+    frontier_sizes: list[int] = []
 
     def add_broker(v: int, round_no: int) -> None:
-        before = oracle.covered_mask.copy()
-        oracle.add(v)
-        in_broker_set[v] = True
-        chosen.append(v)
-        newly_covered = np.flatnonzero(oracle.covered_mask & ~before)
-        # Candidate pool: the newly covered vertices and their neighbours —
-        # everything now within distance two of a broker.
-        frontier = set(int(x) for x in newly_covered)
-        for u in newly_covered:
-            frontier.update(int(x) for x in graph.neighbors(int(u)))
-        push_candidates(np.fromiter(frontier, dtype=np.int64), round_no)
+        with tracer.span("maxsg.round", round=round_no, vertex=v) as span:
+            before = oracle.covered_mask.copy()
+            gain = oracle.add(v)
+            in_broker_set[v] = True
+            chosen.append(v)
+            newly_covered = np.flatnonzero(oracle.covered_mask & ~before)
+            # Candidate pool: the newly covered vertices and their neighbours —
+            # everything now within distance two of a broker.
+            frontier = set(int(x) for x in newly_covered)
+            for u in newly_covered:
+                frontier.update(int(x) for x in graph.neighbors(int(u)))
+            frontier_sizes.append(len(frontier))
+            push_candidates(np.fromiter(frontier, dtype=np.int64), round_no)
+            span.set(gain=gain, frontier=len(frontier))
 
     add_broker(seed_vertex, 0)
     round_no = 1
@@ -114,15 +125,21 @@ def maxsg(
         if in_broker_set[v]:
             continue
         if stale_round[v] != round_no:
+            evaluations += 1
             gain = oracle.marginal_gain(v)
             stale_round[v] = round_no
             if gain > 0:
+                repops += 1
                 heapq.heappush(heap, (-gain, v))
             continue
         if -neg_gain <= 0:
             break
         add_broker(v, round_no)
         round_no += 1
+    add_counter("kernel.maxsg.gain_evaluations", evaluations)
+    add_counter("kernel.maxsg.heap_repops", repops)
+    add_counter("kernel.maxsg.rounds", len(chosen))
+    observe_many("kernel.maxsg.frontier_size", frontier_sizes)
     return chosen
 
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.exceptions import CheckpointError, ReproError
 from repro.experiments.config import ExperimentConfig
+from repro.obs import add_counter, get_tracer
 from repro.parallel.cache import ResultCache
 from repro.parallel.executor import BACKENDS, parallel_map, run_with_timeout
 from repro.utils.rng import SeedLike, ensure_rng
@@ -298,20 +299,27 @@ def _attempt_experiment(
     worker on every timeout).
     """
     fn = _REGISTRY.get(name)
+    tracer = get_tracer()
     delays = backoff_delays(retries, base=backoff_base, cap=backoff_cap, seed=seed)
     elapsed_total = 0.0
     last_error: Exception | None = None
     for attempt in range(1, retries + 2):
         start = time.perf_counter()
+        add_counter("runner.attempts")
+        if attempt > 1:
+            add_counter("runner.retries")
         try:
-            if fn is None:
-                raise ReproError(
-                    f"unknown experiment {name!r}; "
-                    f"available: {sorted(_REGISTRY)}"
+            with tracer.span(
+                "experiment.attempt", experiment=name, attempt=attempt
+            ):
+                if fn is None:
+                    raise ReproError(
+                        f"unknown experiment {name!r}; "
+                        f"available: {sorted(_REGISTRY)}"
+                    )
+                outcome = run_with_timeout(
+                    fn, (config,), timeout=timeout, name=name
                 )
-            outcome = run_with_timeout(
-                fn, (config,), timeout=timeout, name=name
-            )
         except Exception as exc:  # noqa: BLE001 — graceful degradation
             elapsed_total += time.perf_counter() - start
             last_error = exc
@@ -323,6 +331,7 @@ def _attempt_experiment(
         elapsed_total += time.perf_counter() - start
         return outcome, None
     assert last_error is not None
+    add_counter("runner.failures")
     return None, ExperimentFailure(
         experiment_id=name,
         attempts=retries + 1,

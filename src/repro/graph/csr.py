@@ -23,6 +23,7 @@ from scipy import sparse
 from scipy.sparse import csgraph
 
 from repro.exceptions import GraphValidationError
+from repro.obs import metrics as _metrics
 
 #: Distance marker for unreachable vertices in exact-BFS outputs.
 UNREACHABLE = -1
@@ -152,6 +153,11 @@ def bfs_levels(
         depth += 1
         dist[nxt] = depth
         frontier = nxt
+    if _metrics.metrics_enabled():
+        _metrics.add_counter("kernel.bfs.runs")
+        _metrics.add_counter(
+            "kernel.bfs.node_visits", int(np.count_nonzero(dist != UNREACHABLE))
+        )
     return dist
 
 
@@ -201,6 +207,8 @@ def batched_hop_reach(
         raise ValueError(f"max_hops must be >= 1, got {max_hops}")
     n = matrix.shape[0]
     sources = np.asarray(sources, dtype=np.int64)
+    _metrics.add_counter("kernel.batched_bfs.runs")
+    _metrics.add_counter("kernel.batched_bfs.sources", len(sources))
     counts = np.zeros((len(sources), max_hops), dtype=np.int64)
     # Propagation uses A^T columns: reach step is frontier_next = A^T applied
     # to frontier when frontiers are column vectors; with row-major dense

@@ -1,0 +1,62 @@
+"""Zero-dependency observability: tracing, metrics, profiling hooks.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.tracer` — nested spans with JSON-lines export and a
+  no-op default (:class:`NullTracer`) so hot paths pay ~nothing when
+  tracing is off;
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms the instrumented kernels/runner/executor/cache
+  flush into;
+* :mod:`repro.obs.profile` — the ``@profiled`` decorator combining both.
+
+See docs/observability.md for the span and metric schema, and the
+``repro trace`` / ``repro metrics`` CLI subcommands for the user-facing
+surface.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    add_counter,
+    get_registry,
+    metrics_disabled,
+    metrics_enabled,
+    observe,
+    observe_many,
+    set_gauge,
+    set_metrics_enabled,
+)
+from repro.obs.profile import profiled
+from repro.obs.tracer import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "add_counter",
+    "get_registry",
+    "get_tracer",
+    "metrics_disabled",
+    "metrics_enabled",
+    "observe",
+    "observe_many",
+    "profiled",
+    "set_gauge",
+    "set_metrics_enabled",
+    "set_tracer",
+    "use_tracer",
+]

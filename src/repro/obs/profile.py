@@ -1,0 +1,64 @@
+"""``@profiled`` — one decorator wiring a function into tracer + metrics.
+
+Every profiled function gets, per call:
+
+* a ``<name>`` span when the active tracer is enabled (so nested kernel
+  calls show up as a tree in ``repro trace`` output);
+* a ``<name>.calls`` counter increment and a ``<name>.seconds``
+  histogram observation in the metrics registry.
+
+With the default :class:`~repro.obs.tracer.NullTracer` and metrics
+enabled, the per-call cost is two ``perf_counter`` reads plus two locked
+dict operations — flat per *call*, never per inner-loop iteration, which
+is what keeps the no-op overhead inside the 3 % guard.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable
+
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import get_tracer
+
+
+def profiled(name: str | Callable | None = None) -> Callable:
+    """Decorate a function with span + timing instrumentation.
+
+    ``name`` defaults to ``<module tail>.<function>`` (e.g.
+    ``greedy.lazy_greedy_max_coverage``); pass an explicit string for the
+    stable identifiers documented in docs/observability.md.  Usable bare
+    (``@profiled``) or called (``@profiled("kernel.maxsg")``).
+    """
+    if callable(name):  # bare @profiled
+        return profiled(None)(name)
+    label = name
+
+    def deco(fn: Callable) -> Callable:
+        metric = (
+            label
+            if label is not None
+            else f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}"
+        )
+        calls_metric = f"{metric}.calls"
+        seconds_metric = f"{metric}.seconds"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = get_tracer()
+            t0 = time.perf_counter()
+            try:
+                if tracer.enabled:
+                    with tracer.span(metric):
+                        return fn(*args, **kwargs)
+                return fn(*args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - t0
+                _metrics.add_counter(calls_metric)
+                _metrics.observe(seconds_metric, elapsed)
+
+        wrapper.__profiled_name__ = metric
+        return wrapper
+
+    return deco

@@ -1,0 +1,243 @@
+"""Nested-span tracing with JSON-lines export and a free no-op default.
+
+The tracing model is deliberately tiny — a :class:`Tracer` keeps a
+per-thread stack of open spans and a flat list of finished records.  A
+span is opened with :meth:`Tracer.span` (a context manager), nests under
+whatever span is open on the same thread, and on exit appends one record
+with monotonic start/duration timings.  :meth:`Tracer.to_jsonl` emits the
+whole trace as JSON lines: one ``meta`` record (run metadata — seed,
+scale, command line, package version) followed by one record per span or
+event, children *before* their parents because records are written at
+span close (see docs/observability.md for the schema).
+
+The hot-path contract: the process-wide default tracer is a
+:class:`NullTracer` whose :meth:`~NullTracer.span` returns one shared,
+stateless context manager — instrumented kernels pay a single attribute
+check (or one no-op ``with`` per *iteration*, never per inner-loop
+evaluation), which the overhead-guard benchmark pins at < 3 %.
+Activation is explicit: ``set_tracer(Tracer(...))`` or the
+:func:`use_tracer` context manager (what the CLI's ``--trace-out`` and
+``repro trace`` do).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro._version import __version__
+
+
+class NullSpan:
+    """Shared do-nothing span; the disabled-path cost of instrumentation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Default tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so instrumented code can skip attribute
+    computation entirely; calling :meth:`span` anyway is still safe and
+    returns the shared :class:`NullSpan`.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    @property
+    def records(self) -> list[dict]:
+        return []
+
+
+class Span:
+    """One open span; created by :meth:`Tracer.span`, closed by ``with``."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs", "_t0")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, span_id: int,
+        parent_id: int | None, attrs: dict,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._t0 = 0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes before the span closes."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter_ns() - self._t0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self, dur)
+        return False
+
+
+class Tracer:
+    """Collects nested spans from any number of threads.
+
+    ``metadata`` (seed, scale, command, ...) is carried into the trace's
+    leading ``meta`` record.  Span parenthood follows the per-thread stack
+    of open spans; ids are unique across threads.
+    """
+
+    enabled = True
+
+    def __init__(self, metadata: dict | None = None) -> None:
+        self.metadata = dict(metadata or {})
+        self._records: list[dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span, dur_ns: int) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "start": (span._t0 - self._epoch) / 1e9,
+            "dur": dur_ns / 1e9,
+            "attrs": span.attrs,
+        }
+        with self._lock:
+            self._records.append(record)
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span nested under the current thread's innermost span."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        return Span(self, name, span_id, parent_id, dict(attrs))
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration point event under the current span."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            record = {
+                "type": "event",
+                "name": name,
+                "id": next(self._ids),
+                "parent": parent_id,
+                "start": (time.perf_counter_ns() - self._epoch) / 1e9,
+                "dur": 0.0,
+                "attrs": dict(attrs),
+            }
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[dict]:
+        """Finished span/event records, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def aggregate(self) -> dict[str, tuple[int, float]]:
+        """``{span name: (count, total seconds)}`` over finished spans."""
+        out: dict[str, tuple[int, float]] = {}
+        for record in self.records:
+            count, total = out.get(record["name"], (0, 0.0))
+            out[record["name"]] = (count + 1, total + record["dur"])
+        return out
+
+    def to_jsonl(self) -> str:
+        """The full trace as JSON lines (``meta`` record first)."""
+        meta = {
+            "type": "meta",
+            "version": __version__,
+            "metadata": self.metadata,
+            "num_records": len(self.records),
+        }
+        lines = [json.dumps(meta, sort_keys=True, default=str)]
+        lines.extend(
+            json.dumps(r, sort_keys=True, default=str) for r in self.records
+        )
+        return "\n".join(lines) + "\n"
+
+    def export(self, path: str | Path) -> int:
+        """Write the JSONL trace to ``path``; returns the record count."""
+        Path(path).write_text(self.to_jsonl())
+        return len(self.records)
+
+
+# ----------------------------------------------------------------------
+# Process-wide active tracer
+# ----------------------------------------------------------------------
+
+_active: NullTracer | Tracer = NullTracer()
+
+
+def get_tracer() -> NullTracer | Tracer:
+    """The process-wide active tracer (a :class:`NullTracer` by default)."""
+    return _active
+
+
+def set_tracer(tracer: NullTracer | Tracer) -> NullTracer | Tracer:
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: NullTracer | Tracer) -> Iterator[NullTracer | Tracer]:
+    """Scoped :func:`set_tracer` — restores the previous tracer on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.exceptions import ReproError
+from repro.obs import add_counter
 
 #: Bump when the entry layout changes; part of every cache key.
 CACHE_SCHEMA_VERSION = 1
@@ -150,11 +151,14 @@ class ResultCache:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             self.misses += 1
+            add_counter("cache.misses")
             return None
         if payload.get("algorithm") != algorithm:  # pragma: no cover - paranoia
             self.misses += 1
+            add_counter("cache.misses")
             return None
         self.hits += 1
+        add_counter("cache.hits")
         return payload.get("value")
 
     def put(
@@ -205,6 +209,7 @@ class ResultCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        add_counter("cache.puts")
         return json.loads(raw)["value"]
 
     def get_or_compute(

@@ -27,9 +27,12 @@ wait behind a timed-out one.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
+import logging
 import math
 import threading
+import time
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Literal, Sequence
@@ -37,7 +40,10 @@ from typing import Any, Callable, Iterable, Literal, Sequence
 import numpy as np
 
 from repro.exceptions import ExperimentTimeoutError, ReproError
+from repro.obs import add_counter, observe, set_gauge
 from repro.utils.rng import SeedLike
+
+_log = logging.getLogger("repro.parallel")
 
 Backend = Literal["serial", "thread", "process"]
 
@@ -125,14 +131,25 @@ def _run_chunk(
     indexed_items: Sequence[tuple[int, Any]],
     seeds: Sequence[np.random.SeedSequence] | None,
     capture_errors: bool,
-) -> list[tuple[int, bool, Any]]:
-    """Execute one chunk; returns ``(index, ok, value_or_failure_tuple)``.
+    submitted_at: float | None = None,
+) -> tuple[list[tuple[int, bool, Any, float]], float]:
+    """Execute one chunk; returns ``(results, queue_seconds)``.
 
+    Each result is ``(index, ok, value_or_failure_tuple, task_seconds)``.
     Runs in the worker (possibly another process), so failures are
     returned as plain picklable tuples rather than exception objects.
+    ``queue_seconds`` is how long the chunk waited between submission and
+    its first task starting (``time.monotonic`` is system-wide on the
+    platforms the process backend targets; clamped at zero otherwise).
     """
-    out: list[tuple[int, bool, Any]] = []
+    queue_seconds = (
+        max(0.0, time.monotonic() - submitted_at)
+        if submitted_at is not None
+        else 0.0
+    )
+    out: list[tuple[int, bool, Any, float]] = []
     for pos, (index, item) in enumerate(indexed_items):
+        started = time.perf_counter()
         try:
             if seeds is not None:
                 rng = np.random.default_rng(seeds[pos])
@@ -147,11 +164,12 @@ def _run_chunk(
                     index,
                     False,
                     (type(exc).__name__, str(exc), _traceback.format_exc()),
+                    time.perf_counter() - started,
                 )
             )
         else:
-            out.append((index, True, value))
-    return out
+            out.append((index, True, value, time.perf_counter() - started))
+    return out, queue_seconds
 
 
 def parallel_map(
@@ -207,11 +225,17 @@ def parallel_map(
     results: list = [None] * total
     failures: list[TaskFailure] = []
 
-    def absorb(chunk_out: list[tuple[int, bool, Any]]) -> None:
-        for index, ok, value in chunk_out:
+    def absorb(chunk: tuple[list[tuple[int, bool, Any, float]], float]) -> None:
+        chunk_out, queue_seconds = chunk
+        if chunk_out:
+            observe("parallel.queue_seconds", queue_seconds)
+        for index, ok, value, task_seconds in chunk_out:
+            add_counter("parallel.tasks")
+            observe("parallel.task_seconds", task_seconds)
             if ok:
                 results[index] = value
             else:
+                add_counter("parallel.task_failures")
                 error_type, message, tb = value
                 failures.append(
                     TaskFailure(
@@ -248,7 +272,14 @@ def parallel_map(
         for lo, hi in bounds:
             indexed = [(i, items[i]) for i in range(lo, hi)]
             chunk_seeds = seeds[lo:hi] if seeds is not None else None
-            fut = pool.submit(_run_chunk, fn, indexed, chunk_seeds, capture_errors)
+            fut = pool.submit(
+                _run_chunk,
+                fn,
+                indexed,
+                chunk_seeds,
+                capture_errors,
+                time.monotonic(),
+            )
             futures[fut] = (lo, hi)
         for fut in concurrent.futures.as_completed(futures):
             lo, hi = futures[fut]
@@ -283,13 +314,36 @@ def _record_orphan(thread: threading.Thread) -> None:
         _orphans.append(thread)
         # Compact: forget orphans that have since finished on their own.
         _orphans[:] = [t for t in _orphans if t.is_alive()]
+        set_gauge("parallel.orphan_count", len(_orphans))
 
 
 def orphaned_worker_count() -> int:
     """Daemon workers abandoned by a timeout that are still running."""
     with _orphan_lock:
         _orphans[:] = [t for t in _orphans if t.is_alive()]
-        return len(_orphans)
+        count = len(_orphans)
+    set_gauge("parallel.orphan_count", count)
+    return count
+
+
+def _warn_orphans_at_exit() -> None:
+    """Surface leaked timeout workers instead of dropping them silently.
+
+    Registered with :mod:`atexit`; orphan threads are daemons so they never
+    block shutdown, but a non-zero count at exit means some timed-out task
+    was still burning CPU the whole run.
+    """
+    count = orphaned_worker_count()
+    if count:
+        _log.warning(
+            "%d timed-out worker thread(s) still running at exit; "
+            "their experiments kept consuming CPU after their results "
+            "were discarded",
+            count,
+        )
+
+
+atexit.register(_warn_orphans_at_exit)
 
 
 def run_with_timeout(
@@ -328,6 +382,7 @@ def run_with_timeout(
     )
     thread.start()
     if not done.wait(timeout):
+        add_counter("runner.timeouts")
         _record_orphan(thread)
         raise ExperimentTimeoutError(
             f"experiment {name!r} exceeded {timeout:g}s wall-clock budget"

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.graph.asgraph import ASGraph
+from repro.obs import add_counter, get_tracer, profiled
 from repro.resilience.faults import FaultSchedule
 from repro.resilience.healing import RepairRecord, SelfHealingBrokerSet, SlaPolicy
 
@@ -101,6 +102,7 @@ class ResilienceReport:
         )
 
 
+@profiled("resilience.replay")
 def replay_schedule(
     graph: ASGraph,
     brokers: list[int],
@@ -115,17 +117,25 @@ def replay_schedule(
     the paper's Section 7.2 worries about); ``heal=True`` lets the SLA
     monitor recruit repairs after each step's faults.
     """
+    tracer = get_tracer()
     healer = SelfHealingBrokerSet(graph, brokers, policy=policy)
     steps: list[StepRecord] = []
+    faults_applied = 0
+    repairs = 0
     for step in range(1, schedule.num_steps + 1):
-        events = schedule.at(step)
-        for event in events:
-            healer.apply(event)
-        degraded = healer.connectivity()
-        record = None
-        if heal:
-            record = healer.maybe_repair(step, current=degraded)
-        healed = record.after if record is not None else degraded
+        with tracer.span("resilience.step", step=step) as span:
+            events = schedule.at(step)
+            for event in events:
+                healer.apply(event)
+            degraded = healer.connectivity()
+            record = None
+            if heal:
+                record = healer.maybe_repair(step, current=degraded)
+            healed = record.after if record is not None else degraded
+            faults_applied += len(events)
+            if record is not None:
+                repairs += 1
+            span.set(faults=len(events), degraded=degraded, healed=healed)
         steps.append(
             StepRecord(
                 step=step,
@@ -135,6 +145,9 @@ def replay_schedule(
                 added=record.added if record is not None else (),
             )
         )
+    add_counter("resilience.steps", schedule.num_steps)
+    add_counter("resilience.faults_applied", faults_applied)
+    add_counter("resilience.repairs", repairs)
     return ResilienceReport(
         description=schedule.description,
         baseline=healer.baseline,

@@ -1,0 +1,127 @@
+"""Differential tests: polynomial algorithms vs exact solvers and paper bounds.
+
+Hypothesis generates random graphs (≤ 40 nodes) and certifies, on every
+one of them:
+
+* greedy Algorithm 1 achieves ``f(B) >= (1 − 1/e) · OPT_MCB`` against the
+  brute-force optimum (Theorem: classic submodular-maximization bound);
+* MaxSG broker sets always induce a connected dominated subgraph — the
+  structural MCBG feasibility condition;
+* Algorithm 2's repair set respects the stitching bound
+  ``|B^r| <= x* · (⌈β/2⌉ − 1)`` whenever β bounds the stitched path
+  lengths (we use the exact graph diameter, the worst case).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx_mcbg import approx_mcbg
+from repro.core.coverage import coverage_value
+from repro.core.domination import brokers_mutually_connected
+from repro.core.exact import exact_mcb
+from repro.core.greedy import greedy_max_coverage, lazy_greedy_max_coverage
+from repro.core.maxsg import maxsg
+from repro.graph.asgraph import ASGraph
+from repro.graph.csr import UNREACHABLE, bfs_levels
+
+
+@st.composite
+def random_graphs(draw, min_nodes=3, max_nodes=40, max_edges=80):
+    """A random simple graph (possibly disconnected) as an ASGraph."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible),
+            min_size=1,
+            max_size=min(max_edges, len(possible)),
+            unique=True,
+        )
+    )
+    return ASGraph.from_edges(n, edges)
+
+
+def diameter(graph: ASGraph) -> int:
+    """Largest finite hop distance (per-component eccentricity maximum)."""
+    best = 0
+    for source in range(graph.num_nodes):
+        dist = bfs_levels(graph.adj, source)
+        finite = dist[dist != UNREACHABLE]
+        best = max(best, int(finite.max()))
+    return best
+
+
+class TestGreedyApproximationRatio:
+    @given(random_graphs(max_nodes=12), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_vs_exact_optimum(self, graph, budget):
+        """Both greedy variants beat the (1 − 1/e) bound on every instance."""
+        budget = min(budget, graph.num_nodes)
+        _, opt = exact_mcb(graph, budget)
+        bound = (1 - 1 / math.e) * opt - 1e-9
+        for algorithm in (greedy_max_coverage, lazy_greedy_max_coverage):
+            brokers = algorithm(graph, budget)
+            assert coverage_value(graph, brokers) >= bound
+
+    @given(random_graphs(max_nodes=12), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_lazy_matches_plain(self, graph, budget):
+        """Differential: CELF must reproduce the plain loop exactly."""
+        budget = min(budget, graph.num_nodes)
+        assert lazy_greedy_max_coverage(graph, budget) == greedy_max_coverage(
+            graph, budget
+        )
+
+
+class TestMaxsgFeasibility:
+    @given(random_graphs(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_brokers_always_mutually_connected(self, graph, budget):
+        """MaxSG grows the dominated subgraph from a seed, so its broker
+        set must share one dominated component at every budget."""
+        budget = min(budget, graph.num_nodes)
+        brokers = maxsg(graph, budget)
+        assert brokers
+        assert len(set(brokers)) == len(brokers)
+        assert brokers_mutually_connected(graph, brokers)
+
+    @given(random_graphs(max_nodes=20), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_prefixes_also_connected(self, graph, budget):
+        """Connectivity is invariant under truncation (selection order)."""
+        budget = min(budget, graph.num_nodes)
+        brokers = maxsg(graph, budget)
+        for cut in range(1, len(brokers) + 1):
+            assert brokers_mutually_connected(graph, brokers[:cut])
+
+
+class TestApproxMcbgStitchingBound:
+    @given(random_graphs(), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_repair_size_bound(self, graph, budget):
+        """With β >= every stitched path length (β = diameter), each of
+        the ≤ x* stitched paths contributes at most ⌈β/2⌉ − 1 interior
+        repairs, so ``|B^r| <= x* · (⌈β/2⌉ − 1)`` (paper Lemma 4 shape)."""
+        budget = min(budget, graph.num_nodes)
+        beta = max(1, diameter(graph))
+        result = approx_mcbg(graph, budget, beta=beta, mode="paper")
+        h = math.ceil(beta / 2)
+        assert len(result.repair) <= result.x_star * (h - 1)
+        # Decomposition invariants: disjoint parts, brokers = pre ∪ repair.
+        assert set(result.pre_selected).isdisjoint(result.repair)
+        assert set(result.brokers) == set(result.pre_selected) | set(result.repair)
+
+    @given(random_graphs(max_nodes=25), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_stitched_components_connected(self, graph, budget):
+        """On connected graphs the stitched set must be mutually
+        connected in the dominated subgraph (what the repairs exist for)."""
+        budget = min(budget, graph.num_nodes)
+        dist = bfs_levels(graph.adj, 0)
+        if np.any(dist == UNREACHABLE):
+            return  # disconnected: cross-component pairs cannot stitch
+        result = approx_mcbg(graph, budget, beta=4, mode="paper")
+        assert brokers_mutually_connected(graph, result.brokers)

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    add_counter,
+    get_registry,
+    metrics_disabled,
+    metrics_enabled,
+    observe,
+    set_gauge,
+    set_metrics_enabled,
+)
+from repro.obs.metrics import iter_nonzero_counters
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(1.5)
+        assert reg.gauge("g").value == 1.5
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 6.0):
+            reg.histogram("h").observe(v)
+        summary = reg.histogram("h").summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 9.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 6.0
+        assert summary["mean"] == 3.0
+
+    def test_empty_histogram_summary_is_finite(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_name_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.histogram("x")
+
+    def test_snapshot_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert json.loads(reg.to_json()) == snap
+
+    def test_render_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("kernel.x.calls").inc(3)
+        reg.histogram("kernel.x.seconds").observe(0.25)
+        text = reg.render(title="T")
+        assert "kernel.x.calls" in text
+        assert "kernel.x.seconds" in text
+        assert "counter" in text and "histogram" in text
+
+    def test_render_empty_registry(self):
+        assert "(no metrics recorded)" in MetricsRegistry().render()
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestModuleHelpers:
+    def test_helpers_hit_global_registry(self):
+        reg = get_registry()
+        before = reg.counter("test.helper.counter").value
+        add_counter("test.helper.counter", 3)
+        observe("test.helper.hist", 1.25)
+        set_gauge("test.helper.gauge", 9)
+        assert reg.counter("test.helper.counter").value == before + 3
+        assert reg.histogram("test.helper.hist").count >= 1
+        assert reg.gauge("test.helper.gauge").value == 9.0
+
+    def test_disabled_flag_suppresses_updates(self):
+        reg = get_registry()
+        before = reg.counter("test.disabled.counter").value
+        hist_before = reg.histogram("test.disabled.hist").count
+        previous = set_metrics_enabled(False)
+        try:
+            add_counter("test.disabled.counter")
+            observe("test.disabled.hist", 1.0)
+            set_gauge("test.disabled.gauge", 5)
+            assert not metrics_enabled()
+        finally:
+            set_metrics_enabled(previous)
+        assert reg.counter("test.disabled.counter").value == before
+        assert reg.histogram("test.disabled.hist").count == hist_before
+
+    def test_metrics_disabled_context_restores(self):
+        assert metrics_enabled()
+        with metrics_disabled():
+            assert not metrics_enabled()
+            with metrics_disabled():  # nests without losing the outer state
+                assert not metrics_enabled()
+            assert not metrics_enabled()
+        assert metrics_enabled()
+
+    def test_iter_nonzero_counters(self):
+        add_counter("test.nonzero.counter", 2)
+        get_registry().counter("test.zero.counter")  # registered, never fired
+        fired = dict(iter_nonzero_counters())
+        assert fired["test.nonzero.counter"] >= 2
+        assert "test.zero.counter" not in fired

@@ -1,0 +1,69 @@
+"""Unit tests for the @profiled decorator (repro.obs.profile)."""
+
+import pytest
+
+from repro.obs import Tracer, get_registry, profiled, use_tracer
+
+
+class TestProfiled:
+    def test_named_form_flushes_calls_and_seconds(self):
+        @profiled("test.profiled.named")
+        def work(x):
+            return x * 2
+
+        reg = get_registry()
+        before = reg.counter("test.profiled.named.calls").value
+        assert work(21) == 42
+        assert reg.counter("test.profiled.named.calls").value == before + 1
+        assert reg.histogram("test.profiled.named.seconds").count >= 1
+        assert work.__profiled_name__ == "test.profiled.named"
+
+    def test_bare_form_derives_name_from_function(self):
+        @profiled
+        def sample_fn():
+            return 1
+
+        assert sample_fn() == 1
+        # <module tail>.<function>
+        assert sample_fn.__profiled_name__.endswith(".sample_fn")
+        name = sample_fn.__profiled_name__
+        assert get_registry().counter(f"{name}.calls").value >= 1
+
+    def test_preserves_function_metadata(self):
+        @profiled("test.profiled.meta")
+        def documented():
+            """Docstring survives."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Docstring survives."
+
+    def test_counts_even_when_function_raises(self):
+        @profiled("test.profiled.raises")
+        def broken():
+            raise ValueError("x")
+
+        reg = get_registry()
+        before = reg.counter("test.profiled.raises.calls").value
+        with pytest.raises(ValueError):
+            broken()
+        assert reg.counter("test.profiled.raises.calls").value == before + 1
+
+    def test_emits_span_when_tracer_enabled(self):
+        @profiled("test.profiled.span")
+        def traced(a, *, b=0):
+            return a + b
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert traced(1, b=2) == 3
+        names = [r["name"] for r in tracer.records]
+        assert names == ["test.profiled.span"]
+
+    def test_no_span_under_null_tracer(self):
+        @profiled("test.profiled.nospan")
+        def quiet():
+            return "ok"
+
+        # Default NullTracer: the call must still work and flush metrics,
+        # with no record kept anywhere.
+        assert quiet() == "ok"

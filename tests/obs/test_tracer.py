@@ -1,0 +1,175 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+import json
+import threading
+
+import pytest
+
+from repro._version import __version__
+from repro.obs import NullTracer, Tracer, get_tracer, set_tracer, use_tracer
+from repro.obs.tracer import NullSpan, _NULL_SPAN
+
+
+class TestNullTracer:
+    def test_default_tracer_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer().enabled is False
+
+    def test_span_returns_shared_null_span(self):
+        tracer = NullTracer()
+        span = tracer.span("anything", attr=1)
+        assert span is _NULL_SPAN
+        with span as s:
+            assert s.set(more=2) is s  # chainable, stateless
+        assert tracer.records == []
+
+    def test_event_is_noop(self):
+        tracer = NullTracer()
+        assert tracer.event("tick") is None
+        assert tracer.records == []
+
+    def test_null_span_swallows_nothing(self):
+        """NullSpan must not suppress exceptions raised inside it."""
+        with pytest.raises(ValueError):
+            with NullSpan():
+                raise ValueError("boom")
+
+
+class TestTracer:
+    def test_records_span_with_timing(self):
+        tracer = Tracer()
+        with tracer.span("work", key="value"):
+            pass
+        (record,) = tracer.records
+        assert record["type"] == "span"
+        assert record["name"] == "work"
+        assert record["parent"] is None
+        assert record["attrs"] == {"key": "value"}
+        assert record["dur"] >= 0.0
+        assert record["start"] >= 0.0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec, outer_rec = tracer.records  # children close first
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent"] == outer.span_id
+        assert outer_rec["parent"] is None
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("sel") as span:
+            span.set(vertex=3, gain=7)
+        assert tracer.records[0]["attrs"] == {"vertex": 3, "gain": 7}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("fails"):
+                raise RuntimeError("x")
+        assert tracer.records[0]["attrs"]["error"] == "RuntimeError"
+
+    def test_event_records_point_in_time(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.event("tick", n=1)
+        event = next(r for r in tracer.records if r["type"] == "event")
+        assert event["name"] == "tick"
+        assert event["parent"] == outer.span_id
+        assert event["dur"] == 0.0
+
+    def test_aggregate_counts_and_totals(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("round"):
+                pass
+        agg = tracer.aggregate()
+        count, total = agg["round"]
+        assert count == 3
+        assert total >= 0.0
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-root") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker's span must NOT be parented under main's open span.
+        assert seen["parent"] is None
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [r["id"] for r in tracer.records]
+        assert len(set(ids)) == len(ids)
+
+
+class TestExport:
+    def test_jsonl_meta_record_first(self):
+        tracer = Tracer(metadata={"seed": 7, "scale": "tiny"})
+        with tracer.span("a"):
+            pass
+        lines = tracer.to_jsonl().strip().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["version"] == __version__
+        assert meta["metadata"] == {"seed": 7, "scale": "tiny"}
+        assert meta["num_records"] == 1
+        assert all(json.loads(line) for line in lines[1:])
+
+    def test_export_writes_file_and_returns_count(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export(path) == 2
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # meta + two spans
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert {r["name"] for r in records[1:]} == {"a", "b"}
+
+    def test_non_json_attrs_stringified(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("odd") as span:
+            span.set(obj=object())
+        # default=str in to_jsonl keeps the export parseable regardless.
+        for line in tracer.to_jsonl().strip().splitlines():
+            json.loads(line)
+
+
+class TestGlobalTracer:
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_use_tracer_restores_on_exit(self):
+        before = get_tracer()
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_use_tracer_restores_on_error(self):
+        before = get_tracer()
+        with pytest.raises(KeyError):
+            with use_tracer(Tracer()):
+                raise KeyError("x")
+        assert get_tracer() is before

@@ -208,3 +208,69 @@ class TestSweepAndCache:
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "fig2b", "--backend", "gpu"])
+
+
+class TestObservabilityCommands:
+    def test_experiment_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "experiment", "table1", "--scale", "tiny", "--seed", "1",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().err
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+        assert records[0]["metadata"]["command"] == "experiment"
+        names = {r["name"] for r in records if r["type"] == "span"}
+        # Graph build, per-iteration selection, coverage evaluation.
+        assert "graph.build" in names or "kernel.maxsg" in names
+        assert "maxsg.round" in names
+        assert "kernel.saturated_connectivity" in names
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "trace", "table1", "--scale", "tiny", "--seed", "1",
+            "--output", str(trace), "--show-result",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Trace summary: table1" in out
+        assert "kernel.maxsg" in out
+        assert trace.exists()
+
+    def test_trace_leaves_null_tracer_installed(self):
+        from repro.obs import NullTracer, get_tracer
+
+        assert main(["trace", "table2", "--scale", "tiny", "--seed", "1"]) == 0
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_metrics_table_output(self, capsys):
+        code = main([
+            "metrics", "--experiment", "table1", "--scale", "tiny",
+            "--seed", "1", "--runs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel.maxsg.gain_evaluations" in out
+        assert "cache.hits" in out
+
+    def test_metrics_json_output(self, tmp_path, capsys):
+        import json
+
+        code = main([
+            "metrics", "--experiment", "table1", "--scale", "tiny",
+            "--seed", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--format", "json",
+        ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["kernel.maxsg.gain_evaluations"] > 0
+        assert snapshot["counters"]["cache.hits"] >= 1  # the warm rerun
+        assert snapshot["counters"]["cache.misses"] >= 1  # the cold run
+
+    def test_metrics_unknown_experiment_fails(self, capsys):
+        assert main(["metrics", "--experiment", "nope", "--scale", "tiny"]) == 1
