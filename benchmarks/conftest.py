@@ -53,6 +53,51 @@ def _bench_tracing():
     print(f"\nwrote {count} benchmark trace record(s) to {path}")
 
 
+def _session_ledger():
+    """The run ledger benchmarks append to, or ``None`` when not opted in.
+
+    Opt-in is the ``REPRO_LEDGER`` environment variable (what CI sets) —
+    local benchmark runs stay side-effect free by default.
+    """
+    from repro.obs.ledger import LEDGER_ENV, Ledger
+
+    path = os.environ.get(LEDGER_ENV)
+    return Ledger(path) if path else None
+
+
+def _bench_scale_seed() -> tuple[str, int]:
+    return (
+        os.environ.get("REPRO_BENCH_SCALE", "small"),
+        int(os.environ.get("REPRO_BENCH_SEED", "1")),
+    )
+
+
+def pytest_runtest_logreport(report):
+    """One ledger record per passed benchmark: its wall-clock duration."""
+    if report.when != "call" or not report.passed:
+        return
+    ledger = _session_ledger()
+    if ledger is None:
+        return
+    from repro.obs.ledger import (
+        RunRecord,
+        git_revision,
+        now,
+        summarize_observation,
+    )
+
+    scale, seed = _bench_scale_seed()
+    ledger.append(RunRecord(
+        experiment=report.nodeid.split("::")[-1],
+        kind="benchmark",
+        scale=scale,
+        seed=seed,
+        git_rev=git_revision(),
+        timings={"benchmark.seconds": summarize_observation(report.duration)},
+        ts=now(),
+    ))
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Append the kernel metric counters accumulated across the session."""
     from repro.obs import get_registry
@@ -62,6 +107,31 @@ def pytest_sessionfinish(session, exitstatus):
     if any(snapshot["counters"].values()):
         print()
         print(registry.render(title="Kernel metrics (whole benchmark session)"))
+    ledger = _session_ledger()
+    if ledger is not None:
+        from repro.obs.ledger import RunRecord, git_revision, now
+
+        scale, seed = _bench_scale_seed()
+        kernel_timings = {
+            name: summary
+            for name, summary in snapshot["histograms"].items()
+            if name.startswith("kernel.")
+        }
+        ledger.append(RunRecord(
+            experiment="benchmarks",
+            kind="session",
+            scale=scale,
+            seed=seed,
+            git_rev=git_revision(),
+            counters={
+                name: value
+                for name, value in snapshot["counters"].items()
+                if value
+            },
+            timings=kernel_timings,
+            ts=now(),
+        ))
+        print(f"\nappended benchmark session record to {ledger.path}")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -11,11 +11,17 @@ Subcommands:
 * ``trace`` — run one experiment with span tracing on and summarize it.
 * ``metrics`` — run an experiment (cold + warm-cache) and report the
   kernel/cache/runner counters from :mod:`repro.obs`.
+* ``report`` — markdown experiment reports, and (with ``--ledger`` /
+  ``--check`` / ``--html`` / ``--export``) the run-ledger views: history
+  table, regression gate, single-file HTML dashboard, BENCH export.
 
 ``experiment``, ``sweep`` and ``resilience`` accept ``--workers``,
 ``--backend`` and ``--cache-dir`` (the parallel executor + result cache
 from :mod:`repro.parallel`) plus ``--trace-out FILE`` (JSONL span trace
-via :mod:`repro.obs`).
+via :mod:`repro.obs`) and ``--ledger FILE`` (append one run record per
+executed experiment; defaults to ``$REPRO_LEDGER`` when that is set).
+The global ``--log-level`` / ``--log-json`` flags configure the
+structured-logging bridge (:mod:`repro.obs.log`) for every subcommand.
 """
 
 from __future__ import annotations
@@ -63,7 +69,67 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledger_from_args(args: argparse.Namespace):
+    """The ledger a command should append to, or ``None``.
+
+    ``--ledger FILE`` wins; otherwise ``$REPRO_LEDGER`` opts the whole
+    environment in (how CI and the benchmark suite record without
+    touching each call site).  No flag, no env var — no ledger.
+    """
+    import os
+
+    from repro.obs.ledger import LEDGER_ENV, Ledger
+
+    path = getattr(args, "ledger", None) or os.environ.get(LEDGER_ENV)
+    return Ledger(path) if path else None
+
+
+def _cmd_ledger_report(args: argparse.Namespace) -> int:
+    """The ledger half of ``repro report`` (--ledger/--check/--html/...)."""
+    from repro.obs.ledger import Ledger, default_ledger_path
+    from repro.obs.regress import RegressionPolicy, check_records
+    from repro.obs.report import (
+        export_bench,
+        render_ledger_table,
+        render_verdicts,
+        write_dashboard,
+    )
+
+    ledger = Ledger(args.ledger or default_ledger_path())
+    records = ledger.records()
+    print(render_ledger_table(records, last=args.last,
+                              title=f"Run ledger: {ledger.path}"))
+    check = None
+    if args.check or args.html:
+        policy = RegressionPolicy(
+            timing_tolerance=args.timing_tolerance,
+            coverage_tolerance=args.coverage_tolerance,
+        )
+        check = check_records(records, policy)
+        print()
+        print(render_verdicts(check))
+    if args.html:
+        path = write_dashboard(records, args.html, check)
+        print(f"\nwrote HTML dashboard ({len(records)} record(s)) to {path}")
+    if args.export:
+        document = export_bench(records, args.export)
+        print(
+            f"wrote BENCH export ({len(document['experiments'])} "
+            f"experiment(s), {len(document['kernels'])} kernel metric(s)) "
+            f"to {args.export}"
+        )
+    if args.check and check is not None and not check.ok:
+        print(
+            f"error: {len(check.regressions)} regression(s) detected",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.check or args.html or args.export or args.ledger:
+        return _cmd_ledger_report(args)
     from repro.experiments import ExperimentConfig, list_experiments, run_experiment
 
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
@@ -130,6 +196,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        ledger=_ledger_from_args(args),
     )
     if batch.resumed:
         print(f"resumed {len(batch.resumed)} experiment(s) from {args.checkpoint}")
@@ -189,28 +256,61 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     seeds = list(range(args.seed, args.seed + max(1, args.replicates)))
     schedules = [_build_fault_schedule(graph, brokers, args, s) for s in seeds]
     policy = SlaPolicy(threshold=args.sla, repair_budget=args.repair_budget)
-    sweep = replay_many(
-        graph,
-        brokers,
-        schedules,
-        policy=policy,
-        heal=not args.no_heal,
-        workers=args.workers,
-        backend=args.backend,
-        cache_dir=args.cache_dir,
-    )
+    from repro.obs import Timer
+
+    with Timer() as timer:
+        sweep = replay_many(
+            graph,
+            brokers,
+            schedules,
+            policy=policy,
+            heal=not args.no_heal,
+            workers=args.workers,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+        )
+    rendered: list[str] = []
     for seed, schedule, report in zip(seeds, schedules, sweep.reports):
         title = (
             f"Resilience replay: {args.model} x{schedule.num_steps} steps, "
             f"{len(schedule)} faults, |B|={len(brokers)}, seed={seed}"
             f"{' (healing off)' if args.no_heal else ''}"
         )
-        print(format_table(
+        rendered.append(format_table(
             ["step", "faults", "degraded", "healed", "recruits"],
             report.as_rows(),
             title=title,
         ))
+        print(rendered[-1])
         print(f"  {report.summary()}")
+    ledger = _ledger_from_args(args)
+    if ledger is not None:
+        import hashlib
+
+        from repro.obs.ledger import (
+            RunRecord,
+            git_revision,
+            now,
+            summarize_observation,
+        )
+
+        ledger.append(RunRecord(
+            experiment=f"resilience-{args.model}",
+            kind="sweep",
+            scale=args.scale,
+            seed=args.seed,
+            git_rev=git_revision(),
+            graph_digest=graph.digest(),
+            params={"budget": budget, "steps": args.steps, "sla": args.sla,
+                    "replicates": args.replicates, "heal": not args.no_heal},
+            counters={"sweep.cache_hits": sweep.cache_hits,
+                      "sweep.cache_misses": sweep.cache_misses},
+            timings={"experiment.seconds": summarize_observation(timer.elapsed)},
+            result_digest=hashlib.sha256(
+                "\n".join(rendered).encode()
+            ).hexdigest(),
+            ts=now(),
+        ))
     if args.cache_dir:
         print(
             f"cache: {sweep.cache_hits} hit(s), {sweep.cache_misses} miss(es) "
@@ -221,6 +321,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig
+    from repro.obs import Timer
 
     config = ExperimentConfig(
         scale=args.scale,
@@ -228,28 +329,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         num_sources=args.num_sources,
     )
     budgets = args.budgets or None
-    if args.kind == "fig2b":
-        from repro.experiments.fig2 import fig2b_seed_sweep
+    with Timer() as timer:
+        if args.kind == "fig2b":
+            from repro.experiments.fig2 import fig2b_seed_sweep
 
-        result = fig2b_seed_sweep(
-            config,
-            seeds=args.seeds or None,
-            budgets=budgets,
-            workers=args.workers,
-            backend=args.backend,
-            cache_dir=args.cache_dir,
-        )
-    else:  # table5
-        from repro.experiments.table5 import table5_budget_sweep
+            result = fig2b_seed_sweep(
+                config,
+                seeds=args.seeds or None,
+                budgets=budgets,
+                workers=args.workers,
+                backend=args.backend,
+                cache_dir=args.cache_dir,
+            )
+        else:  # table5
+            from repro.experiments.table5 import table5_budget_sweep
 
-        result = table5_budget_sweep(
-            config,
-            budgets=budgets,
-            top=args.top,
-            workers=args.workers,
-            backend=args.backend,
-            cache_dir=args.cache_dir,
-        )
+            result = table5_budget_sweep(
+                config,
+                budgets=budgets,
+                top=args.top,
+                workers=args.workers,
+                backend=args.backend,
+                cache_dir=args.cache_dir,
+            )
+    ledger = _ledger_from_args(args)
+    if ledger is not None:
+        from repro.experiments.sweeps import record_from_sweep
+
+        ledger.append(record_from_sweep(
+            args.kind,
+            result,
+            graph=config.graph(),
+            scale=args.scale,
+            seed=args.seed,
+            params={"budgets": budgets, "top": getattr(args, "top", None),
+                    "num_sources": args.num_sources},
+            elapsed=timer.elapsed,
+        ))
     text = result.to_json(indent=2 if args.pretty else None)
     if args.output:
         from pathlib import Path
@@ -296,6 +412,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         rows,
         title=f"Trace summary: {args.name} ({args.scale}, seed {args.seed})",
     ))
+    from repro.obs.metrics import iter_nonzero_counters
+
+    counter_rows = [(name, value) for name, value in iter_nonzero_counters()]
+    if counter_rows:
+        print()
+        print(format_table(
+            ["counter", "value"], counter_rows, title="Nonzero counters",
+        ))
     if args.output:
         count = tracer.export(args.output)
         print(f"wrote {count} trace record(s) to {args.output}")
@@ -365,6 +489,9 @@ def _add_parallel_flags(p: argparse.ArgumentParser) -> None:
                    help="content-addressed result cache directory")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="record a JSONL span trace of the run to FILE")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="append run records to this JSONL ledger "
+                        "(default: $REPRO_LEDGER when set)")
 
 
 @contextlib.contextmanager
@@ -401,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-broker",
         description="Inter-domain routing via a small broker set — reproduction toolkit",
     )
+    parser.add_argument("--log-level", choices=("debug", "info", "warning", "error"),
+                        default="warning",
+                        help="structured-log verbosity (default: warning)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured logs as one JSON object per "
+                             "line on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="generate and save a synthetic topology")
@@ -510,11 +643,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_resilience)
 
-    p = sub.add_parser("report", help="render experiments as a markdown report")
+    p = sub.add_parser(
+        "report",
+        help="markdown experiment reports, or run-ledger views "
+             "(--ledger/--check/--html/--export)",
+    )
     p.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     p.add_argument("--scale", choices=available_scales(), default="small")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--output", default=None, help="write to file instead of stdout")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="run-ledger JSONL to report on "
+                        "(default: $REPRO_LEDGER, else .repro/ledger.jsonl)")
+    p.add_argument("--check", action="store_true",
+                   help="run the regression gate; exit non-zero on any "
+                        "regression verdict")
+    p.add_argument("--html", default=None, metavar="FILE",
+                   help="write a self-contained HTML dashboard to FILE")
+    p.add_argument("--export", default=None, metavar="FILE",
+                   help="write the BENCH_4.json document to FILE")
+    p.add_argument("--last", type=int, default=None, metavar="N",
+                   help="show only the newest N ledger records")
+    p.add_argument("--timing-tolerance", type=float, default=0.25,
+                   help="allowed fractional slowdown before a timing "
+                        "regression (default 0.25)")
+    p.add_argument("--coverage-tolerance", type=float, default=0.0,
+                   help="allowed absolute coverage drift (default 0 = exact)")
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("export", help="export the topology for Graphviz/Gephi")
@@ -532,6 +686,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.obs.log import configure_logging
+
+    configure_logging(args.log_level, json_output=args.log_json)
     try:
         with _maybe_trace(args):
             return args.fn(args)

@@ -16,6 +16,7 @@ batch gracefully instead of aborting it.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import tempfile
@@ -28,11 +29,21 @@ import numpy as np
 
 from repro.exceptions import CheckpointError, ReproError
 from repro.experiments.config import ExperimentConfig
-from repro.obs import add_counter, get_tracer
+from repro.obs import add_counter, get_logger, get_tracer
+from repro.obs.ledger import (
+    Ledger,
+    RunRecord,
+    git_revision,
+    now as _ledger_now,
+    summarize_observation,
+)
+from repro.obs.metrics import iter_nonzero_counters
 from repro.parallel.cache import ResultCache
 from repro.parallel.executor import BACKENDS, parallel_map, run_with_timeout
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.tables import format_table
+
+_log = get_logger("runner")
 
 
 @dataclass(frozen=True)
@@ -213,6 +224,67 @@ def result_from_dict(data: dict) -> ExperimentResult:
     )
 
 
+def _coverage_from_paper_values(paper_values: dict) -> dict:
+    """The deterministic fractions a result reports, keyed by label.
+
+    Experiments shape ``paper_values`` either as ``{label: {"paper": x,
+    "measured": y, ...}}`` (the Table-1 style) or as ``{label: number}``;
+    both are flattened to ``{label: measured}`` so the ledger's exact
+    regression gate covers every deterministic headline value.
+    """
+    coverage: dict[str, float] = {}
+    for label, value in paper_values.items():
+        if isinstance(value, dict):
+            measured = value.get("measured")
+            if isinstance(measured, (int, float)) and not isinstance(
+                measured, bool
+            ):
+                coverage[str(label)] = float(measured)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            coverage[str(label)] = float(value)
+    return coverage
+
+
+def record_from_result(
+    result: ExperimentResult,
+    config: ExperimentConfig,
+    *,
+    elapsed: float | None = None,
+    kind: str = "experiment",
+) -> RunRecord:
+    """Build the ledger :class:`RunRecord` for one experiment result.
+
+    Captures git revision, graph digest (cheap — the graph is lru-cached
+    after the experiment ran), the flattened coverage values, the
+    process's nonzero counters, the run's wall-clock as a one-observation
+    histogram, and the SHA-256 of the rendered table as the exact-match
+    ``result_digest``.
+    """
+    try:
+        graph_digest = config.graph().digest()
+    except Exception:  # noqa: BLE001 — a record beats no record
+        graph_digest = ""
+    timings = (
+        {"experiment.seconds": summarize_observation(elapsed)}
+        if elapsed is not None
+        else {}
+    )
+    return RunRecord(
+        experiment=result.experiment_id,
+        kind=kind,
+        scale=config.scale,
+        seed=config.seed,
+        git_rev=git_revision(),
+        graph_digest=graph_digest,
+        params=_experiment_cache_params(config),
+        coverage=_coverage_from_paper_values(result.paper_values),
+        counters=dict(iter_nonzero_counters()),
+        timings=timings,
+        result_digest=hashlib.sha256(result.render().encode()).hexdigest(),
+        ts=_ledger_now(),
+    )
+
+
 _CHECKPOINT_VERSION = 1
 
 
@@ -289,14 +361,17 @@ def _attempt_experiment(
     backoff_cap: float,
     seed: SeedLike,
     sleep: Callable[[float], None] = time.sleep,
-) -> tuple[ExperimentResult | None, ExperimentFailure | None]:
+) -> tuple[ExperimentResult | None, ExperimentFailure | None, float]:
     """One experiment's full attempt loop (retries + backoff + timeout).
 
-    Timeouts run through :func:`repro.parallel.executor.run_with_timeout`
-    — a fresh daemon thread per attempt, so a timed-out attempt is
-    abandoned without delaying any later attempt or task (the previous
-    per-experiment ``ThreadPoolExecutor`` leaked a live non-daemon
-    worker on every timeout).
+    Returns ``(result, failure, elapsed_seconds)`` — elapsed covers the
+    attempts themselves (not backoff sleeps) and is what the run ledger
+    records.  Timeouts run through
+    :func:`repro.parallel.executor.run_with_timeout` — a fresh daemon
+    thread per attempt, so a timed-out attempt is abandoned without
+    delaying any later attempt or task (the previous per-experiment
+    ``ThreadPoolExecutor`` leaked a live non-daemon worker on every
+    timeout).
     """
     fn = _REGISTRY.get(name)
     tracer = get_tracer()
@@ -325,31 +400,50 @@ def _attempt_experiment(
             last_error = exc
             if attempt <= retries:
                 delay = delays[attempt - 1]
+                _log.warning(
+                    "experiment attempt failed; retrying",
+                    extra={
+                        "experiment": name,
+                        "attempt": attempt,
+                        "error": type(exc).__name__,
+                        "backoff": round(delay, 3),
+                    },
+                )
                 if delay > 0:
                     sleep(delay)
             continue
         elapsed_total += time.perf_counter() - start
-        return outcome, None
+        return outcome, None, elapsed_total
     assert last_error is not None
     add_counter("runner.failures")
+    _log.error(
+        "experiment exhausted its retries",
+        extra={
+            "experiment": name,
+            "attempts": retries + 1,
+            "error": type(last_error).__name__,
+        },
+    )
     return None, ExperimentFailure(
         experiment_id=name,
         attempts=retries + 1,
         error_type=type(last_error).__name__,
         message=str(last_error),
         elapsed=elapsed_total,
-    )
+    ), elapsed_total
 
 
-def _batch_task(task: tuple) -> tuple[str, dict]:
+def _batch_task(task: tuple) -> tuple[str, dict, float]:
     """Worker-side wrapper for one experiment of a parallel batch.
 
-    Returns picklable ``("ok", result_dict)`` / ``("fail",
-    failure_dict)`` tuples; the parent re-inflates them.
+    Returns picklable ``("ok", result_dict, elapsed)`` / ``("fail",
+    failure_dict, elapsed)`` tuples; the parent re-inflates them (and
+    writes the ledger — workers never touch it, so appends come from
+    one process per batch unless the caller opts into sharing a path).
     """
     name, config, retries, timeout, backoff_base, backoff_cap, seed = task
     _ensure_loaded()
-    outcome, failure = _attempt_experiment(
+    outcome, failure, elapsed = _attempt_experiment(
         name,
         config,
         retries=retries,
@@ -359,9 +453,9 @@ def _batch_task(task: tuple) -> tuple[str, dict]:
         seed=seed,
     )
     if failure is not None:
-        return ("fail", failure.as_dict())
+        return ("fail", failure.as_dict(), elapsed)
     assert outcome is not None
-    return ("ok", result_to_dict(outcome))
+    return ("ok", result_to_dict(outcome), elapsed)
 
 
 #: Cache tag for experiment-level entries (``<tag>:<experiment id>``).
@@ -393,6 +487,7 @@ def run_experiment_batch(
     workers: int = 1,
     backend: str = "serial",
     cache_dir: str | Path | None = None,
+    ledger: Ledger | str | Path | None = None,
 ) -> BatchResult:
     """Run many experiments, surviving per-experiment failures.
 
@@ -413,6 +508,11 @@ def run_experiment_batch(
     resume).  ``cache_dir`` adds a content-addressed result cache keyed
     by graph digest + experiment id + config + code version: warm
     entries skip execution entirely and count as completed.
+
+    ``ledger`` (a :class:`~repro.obs.ledger.Ledger` or a path) appends
+    one :class:`~repro.obs.ledger.RunRecord` per freshly-executed
+    experiment — cache hits and checkpoint resumes are *not* re-recorded,
+    so ledger history stays one record per real run.
     """
     _ensure_loaded()
     if retries < 0:
@@ -440,6 +540,8 @@ def run_experiment_batch(
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     cache_digest = config.graph().digest() if cache is not None else ""
     cache_params = _experiment_cache_params(config) if cache is not None else {}
+    if ledger is not None and not isinstance(ledger, Ledger):
+        ledger = Ledger(ledger)
 
     results: dict[str, ExperimentResult] = {}
     pending: list[str] = []
@@ -463,7 +565,9 @@ def run_experiment_batch(
     if checkpoint_path is not None and (completed or failures):
         _write_checkpoint(checkpoint_path, config, completed, failures)
 
-    def record_success(name: str, outcome: ExperimentResult) -> None:
+    def record_success(
+        name: str, outcome: ExperimentResult, elapsed: float | None = None
+    ) -> None:
         results[name] = outcome
         as_dict = result_to_dict(outcome)
         completed[name] = as_dict
@@ -474,6 +578,16 @@ def run_experiment_batch(
                 algorithm=f"{_EXPERIMENT_CACHE_TAG}:{name}",
                 params=cache_params,
             )
+        if ledger is not None:
+            try:
+                ledger.append(
+                    record_from_result(outcome, config, elapsed=elapsed)
+                )
+            except OSError as exc:
+                _log.warning(
+                    "ledger append failed",
+                    extra={"experiment": name, "error": str(exc)},
+                )
 
     if workers > 1 and backend != "serial" and pending:
         tasks = [
@@ -503,9 +617,9 @@ def run_experiment_batch(
                 )
                 failed_ids.add(name)
                 continue
-            status, payload = outcome
+            status, payload, elapsed = outcome
             if status == "ok":
-                record_success(name, result_from_dict(payload))
+                record_success(name, result_from_dict(payload), elapsed)
             else:
                 failures.append(ExperimentFailure.from_dict(payload))
                 failed_ids.add(name)
@@ -513,7 +627,7 @@ def run_experiment_batch(
             _write_checkpoint(checkpoint_path, config, completed, failures)
     else:
         for name in pending:
-            outcome, failure = _attempt_experiment(
+            outcome, failure, elapsed = _attempt_experiment(
                 name,
                 config,
                 retries=retries,
@@ -528,7 +642,7 @@ def run_experiment_batch(
                 failed_ids.add(name)
             else:
                 assert outcome is not None
-                record_success(name, outcome)
+                record_success(name, outcome, elapsed)
             if checkpoint_path is not None:
                 _write_checkpoint(checkpoint_path, config, completed, failures)
     ordered = [results[n] for n in dict.fromkeys(names) if n in results]

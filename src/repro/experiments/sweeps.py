@@ -21,11 +21,13 @@ pieces they share:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.graph.asgraph import ASGraph
+from repro.obs.ledger import RunRecord, git_revision, now, summarize_observation
 from repro.parallel.executor import ParallelResult, parallel_map
 from repro.parallel.shm import AttachedGraph, SharedGraphHandle, SharedGraphStore
 
@@ -124,3 +126,43 @@ class SweepResult:
     def to_json(self, *, indent: int | None = None) -> str:
         """Canonical JSON of the payload (the bit-identity contract)."""
         return json.dumps(self.payload, sort_keys=True, indent=indent)
+
+
+def record_from_sweep(
+    name: str,
+    sweep: SweepResult,
+    *,
+    graph: ASGraph | None = None,
+    scale: str = "",
+    seed: int = 0,
+    params: dict | None = None,
+    elapsed: float | None = None,
+) -> RunRecord:
+    """The ledger :class:`~repro.obs.ledger.RunRecord` for one sweep run.
+
+    Because the payload is bit-identical across backends and cache
+    states, its SHA-256 is a strong ``result_digest``: any backend- or
+    cache-dependent drift trips the exact regression gate.  Cache
+    hit/miss counts land in ``counters`` (they describe the run, not the
+    content).
+    """
+    return RunRecord(
+        experiment=name,
+        kind="sweep",
+        scale=scale,
+        seed=seed,
+        git_rev=git_revision(),
+        graph_digest=graph.digest() if graph is not None else "",
+        params=dict(params or {}),
+        counters={
+            "sweep.cache_hits": sweep.cache_hits,
+            "sweep.cache_misses": sweep.cache_misses,
+        },
+        timings=(
+            {"experiment.seconds": summarize_observation(elapsed)}
+            if elapsed is not None
+            else {}
+        ),
+        result_digest=hashlib.sha256(sweep.to_json().encode()).hexdigest(),
+        ts=now(),
+    )

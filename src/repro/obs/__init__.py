@@ -1,18 +1,32 @@
-"""Zero-dependency observability: tracing, metrics, profiling hooks.
+"""Zero-dependency observability: tracing, metrics, profiling, ledger.
 
-Three pieces, all stdlib-only:
+Two halves, all stdlib-only:
+
+*In-process* (evaporates at exit):
 
 * :mod:`repro.obs.tracer` — nested spans with JSON-lines export and a
   no-op default (:class:`NullTracer`) so hot paths pay ~nothing when
   tracing is off;
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
-  gauges and histograms the instrumented kernels/runner/executor/cache
-  flush into;
-* :mod:`repro.obs.profile` — the ``@profiled`` decorator combining both.
+  gauges and histograms (with exact quantiles) the instrumented
+  kernels/runner/executor/cache flush into;
+* :mod:`repro.obs.profile` — the ``@profiled`` decorator combining both;
+* :mod:`repro.obs.timing` — the shared :class:`Timer`;
+* :mod:`repro.obs.log` — the structured-logging bridge behind the CLI's
+  ``--log-level`` / ``--log-json`` flags.
 
-See docs/observability.md for the span and metric schema, and the
-``repro trace`` / ``repro metrics`` CLI subcommands for the user-facing
-surface.
+*Longitudinal* (persists across sessions):
+
+* :mod:`repro.obs.ledger` — the append-only JSONL run ledger, one
+  content-addressed :class:`RunRecord` per experiment/benchmark run;
+* :mod:`repro.obs.regress` — statistical regression detection against
+  ledger baselines (median-of-ratios timings, exact coverage gates);
+* :mod:`repro.obs.report` — ``repro report`` rendering: terminal
+  tables, the BENCH export, and the single-file HTML dashboard.
+
+See docs/observability.md for the span/metric/record schemas, and the
+``repro trace`` / ``repro metrics`` / ``repro report`` CLI subcommands
+for the user-facing surface.
 """
 
 from repro.obs.metrics import (
@@ -29,6 +43,7 @@ from repro.obs.metrics import (
     set_gauge,
     set_metrics_enabled,
 )
+from repro.obs.timing import Timer
 from repro.obs.profile import profiled
 from repro.obs.tracer import (
     NullTracer,
@@ -38,25 +53,80 @@ from repro.obs.tracer import (
     set_tracer,
     use_tracer,
 )
+from repro.obs.log import (
+    HumanFormatter,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    RunRecord,
+    default_ledger_path,
+    git_revision,
+    summarize_observation,
+)
+from repro.obs.regress import (
+    CheckResult,
+    RegressionPolicy,
+    Verdict,
+    check_records,
+    compare_run,
+)
+from repro.obs.report import (
+    bench_document,
+    export_bench,
+    render_dashboard,
+    render_ledger_table,
+    render_verdicts,
+    sparkline_svg,
+    write_dashboard,
+)
 
 __all__ = [
+    "CheckResult",
     "Counter",
     "Gauge",
     "Histogram",
+    "HumanFormatter",
+    "JsonFormatter",
+    "LEDGER_ENV",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
     "MetricsRegistry",
     "NullTracer",
+    "RegressionPolicy",
+    "RunRecord",
     "Span",
+    "Timer",
     "Tracer",
+    "Verdict",
     "add_counter",
+    "bench_document",
+    "check_records",
+    "compare_run",
+    "configure_logging",
+    "default_ledger_path",
+    "export_bench",
+    "get_logger",
     "get_registry",
     "get_tracer",
+    "git_revision",
     "metrics_disabled",
     "metrics_enabled",
     "observe",
     "observe_many",
     "profiled",
+    "render_dashboard",
+    "render_ledger_table",
+    "render_verdicts",
     "set_gauge",
     "set_metrics_enabled",
     "set_tracer",
+    "sparkline_svg",
+    "summarize_observation",
     "use_tracer",
+    "write_dashboard",
 ]

@@ -1,0 +1,132 @@
+"""Structured-logging bridge for the observability stack.
+
+Every layer that used to ``print`` (or attach its own ad-hoc handler)
+logs through here instead: :func:`get_logger` hands out loggers under
+the shared ``repro`` hierarchy, and :func:`configure_logging` installs
+one handler on that hierarchy with either a human-readable or a JSON
+formatter — the CLI's global ``--log-level`` / ``--log-json`` flags.
+
+Structured fields ride on the stdlib ``extra`` mechanism::
+
+    log = get_logger("runner")
+    log.warning("experiment retry", extra={"experiment": name, "attempt": 2})
+
+The :class:`JsonFormatter` emits exactly one JSON object per line
+(``ts``/``level``/``logger``/``message`` plus every ``extra`` field), so
+``--log-json`` output is machine-parseable line by line; the
+:class:`HumanFormatter` appends the same fields as ``key=value`` pairs.
+Tracer span closes (debug level) and runner retry/timeout/fault events
+emit through this bridge.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+#: Root of the shared logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: ``--log-level`` choices, mapped onto stdlib levels.
+LOG_LEVELS: dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+# Attribute names every LogRecord carries; anything else came in via
+# ``extra`` and belongs in the structured payload.
+_RESERVED = set(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_extra_fields(record))
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """Terminal-friendly line with ``key=value`` structured fields."""
+
+    def __init__(self) -> None:
+        super().__init__("%(levelname)-7s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        extras = _extra_fields(record)
+        if extras:
+            fields = " ".join(
+                f"{key}={extras[key]}" for key in sorted(extras)
+            )
+            line = f"{line} [{fields}]"
+        return line
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the shared ``repro`` hierarchy.
+
+    ``get_logger("runner")`` and ``get_logger("repro.runner")`` return
+    the same logger, so call sites can use short component names.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str | int = "warning",
+    *,
+    json_output: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Handler:
+    """Install the bridge handler on the ``repro`` logger hierarchy.
+
+    Replaces any handler a previous call installed (idempotent, so tests
+    and repeated CLI invocations in one process never double-log), sets
+    the hierarchy level, and returns the installed handler.  ``stream``
+    defaults to stderr — structured logs never mix into the stdout that
+    carries experiment tables and JSON payloads.
+    """
+    if isinstance(level, str):
+        try:
+            level_no = LOG_LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(LOG_LEVELS)}"
+            ) from None
+    else:
+        level_no = int(level)
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_bridge", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_output else HumanFormatter())
+    handler._repro_bridge = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level_no)
+    root.propagate = False
+    return handler

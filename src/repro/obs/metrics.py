@@ -21,6 +21,7 @@ out of scope (the parent records task wall/queue times it observes).
 from __future__ import annotations
 
 import json
+import math
 import threading
 from typing import Iterator
 
@@ -52,20 +53,24 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observations: count / sum / min / max.
+    """Summary of observations: count / sum / min / max / quantiles.
 
-    Deliberately bucket-free — the consumers (benchmark summaries,
-    ``repro metrics``) want totals and means, and keeping four scalars
-    makes ``observe`` cheap enough for per-task wall times.
+    Deliberately bucket-free — observations are kept verbatim (a Python
+    list append per ``observe``), which stays cheap because call sites
+    flush per kernel *call*, and lets :meth:`quantile` report **exact**
+    nearest-rank percentiles rather than bucket-boundary approximations.
+    The run ledger persists these summaries, so regression checks compare
+    exact p50s across sessions.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_values")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._values: list[float] = []
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -75,10 +80,27 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._values.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank quantile of everything observed so far.
+
+        ``q`` in [0, 1]; returns 0.0 for an empty histogram (summaries
+        stay finite).  Nearest-rank means every returned value is one
+        that was actually observed — duplicates and single-observation
+        histograms behave exactly as expected.
+        """
+        if not self._values:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        ordered = sorted(self._values)
+        rank = math.ceil(q * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(0, rank))]
 
     def summary(self) -> dict:
         return {
@@ -87,6 +109,9 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -16,10 +16,10 @@ is what keeps the no-op overhead inside the 3 % guard.
 from __future__ import annotations
 
 import functools
-import time
 from typing import Any, Callable
 
 from repro.obs import metrics as _metrics
+from repro.obs.timing import Timer
 from repro.obs.tracer import get_tracer
 
 
@@ -47,16 +47,16 @@ def profiled(name: str | Callable | None = None) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             tracer = get_tracer()
-            t0 = time.perf_counter()
+            timer = Timer(metric=seconds_metric)
+            timer.start()
             try:
                 if tracer.enabled:
                     with tracer.span(metric):
                         return fn(*args, **kwargs)
                 return fn(*args, **kwargs)
             finally:
-                elapsed = time.perf_counter() - t0
+                timer.stop()  # flushes the seconds histogram
                 _metrics.add_counter(calls_metric)
-                _metrics.observe(seconds_metric, elapsed)
 
         wrapper.__profiled_name__ = metric
         return wrapper

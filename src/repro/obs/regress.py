@@ -1,0 +1,257 @@
+"""Statistical regression detection over ledger baselines.
+
+Given the run ledger (:mod:`repro.obs.ledger`), this module compares the
+newest record of every comparable group — same kind, experiment, scale,
+seed and graph digest — against the earlier records of that group and
+returns structured :class:`Verdict` objects:
+
+* **Timings** use robust statistics: for each timing metric the current
+  run's statistic (p50 by default) is divided by the same statistic of
+  *each* baseline run, and the **median of those ratios** is compared
+  against a configurable tolerance.  The median-of-ratios estimator
+  shrugs off one noisy baseline run and CPU-frequency drift between
+  sessions far better than comparing means.
+* **Coverage** values are deterministic (fixed seed, fixed graph digest,
+  deterministic kernels), so they get an **exact-match gate** by
+  default: any drift — including a 0.1 % nudge in a Table-1 number — is
+  a regression.  ``coverage_tolerance`` can relax the gate for sampled
+  workloads.
+* The ``result_digest`` (SHA-256 of the rendered table) gets the same
+  exact gate, catching drift in any cell the coverage numbers miss.
+
+``repro report --check`` turns any regression verdict into a non-zero
+exit code so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Iterable, Sequence
+
+from repro.obs.ledger import RunRecord
+
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_NO_BASELINE = "no-baseline"
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """Knobs of the regression gate.
+
+    ``timing_tolerance`` is the allowed fractional slowdown of the
+    median-of-ratios (0.25 = flag anything more than 25 % slower).
+    ``coverage_tolerance`` is the allowed absolute drift in a coverage
+    fraction (0.0 = exact match).  Timings whose baseline and current
+    statistic both sit under ``min_timing_seconds`` are ignored — at
+    sub-noise-floor durations the ratio is meaningless.
+    """
+
+    timing_tolerance: float = 0.25
+    coverage_tolerance: float = 0.0
+    timing_stat: str = "p50"
+    min_timing_baselines: int = 1
+    min_timing_seconds: float = 0.005
+    check_result_digest: bool = True
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One comparison outcome, machine-checkable and renderable."""
+
+    experiment: str
+    metric: str
+    kind: str  # "timing" | "coverage" | "digest" | "group"
+    status: str  # STATUS_OK | STATUS_REGRESSION | STATUS_NO_BASELINE
+    baseline: float | str | None = None
+    current: float | str | None = None
+    ratio: float | None = None
+    message: str = ""
+    scale: str = ""
+    seed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status != STATUS_REGRESSION
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "metric": self.metric,
+            "kind": self.kind,
+            "status": self.status,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": self.ratio,
+            "message": self.message,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """All verdicts of one ledger check, plus convenience accessors."""
+
+    verdicts: tuple[Verdict, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def regressions(self) -> list[Verdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+
+def _timing_stat(record: RunRecord, metric: str, stat: str) -> float | None:
+    summary = record.timings.get(metric)
+    if not isinstance(summary, dict):
+        return None
+    value = summary.get(stat, summary.get("mean"))
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_run(
+    current: RunRecord,
+    baselines: Sequence[RunRecord],
+    policy: RegressionPolicy | None = None,
+) -> list[Verdict]:
+    """Verdicts for one run against its baseline runs (oldest first)."""
+    policy = policy or RegressionPolicy()
+    common = {"experiment": current.experiment, "scale": current.scale,
+              "seed": current.seed}
+    verdicts: list[Verdict] = []
+    if not baselines:
+        return [Verdict(
+            metric="*", kind="group", status=STATUS_NO_BASELINE,
+            message="first record of its group; nothing to compare against",
+            **common,
+        )]
+
+    # Coverage: exact (or tolerance-banded) match against the most
+    # recent baseline that reported the same label.
+    for label, value in sorted(current.coverage.items()):
+        base_value = None
+        for base in reversed(baselines):
+            if label in base.coverage:
+                base_value = base.coverage[label]
+                break
+        if base_value is None:
+            verdicts.append(Verdict(
+                metric=f"coverage[{label}]", kind="coverage",
+                status=STATUS_NO_BASELINE, current=value,
+                message="label never recorded before", **common,
+            ))
+            continue
+        drift = abs(float(value) - float(base_value))
+        if drift > policy.coverage_tolerance:
+            verdicts.append(Verdict(
+                metric=f"coverage[{label}]", kind="coverage",
+                status=STATUS_REGRESSION, baseline=float(base_value),
+                current=float(value),
+                message=(
+                    f"coverage drifted by {drift:.6f} "
+                    f"(|{float(value):.6f} - {float(base_value):.6f}| > "
+                    f"{policy.coverage_tolerance:g})"
+                ),
+                **common,
+            ))
+        else:
+            verdicts.append(Verdict(
+                metric=f"coverage[{label}]", kind="coverage",
+                status=STATUS_OK, baseline=float(base_value),
+                current=float(value), **common,
+            ))
+
+    # Rendered-table digest: any byte of output drift trips this.
+    if policy.check_result_digest and current.result_digest:
+        base_digest = None
+        for base in reversed(baselines):
+            if base.result_digest:
+                base_digest = base.result_digest
+                break
+        if base_digest is not None:
+            status = (
+                STATUS_OK if base_digest == current.result_digest
+                else STATUS_REGRESSION
+            )
+            verdicts.append(Verdict(
+                metric="result_digest", kind="digest", status=status,
+                baseline=base_digest, current=current.result_digest,
+                message="" if status == STATUS_OK
+                else "rendered result table changed",
+                **common,
+            ))
+
+    # Timings: median of per-baseline ratios vs the tolerance.
+    for metric in sorted(current.timings):
+        cur = _timing_stat(current, metric, policy.timing_stat)
+        if cur is None:
+            continue
+        base_values = [
+            v for v in (
+                _timing_stat(b, metric, policy.timing_stat)
+                for b in baselines
+            )
+            if v is not None and v > 0.0
+        ]
+        if len(base_values) < policy.min_timing_baselines:
+            verdicts.append(Verdict(
+                metric=metric, kind="timing", status=STATUS_NO_BASELINE,
+                current=cur, message="no baseline timings", **common,
+            ))
+            continue
+        base_median = median(base_values)
+        if (cur < policy.min_timing_seconds
+                and base_median < policy.min_timing_seconds):
+            verdicts.append(Verdict(
+                metric=metric, kind="timing", status=STATUS_OK,
+                baseline=base_median, current=cur,
+                message="below the timing noise floor", **common,
+            ))
+            continue
+        ratio = median(cur / v for v in base_values)
+        if ratio > 1.0 + policy.timing_tolerance:
+            verdicts.append(Verdict(
+                metric=metric, kind="timing", status=STATUS_REGRESSION,
+                baseline=base_median, current=cur, ratio=ratio,
+                message=(
+                    f"median-of-ratios {ratio:.2f}x exceeds "
+                    f"{1.0 + policy.timing_tolerance:.2f}x tolerance"
+                ),
+                **common,
+            ))
+        else:
+            verdicts.append(Verdict(
+                metric=metric, kind="timing", status=STATUS_OK,
+                baseline=base_median, current=cur, ratio=ratio, **common,
+            ))
+    return verdicts
+
+
+def check_records(
+    records: Iterable[RunRecord],
+    policy: RegressionPolicy | None = None,
+) -> CheckResult:
+    """Check the newest record of every group against its history.
+
+    Records are grouped by :meth:`RunRecord.group_key`; within a group,
+    file order is history order (the ledger is append-only), so the last
+    record is "current" and everything before it is baseline.
+    """
+    policy = policy or RegressionPolicy()
+    groups: dict[tuple, list[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(record.group_key(), []).append(record)
+    verdicts: list[Verdict] = []
+    for key in sorted(groups, key=str):
+        history = groups[key]
+        verdicts.extend(compare_run(history[-1], history[:-1], policy))
+    return CheckResult(verdicts=tuple(verdicts))

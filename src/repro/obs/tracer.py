@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import threading
 import time
 from contextlib import contextmanager
@@ -31,6 +32,9 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro._version import __version__
+from repro.obs.log import get_logger
+
+_log = get_logger("tracer")
 
 
 class NullSpan:
@@ -151,6 +155,11 @@ class Tracer:
         }
         with self._lock:
             self._records.append(record)
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "span closed",
+                extra={"span": span.name, "dur": round(dur_ns / 1e9, 6)},
+            )
 
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a span nested under the current thread's innermost span."""
@@ -194,12 +203,20 @@ class Tracer:
         return out
 
     def to_jsonl(self) -> str:
-        """The full trace as JSON lines (``meta`` record first)."""
+        """The full trace as JSON lines (``meta`` record first).
+
+        The ``meta`` record embeds a snapshot of the process-wide
+        metrics registry, so one trace file carries both the span tree
+        and the counters/histograms the traced run accumulated.
+        """
+        from repro.obs.metrics import get_registry
+
         meta = {
             "type": "meta",
             "version": __version__,
             "metadata": self.metadata,
             "num_records": len(self.records),
+            "metrics": get_registry().snapshot(),
         }
         lines = [json.dumps(meta, sort_keys=True, default=str)]
         lines.extend(

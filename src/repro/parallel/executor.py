@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import atexit
 import concurrent.futures
-import logging
 import math
 import threading
 import time
@@ -40,10 +39,10 @@ from typing import Any, Callable, Iterable, Literal, Sequence
 import numpy as np
 
 from repro.exceptions import ExperimentTimeoutError, ReproError
-from repro.obs import add_counter, observe, set_gauge
+from repro.obs import add_counter, get_logger, observe, set_gauge
 from repro.utils.rng import SeedLike
 
-_log = logging.getLogger("repro.parallel")
+_log = get_logger("parallel")
 
 Backend = Literal["serial", "thread", "process"]
 

@@ -1,39 +1,14 @@
-"""Lightweight wall-clock timing used by the experiment harness."""
+"""Deprecated home of :class:`Timer` — now lives in :mod:`repro.obs.timing`.
+
+The experiment harness, the ``@profiled`` decorator and the runner all
+share one canonical implementation in the observability package.  This
+module remains so that ``from repro.utils.timer import Timer`` keeps
+working; new code should import from :mod:`repro.obs` (which also
+exposes the optional ``metric=`` histogram flush the old class lacked).
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.timing import Timer
 
-
-class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
-
-    Example::
-
-        with Timer() as t:
-            run_algorithm()
-        print(f"took {t.elapsed:.3f}s")
-    """
-
-    def __init__(self) -> None:
-        self._start: float | None = None
-        self.elapsed: float = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
-
-    def start(self) -> None:
-        """Begin (or restart) timing outside a ``with`` block."""
-        self._start = time.perf_counter()
-
-    def stop(self) -> float:
-        """Stop timing and return the elapsed seconds."""
-        if self._start is None:
-            raise RuntimeError("Timer.stop() called before start()")
-        self.elapsed = time.perf_counter() - self._start
-        return self.elapsed
+__all__ = ["Timer"]

@@ -366,3 +366,79 @@ class TestSerialization:
         assert BatchResult(results=[], failures=[]).ok
         failure = ExperimentFailure("x", 1, "E", "m", 0.0)
         assert not BatchResult(results=[], failures=[failure]).ok
+
+
+class TestLedgerIntegration:
+    def test_fresh_runs_append_records(self, registry, tmp_path):
+        import hashlib
+
+        from repro.obs.ledger import Ledger
+
+        registry("_hr_l1", lambda c: make_result("_hr_l1"))
+        registry("_hr_l2", lambda c: make_result("_hr_l2"))
+        path = tmp_path / "ledger.jsonl"
+        batch = run_experiment_batch(["_hr_l1", "_hr_l2"], CONFIG, ledger=path)
+        assert batch.ok
+        records = Ledger(path).records()
+        assert [r.experiment for r in records] == ["_hr_l1", "_hr_l2"]
+        record = records[0]
+        assert record.kind == "experiment"
+        assert record.scale == "tiny" and record.seed == 1
+        assert record.coverage == {"x": 1.5}
+        assert record.timings["experiment.seconds"]["count"] == 1
+        assert record.timings["experiment.seconds"]["p50"] > 0
+        expected = hashlib.sha256(
+            batch.results[0].render().encode()
+        ).hexdigest()
+        assert record.result_digest == expected
+        assert record.record_id
+        assert record.graph_digest
+
+    def test_cache_hits_are_not_rerecorded(self, registry, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        registry("_hr_lc", lambda c: make_result("_hr_lc"))
+        path = tmp_path / "ledger.jsonl"
+        cache = tmp_path / "cache"
+        run_experiment_batch(["_hr_lc"], CONFIG, cache_dir=cache, ledger=path)
+        run_experiment_batch(["_hr_lc"], CONFIG, cache_dir=cache, ledger=path)
+        assert len(Ledger(path).records()) == 1  # warm rerun: no new record
+
+    def test_failures_are_not_recorded(self, registry, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        def boom(_config):
+            raise ValueError("nope")
+
+        registry("_hr_lf", boom)
+        path = tmp_path / "ledger.jsonl"
+        batch = run_experiment_batch(["_hr_lf"], CONFIG, ledger=path)
+        assert not batch.ok
+        assert len(Ledger(path).records()) == 0
+
+    def test_parallel_thread_batch_records(self, registry, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        registry("_hr_lp1", lambda c: make_result("_hr_lp1"))
+        registry("_hr_lp2", lambda c: make_result("_hr_lp2"))
+        path = tmp_path / "ledger.jsonl"
+        batch = run_experiment_batch(
+            ["_hr_lp1", "_hr_lp2"], CONFIG,
+            workers=2, backend="thread", ledger=path,
+        )
+        assert batch.ok
+        records = Ledger(path).records()
+        assert sorted(r.experiment for r in records) == ["_hr_lp1", "_hr_lp2"]
+        assert all(r.timings["experiment.seconds"]["p50"] > 0 for r in records)
+
+    def test_coverage_flattening(self):
+        from repro.experiments.runner import _coverage_from_paper_values
+
+        flattened = _coverage_from_paper_values({
+            "0.19%": {"paper": 0.5313, "measured": 0.51, "budget": 3},
+            "worst_ratio": 0.97,
+            "label": "not-a-number",
+            "flag": True,
+            "nested": {"no_measured_key": 1.0},
+        })
+        assert flattened == {"0.19%": 0.51, "worst_ratio": 0.97}

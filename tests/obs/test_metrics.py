@@ -45,7 +45,41 @@ class TestRegistry:
         summary = MetricsRegistry().histogram("h").summary()
         assert summary == {
             "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
         }
+
+    def test_quantiles_exact_nearest_rank(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in range(1, 101):  # 1..100
+            hist.observe(float(v))
+        summary = hist.summary()
+        assert summary["p50"] == 50.0
+        assert summary["p90"] == 90.0
+        assert summary["p99"] == 99.0
+        # Exact, not interpolated: every quantile is an observed value.
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_quantiles_single_value(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(3.25)
+        summary = hist.summary()
+        assert summary["p50"] == 3.25
+        assert summary["p90"] == 3.25
+        assert summary["p99"] == 3.25
+
+    def test_quantiles_duplicates(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in (2.0, 2.0, 2.0, 2.0, 9.0):
+            hist.observe(v)
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(0.99) == 9.0
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError, match="outside"):
+            hist.quantile(1.5)
 
     def test_name_kind_collision_raises(self):
         reg = MetricsRegistry()

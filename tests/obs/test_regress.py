@@ -1,0 +1,146 @@
+"""Regression-detection tests: slowdowns, coverage drift, exact gates."""
+
+from repro.obs.ledger import RunRecord, summarize_observation
+from repro.obs.regress import (
+    STATUS_NO_BASELINE,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    RegressionPolicy,
+    Verdict,
+    check_records,
+    compare_run,
+)
+
+
+def _run(seconds: float = 1.0, coverage: float = 0.5313, digest: str = "d1",
+         **overrides) -> RunRecord:
+    base = dict(
+        experiment="table1",
+        scale="tiny",
+        seed=1,
+        coverage={"0.19%": coverage},
+        timings={"experiment.seconds": summarize_observation(seconds)},
+        result_digest=digest,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+def _by_metric(verdicts: list[Verdict]) -> dict[str, Verdict]:
+    return {v.metric: v for v in verdicts}
+
+
+class TestCompareRun:
+    def test_no_baselines_is_not_a_regression(self):
+        verdicts = compare_run(_run(), [])
+        assert len(verdicts) == 1
+        assert verdicts[0].status == STATUS_NO_BASELINE
+        assert verdicts[0].ok
+
+    def test_clean_run_passes(self):
+        verdicts = compare_run(_run(1.02), [_run(1.0), _run(0.98)])
+        assert all(v.ok for v in verdicts)
+        statuses = {v.metric: v.status for v in verdicts}
+        assert statuses["coverage[0.19%]"] == STATUS_OK
+        assert statuses["experiment.seconds"] == STATUS_OK
+        assert statuses["result_digest"] == STATUS_OK
+
+    def test_flags_2x_slowdown(self):
+        verdicts = _by_metric(compare_run(_run(2.0), [_run(1.0), _run(1.0)]))
+        timing = verdicts["experiment.seconds"]
+        assert timing.status == STATUS_REGRESSION
+        assert timing.ratio == 2.0
+        assert "tolerance" in timing.message
+
+    def test_flags_tenth_percent_coverage_drift(self):
+        verdicts = _by_metric(
+            compare_run(_run(coverage=0.5323), [_run(coverage=0.5313)])
+        )
+        cov = verdicts["coverage[0.19%]"]
+        assert cov.status == STATUS_REGRESSION
+        assert "drifted" in cov.message
+
+    def test_coverage_tolerance_band(self):
+        policy = RegressionPolicy(coverage_tolerance=0.01)
+        verdicts = _by_metric(compare_run(
+            _run(coverage=0.5323), [_run(coverage=0.5313)], policy
+        ))
+        assert verdicts["coverage[0.19%]"].status == STATUS_OK
+
+    def test_timing_within_tolerance_passes(self):
+        verdicts = _by_metric(compare_run(_run(1.2), [_run(1.0)]))
+        assert verdicts["experiment.seconds"].status == STATUS_OK
+
+    def test_timing_tolerance_configurable(self):
+        policy = RegressionPolicy(timing_tolerance=1.5)
+        verdicts = _by_metric(compare_run(_run(2.0), [_run(1.0)], policy))
+        assert verdicts["experiment.seconds"].status == STATUS_OK
+
+    def test_median_of_ratios_shrugs_off_one_noisy_baseline(self):
+        # One absurdly fast baseline would make a mean-based gate fire.
+        baselines = [_run(1.0), _run(1.0), _run(0.01)]
+        verdicts = _by_metric(compare_run(_run(1.1), baselines))
+        assert verdicts["experiment.seconds"].status == STATUS_OK
+
+    def test_noise_floor_suppresses_micro_timings(self):
+        verdicts = _by_metric(compare_run(_run(0.004), [_run(0.001)]))
+        timing = verdicts["experiment.seconds"]
+        assert timing.status == STATUS_OK
+        assert "noise floor" in timing.message
+
+    def test_digest_change_is_a_regression(self):
+        verdicts = _by_metric(compare_run(_run(digest="dX"), [_run()]))
+        assert verdicts["result_digest"].status == STATUS_REGRESSION
+
+    def test_digest_gate_can_be_disabled(self):
+        policy = RegressionPolicy(check_result_digest=False)
+        verdicts = _by_metric(compare_run(_run(digest="dX"), [_run()], policy))
+        assert "result_digest" not in verdicts
+
+    def test_new_coverage_label_is_no_baseline(self):
+        current = _run(coverage=0.5)
+        baseline = RunRecord(
+            experiment="table1", scale="tiny", seed=1,
+            coverage={"other": 0.9}, result_digest="d1",
+        )
+        verdicts = _by_metric(compare_run(current, [baseline]))
+        assert verdicts["coverage[0.19%]"].status == STATUS_NO_BASELINE
+
+    def test_missing_baseline_timings(self):
+        baseline = _run()
+        baseline = RunRecord(
+            experiment="table1", scale="tiny", seed=1,
+            coverage=baseline.coverage, result_digest="d1", timings={},
+        )
+        verdicts = _by_metric(compare_run(_run(), [baseline]))
+        assert verdicts["experiment.seconds"].status == STATUS_NO_BASELINE
+
+
+class TestCheckRecords:
+    def test_groups_isolate_scales(self):
+        # A slowdown at scale "small" must not contaminate "tiny".
+        records = [
+            _run(1.0), _run(1.0),
+            _run(1.0, scale="small"), _run(5.0, scale="small"),
+        ]
+        result = check_records(records)
+        assert not result.ok
+        bad = result.regressions
+        assert all(v.scale == "small" for v in bad)
+
+    def test_last_record_is_current(self):
+        # Old regression in the middle of history is not re-flagged;
+        # only the newest record is judged.
+        records = [_run(1.0), _run(5.0), _run(1.05)]
+        assert check_records(records).ok
+
+    def test_ok_empty_ledger(self):
+        result = check_records([])
+        assert result.ok
+        assert result.verdicts == ()
+
+    def test_verdict_as_dict_roundtrips(self):
+        (verdict,) = compare_run(_run(), [])
+        data = verdict.as_dict()
+        assert data["status"] == STATUS_NO_BASELINE
+        assert data["experiment"] == "table1"

@@ -1,0 +1,135 @@
+"""Rendering tests: ledger tables, BENCH export, HTML dashboard."""
+
+import json
+
+from repro.obs.ledger import Ledger, RunRecord, summarize_observation
+from repro.obs.regress import check_records
+from repro.obs.report import (
+    BENCH_SCHEMA_VERSION,
+    bench_document,
+    export_bench,
+    render_dashboard,
+    render_ledger_table,
+    render_verdicts,
+    sparkline_svg,
+    write_dashboard,
+)
+
+
+def _record(i: int = 0, **overrides) -> RunRecord:
+    base = dict(
+        experiment="table1",
+        scale="tiny",
+        seed=1,
+        git_rev="abc123",
+        coverage={"0.19%": 0.5313, "6.8%": 0.9929},
+        timings={"experiment.seconds": summarize_observation(0.5 + 0.01 * i)},
+        result_digest="d1",
+        ts=1_700_000_000.0 + i,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestTerminalViews:
+    def test_ledger_table_lists_runs(self):
+        text = render_ledger_table([_record(0), _record(1)])
+        assert "table1" in text
+        assert "abc123" in text
+        assert "2 record(s)" in text
+
+    def test_ledger_table_empty(self):
+        assert "(empty ledger)" in render_ledger_table([])
+
+    def test_ledger_table_last_n(self):
+        records = [_record(i, experiment=f"e{i}") for i in range(5)]
+        text = render_ledger_table(records, last=2)
+        assert "e4" in text and "e3" in text
+        assert "e0" not in text
+
+    def test_verdict_table_orders_regressions_first(self):
+        records = [_record(0), _record(1, timings={
+            "experiment.seconds": summarize_observation(5.0)
+        })]
+        text = render_verdicts(check_records(records))
+        assert text.index("REGRESSION") < text.index("coverage[0.19%]")
+
+    def test_verdict_table_empty(self):
+        assert "no comparable records" in render_verdicts(check_records([]))
+
+
+class TestBenchExport:
+    def test_document_shape(self):
+        records = [_record(0), _record(1)]
+        doc = bench_document(records)
+        assert doc["schema"] == BENCH_SCHEMA_VERSION
+        assert doc["num_records"] == 2
+        entry = doc["experiments"]["table1"]
+        assert entry["runs"] == 2
+        assert entry["latest_coverage"]["0.19%"] == 0.5313
+        assert len(entry["coverage"]["0.19%"]) == 2
+        assert len(entry["timing_p50_seconds"]) == 2
+
+    def test_kernel_timings_come_from_session_records(self):
+        session = _record(2, experiment="benchmarks", kind="session", timings={
+            "kernel.maxsg.seconds": {"count": 3, "p50": 0.2},
+        })
+        doc = bench_document([_record(0), session])
+        assert doc["kernels"]["kernel.maxsg.seconds"]["p50"] == 0.2
+
+    def test_export_writes_valid_json(self, tmp_path):
+        path = tmp_path / "BENCH_4.json"
+        doc = export_bench([_record(0)], path)
+        assert json.loads(path.read_text()) == doc
+
+
+class TestDashboard:
+    def test_sparkline_basic(self):
+        svg = sparkline_svg([1.0, 2.0, 3.0], label="coverage")
+        assert svg.startswith("<svg")
+        assert "polyline" in svg
+        assert "<title>" in svg  # hover tooltips
+        assert 'aria-label' in svg
+
+    def test_sparkline_empty(self):
+        assert sparkline_svg([]) == ""
+
+    def test_sparkline_constant_series(self):
+        # A flat series must not divide by zero.
+        svg = sparkline_svg([2.0, 2.0, 2.0])
+        assert "NaN" not in svg
+
+    def test_dashboard_is_self_contained(self):
+        html = render_dashboard([_record(0), _record(1)])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html  # static — opens anywhere
+        assert "http://" not in html and "https://" not in html
+        assert "prefers-color-scheme: dark" in html
+
+    def test_dashboard_includes_series_and_table(self):
+        html = render_dashboard([_record(i) for i in range(3)])
+        assert html.count("<svg") >= 2  # coverage + timing sparklines
+        assert "<table>" in html  # accessible table view
+        assert "table1" in html
+
+    def test_dashboard_escapes_content(self):
+        record = _record(0, experiment="<script>alert(1)</script>")
+        html = render_dashboard([record])
+        assert "<script>alert(1)</script>" not in html
+
+    def test_dashboard_shows_regressions(self):
+        records = [_record(0), _record(1, coverage={"0.19%": 0.999})]
+        check = check_records(records)
+        html = render_dashboard(records, check)
+        assert "regression" in html
+
+    def test_write_dashboard(self, tmp_path):
+        path = write_dashboard([_record(0)], tmp_path / "dash.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_dashboard_from_real_ledger(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        for i in range(3):
+            ledger.append(_record(i))
+        html = render_dashboard(ledger.records())
+        assert "3" in html  # record-count tile

@@ -127,6 +127,16 @@ class TestExport:
         assert meta["num_records"] == 1
         assert all(json.loads(line) for line in lines[1:])
 
+    def test_meta_record_embeds_metrics_snapshot(self):
+        from repro.obs import add_counter
+
+        tracer = Tracer()
+        with tracer.span("a"):
+            add_counter("test.trace.meta.counter", 3)
+        meta = json.loads(tracer.to_jsonl().splitlines()[0])
+        assert set(meta["metrics"]) == {"counters", "gauges", "histograms"}
+        assert meta["metrics"]["counters"]["test.trace.meta.counter"] >= 3
+
     def test_export_writes_file_and_returns_count(self, tmp_path):
         tracer = Tracer()
         with tracer.span("a"):

@@ -274,3 +274,136 @@ class TestObservabilityCommands:
 
     def test_metrics_unknown_experiment_fails(self, capsys):
         assert main(["metrics", "--experiment", "nope", "--scale", "tiny"]) == 1
+
+
+class TestLedgerCommands:
+    def _run_twice(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            assert main([
+                "experiment", "table1", "--scale", "tiny", "--seed", "1",
+                "--ledger", str(ledger),
+            ]) == 0
+        return ledger
+
+    def test_experiment_appends_run_records(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+
+        ledger = self._run_twice(tmp_path)
+        records = Ledger(ledger).records()
+        assert len(records) == 2
+        assert all(r.experiment == "table1" for r in records)
+        assert records[0].coverage == records[1].coverage  # deterministic
+
+    def test_report_check_clean_exits_zero(self, tmp_path, capsys):
+        ledger = self._run_twice(tmp_path)
+        capsys.readouterr()
+        # Generous timing tolerance: same-process reruns can jitter.
+        code = main([
+            "report", "--ledger", str(ledger), "--check",
+            "--timing-tolerance", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run ledger" in out
+        assert "0 regression(s)" in out
+
+    def test_report_check_flags_doctored_regression(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.ledger import Ledger, RunRecord
+
+        ledger = self._run_twice(tmp_path)
+        # Doctor a third record: nudge one coverage value by 0.1 %.
+        last = json.loads(ledger.read_text().splitlines()[-1])
+        record = RunRecord.from_dict(last)
+        doctored = dict(record.coverage)
+        first_label = sorted(doctored)[0]
+        doctored[first_label] += 0.001
+        Ledger(ledger).append(RunRecord(
+            **{**last, "coverage": doctored, "record_id": ""}
+        ))
+        capsys.readouterr()
+        code = main([
+            "report", "--ledger", str(ledger), "--check",
+            "--timing-tolerance", "1000",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression(s) detected" in captured.err
+
+    def test_report_html_and_export(self, tmp_path, capsys):
+        import json
+
+        ledger = self._run_twice(tmp_path)
+        html = tmp_path / "dash.html"
+        bench = tmp_path / "BENCH_4.json"
+        code = main([
+            "report", "--ledger", str(ledger),
+            "--html", str(html), "--export", str(bench),
+        ])
+        assert code == 0
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        doc = json.loads(bench.read_text())
+        assert "table1" in doc["experiments"]
+        assert doc["experiments"]["table1"]["runs"] == 2
+
+    def test_report_markdown_mode_untouched(self, tmp_path, capsys):
+        # No ledger flags -> the legacy markdown path, exactly as before.
+        code = main(["report", "table2", "--scale", "tiny", "--seed", "1"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_ledger_env_var_opts_in(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.ledger import LEDGER_ENV, Ledger
+
+        ledger = tmp_path / "env-ledger.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(ledger))
+        assert main([
+            "experiment", "table1", "--scale", "tiny", "--seed", "1",
+        ]) == 0
+        assert len(Ledger(ledger).records()) == 1
+
+    def test_sweep_records_to_ledger(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+
+        ledger = tmp_path / "ledger.jsonl"
+        assert main([
+            "sweep", "table5", "--scale", "tiny", "--seed", "1",
+            "--budgets", "5", "--top", "3", "--ledger", str(ledger),
+        ]) == 0
+        (record,) = Ledger(ledger).records()
+        assert record.kind == "sweep"
+        assert record.experiment == "table5"
+        assert record.result_digest
+        assert record.counters["sweep.cache_misses"] == 0  # no cache dir
+
+    def test_log_json_one_object_per_line(self, capsys):
+        import json
+
+        # An unknown experiment exercises the runner's retry logging.
+        code = main([
+            "--log-json", "--log-level", "info",
+            "experiment", "tableXX", "--scale", "tiny", "--retries", "1",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        json_lines = [
+            line for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        assert json_lines, f"no JSON log lines in stderr: {err!r}"
+        for line in json_lines:
+            payload = json.loads(line)  # parseable, one object per line
+            assert {"ts", "level", "logger", "message"} <= set(payload)
+
+    def test_log_level_filters_human_output(self, capsys):
+        code = main([
+            "--log-level", "error",
+            "experiment", "tableXX", "--scale", "tiny", "--retries", "1",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "retrying" not in err  # warning suppressed at error level
+        assert "exhausted" in err  # error-level event shown

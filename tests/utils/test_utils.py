@@ -76,3 +76,18 @@ class TestTimer:
     def test_stop_without_start(self):
         with pytest.raises(RuntimeError):
             Timer().stop()
+
+    def test_is_the_obs_timer(self):
+        """The old import path stays alive as an alias for repro.obs.Timer."""
+        from repro.obs.timing import Timer as ObsTimer
+
+        assert Timer is ObsTimer
+
+    def test_metric_flushes_into_registry(self):
+        from repro.obs import get_registry
+
+        hist = get_registry().histogram("test.timer.seconds")
+        before = hist.count
+        with Timer(metric="test.timer.seconds"):
+            pass
+        assert hist.count == before + 1
