@@ -4,6 +4,8 @@ Subcommands:
 
 * ``generate`` — build a synthetic Internet topology and save it to disk.
 * ``summarize`` — print the Table-2 style summary of a saved topology.
+* ``algorithms`` — list the registered selection algorithms (name,
+  capabilities, parameters; ``--json`` for machine-readable output).
 * ``select`` — run a broker-selection algorithm on a scale profile.
 * ``experiment`` — run one (or all) of the paper's tables/figures.
 * ``sweep`` — parallel, cache-aware multi-seed/budget sweeps (fig2b, table5).
@@ -53,11 +55,44 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_select(args: argparse.Namespace) -> int:
-    from repro.core.selector import ALL_ALGORITHMS, BrokerSelector
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    """List the registered broker-selection algorithms."""
+    from repro.core.registry import all_specs
+    from repro.utils.tables import format_table
 
-    if args.algorithm not in ALL_ALGORITHMS:
-        print(f"unknown algorithm {args.algorithm!r}; choose from {ALL_ALGORITHMS}")
+    specs = all_specs()
+    if args.json:
+        import json
+
+        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        return 0
+    rows = []
+    for spec in specs:
+        params = ", ".join(
+            f"{p.name}={p.default!r}" for p in spec.params
+        ) or "-"
+        rows.append((
+            spec.name,
+            "yes" if spec.budgeted else "no",
+            ", ".join(spec.capabilities) or "-",
+            params,
+            spec.summary,
+        ))
+    print(format_table(
+        ["algorithm", "budgeted", "capabilities", "params", "summary"],
+        rows,
+        title=f"Registered algorithms ({len(specs)})",
+    ))
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.core.registry import algorithm_names
+    from repro.core.selector import BrokerSelector
+
+    known = algorithm_names()
+    if args.algorithm not in known:
+        print(f"unknown algorithm {args.algorithm!r}; choose from {known}")
         return 2
     graph = load_internet(args.scale, seed=args.seed)
     selector = BrokerSelector(graph)
@@ -365,6 +400,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             params={"budgets": budgets, "top": getattr(args, "top", None),
                     "num_sources": args.num_sources},
             elapsed=timer.elapsed,
+            algorithm="maxsg",
         ))
     text = result.to_json(indent=2 if args.pretty else None)
     if args.output:
@@ -547,6 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--path", default=None, help="load a saved topology instead")
     p.set_defaults(fn=_cmd_summarize)
+
+    p = sub.add_parser("algorithms",
+                       help="list registered broker-selection algorithms")
+    p.add_argument("--json", action="store_true",
+                   help="emit the registry as JSON instead of a table")
+    p.set_defaults(fn=_cmd_algorithms)
 
     p = sub.add_parser("select", help="run a broker-selection algorithm")
     p.add_argument("algorithm")

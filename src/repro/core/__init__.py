@@ -31,11 +31,24 @@ from repro.core.domination import (
     is_dominating_path,
     verify_mcbg_solution,
 )
+from repro.core.engine import DominationEngine
 from repro.core.exact import exact_mcb, exact_mcbg, exact_pds
 from repro.core.localsearch import LocalSearchResult, swap_local_search
+from repro.core.registry import (
+    AlgorithmSpec,
+    ParamSpec,
+    algorithm_names,
+    all_specs,
+    canonical_params,
+    get_algorithm,
+    register_algorithm,
+    registry_fingerprint,
+    run_algorithm,
+)
 from repro.core.robustness import (
     FailureSweepResult,
     failure_sweep,
+    failure_sweep_reference,
     r_covered_fraction,
     redundant_greedy,
     single_failure_impact,
@@ -122,6 +135,18 @@ __all__ = [
     "exact_mcb",
     "exact_mcbg",
     "exact_pds",
+    # engine
+    "DominationEngine",
+    # registry
+    "AlgorithmSpec",
+    "ParamSpec",
+    "algorithm_names",
+    "all_specs",
+    "canonical_params",
+    "get_algorithm",
+    "register_algorithm",
+    "registry_fingerprint",
+    "run_algorithm",
     # selector
     "BrokerSelector",
     "SelectionResult",
@@ -130,6 +155,7 @@ __all__ = [
     "swap_local_search",
     "LocalSearchResult",
     "failure_sweep",
+    "failure_sweep_reference",
     "FailureSweepResult",
     "single_failure_impact",
     "redundant_greedy",

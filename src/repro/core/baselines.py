@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.graph.metrics import pagerank
@@ -43,15 +44,14 @@ def set_cover_dominating(
         order = np.asarray(order, dtype=np.int64)
         if sorted(order.tolist()) != list(range(n)):
             raise AlgorithmError("order must be a permutation of all vertices")
-    dominated = np.zeros(n, dtype=bool)
+    engine = DominationEngine(graph)
     brokers: list[int] = []
     for v in order:
         v = int(v)
-        if dominated[v]:
+        if engine.is_covered(v):
             continue
         brokers.append(v)
-        dominated[v] = True
-        dominated[graph.neighbors(v)] = True
+        engine.add_broker(v)
     return brokers
 
 

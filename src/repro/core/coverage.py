@@ -8,7 +8,8 @@ or adjacent to one, i.e., it can reach the brokerage with a first-hop SLA.
 
 :class:`CoverageOracle` supports the incremental access pattern the greedy
 algorithms need — O(deg(v)) marginal-gain queries and O(deg(v)) updates —
-without recomputing neighbourhood unions from scratch.
+as a thin adapter over :class:`repro.core.engine.DominationEngine`, the
+shared mutable coverage/domination state.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.obs import add_counter
@@ -25,15 +27,16 @@ from repro.obs import add_counter
 class CoverageOracle:
     """Incremental evaluator of ``f(B) = |B ∪ N(B)|`` over a fixed graph.
 
-    The oracle keeps a boolean ``covered`` array; adding broker ``v`` marks
-    ``{v} ∪ N(v)``.  ``marginal_gain(v)`` counts how many *new* vertices
-    ``v`` would cover — the quantity maximized by each greedy step of
-    Algorithm 1 (and, restricted to a frontier, by Algorithm 3).
+    Adding broker ``v`` marks ``{v} ∪ N(v)`` covered inside the backing
+    :class:`~repro.core.engine.DominationEngine`; ``marginal_gain(v)``
+    counts how many *new* vertices ``v`` would cover — the quantity
+    maximized by each greedy step of Algorithm 1 (and, restricted to a
+    frontier, by Algorithm 3).
     """
 
     def __init__(self, graph: ASGraph) -> None:
         self._graph = graph
-        self._covered = np.zeros(graph.num_nodes, dtype=bool)
+        self._engine = DominationEngine(graph)
         self._brokers: list[int] = []
 
     # ------------------------------------------------------------------
@@ -44,6 +47,11 @@ class CoverageOracle:
         return self._graph
 
     @property
+    def engine(self) -> DominationEngine:
+        """The backing mutable domination state."""
+        return self._engine
+
+    @property
     def brokers(self) -> list[int]:
         """Brokers added so far, in insertion order."""
         return list(self._brokers)
@@ -51,39 +59,33 @@ class CoverageOracle:
     @property
     def covered_mask(self) -> np.ndarray:
         """Read-only view of the covered indicator (do not mutate)."""
-        return self._covered
+        return self._engine.covered_view
 
     def coverage(self) -> int:
         """Current value of ``f(B)``."""
-        return int(np.count_nonzero(self._covered))
+        return self._engine.coverage()
 
     def coverage_fraction(self) -> float:
         """``f(B) / |V|``."""
-        n = self._graph.num_nodes
-        return self.coverage() / n if n else 0.0
+        return self._engine.coverage_fraction()
 
     def is_covered(self, v: int) -> bool:
-        return bool(self._covered[v])
+        return self._engine.is_covered(v)
 
     # ------------------------------------------------------------------
     # Queries and updates
     # ------------------------------------------------------------------
     def marginal_gain(self, v: int) -> int:
         """``f(B ∪ {v}) − f(B)`` in O(deg(v))."""
-        gain = 0 if self._covered[v] else 1
-        neigh = self._graph.neighbors(v)
-        gain += int(np.count_nonzero(~self._covered[neigh]))
-        return gain
+        return self._engine.marginal_gain(int(v))
 
     def add(self, v: int) -> int:
         """Add broker ``v``; returns the realized marginal gain."""
         if not 0 <= v < self._graph.num_nodes:
             raise AlgorithmError(f"broker id {v} out of range")
-        gain = self.marginal_gain(v)
-        self._covered[v] = True
-        self._covered[self._graph.neighbors(v)] = True
+        newly = self._engine.add_broker(int(v))
         self._brokers.append(int(v))
-        return gain
+        return len(newly)
 
     def uncovered_count(self) -> int:
         return self._graph.num_nodes - self.coverage()

@@ -20,8 +20,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.coverage import coverage_value, covered_mask
+from repro.core.coverage import coverage_value
 from repro.core.domination import brokers_mutually_connected
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 
@@ -85,17 +86,19 @@ def swap_local_search(
 
         best_swap: tuple[int, int] | None = None
         best_swap_value = best_value
+        engine = DominationEngine(graph, current)
         for b in current:
             without = [x for x in current if x != b]
-            # Evaluate all candidates against the fixed "B minus b" mask:
-            # f(without + {c}) = f(without) + marginal gain of c.
-            mask = covered_mask(graph, without)
-            base = int(mask.sum())
+            # Evaluate all candidates against the fixed "B minus b" state:
+            # f(without + {c}) = f(without) + marginal gain of c.  The
+            # engine's checkpoint/rollback makes each "minus b" probe an
+            # O(deg(b)) delta instead of a from-scratch mask rebuild.
+            token = engine.checkpoint()
+            engine.remove_broker(b)
+            base = engine.coverage()
             for c in candidates:
                 c = int(c)
-                neigh = graph.neighbors(c)
-                gain = int(np.count_nonzero(~mask[neigh])) + (0 if mask[c] else 1)
-                value = base + gain
+                value = base + engine.marginal_gain(c)
                 if value > best_swap_value:
                     if enforce_mcbg and not brokers_mutually_connected(
                         graph, without + [c]
@@ -103,6 +106,7 @@ def swap_local_search(
                         continue
                     best_swap_value = value
                     best_swap = (b, c)
+            engine.rollback(token)
         if best_swap is None:
             break
         out_b, in_c = best_swap

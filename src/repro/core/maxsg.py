@@ -29,7 +29,7 @@ import heapq
 
 import numpy as np
 
-from repro.core.coverage import CoverageOracle
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.obs import add_counter, get_tracer, observe_many, profiled
@@ -74,7 +74,7 @@ def maxsg(
     tracer = get_tracer()
     evaluations = 0
     repops = 0
-    oracle = CoverageOracle(graph)
+    engine = DominationEngine(graph)
     in_broker_set = np.zeros(n, dtype=bool)
     in_heap = np.zeros(n, dtype=bool)
     # stale_round[v] = selection round in which v's cached gain was computed.
@@ -89,7 +89,7 @@ def maxsg(
             if in_heap[v] or in_broker_set[v]:
                 continue
             evaluations += 1
-            gain = oracle.marginal_gain(v)
+            gain = engine.marginal_gain(v)
             if gain <= 0:
                 # Zero-gain vertices may become useful only if gains grew,
                 # which submodularity forbids — drop them permanently.
@@ -104,11 +104,12 @@ def maxsg(
 
     def add_broker(v: int, round_no: int) -> None:
         with tracer.span("maxsg.round", round=round_no, vertex=v) as span:
-            before = oracle.covered_mask.copy()
-            gain = oracle.add(v)
+            # The engine reports the newly covered vertices directly —
+            # no covered-mask snapshot/diff per round.
+            newly_covered = engine.add_broker(v)
+            gain = len(newly_covered)
             in_broker_set[v] = True
             chosen.append(v)
-            newly_covered = np.flatnonzero(oracle.covered_mask & ~before)
             # Candidate pool: the newly covered vertices and their neighbours —
             # everything now within distance two of a broker.
             frontier = set(int(x) for x in newly_covered)
@@ -126,7 +127,7 @@ def maxsg(
             continue
         if stale_round[v] != round_no:
             evaluations += 1
-            gain = oracle.marginal_gain(v)
+            gain = engine.marginal_gain(v)
             stale_round[v] = round_no
             if gain > 0:
                 repops += 1

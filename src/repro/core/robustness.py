@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.connectivity import saturated_connectivity
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.graph.csr import build_csr
@@ -48,12 +49,13 @@ class FailureSweepResult:
 
 
 def broker_hit_counts(graph: ASGraph, brokers: list[int]) -> np.ndarray:
-    """Per-vertex count of brokers inside the closed neighbourhood N[v]."""
-    hits = np.zeros(graph.num_nodes, dtype=np.int64)
-    for b in dict.fromkeys(int(b) for b in brokers):
-        hits[b] += 1
-        hits[graph.neighbors(b)] += 1
-    return hits
+    """Per-vertex count of brokers inside the closed neighbourhood N[v].
+
+    This is exactly the hit-count state a
+    :class:`~repro.core.engine.DominationEngine` maintains incrementally.
+    """
+    engine = DominationEngine(graph, dict.fromkeys(int(b) for b in brokers))
+    return engine.hits_view.copy()
 
 
 def coverage_contribution_order(graph: ASGraph, brokers: list[int]) -> list[int]:
@@ -90,28 +92,56 @@ def failure_sweep(
     uncovers the most vertices); ``"degree"`` removes in descending raw
     degree (the crude biggest-members-defect model).
 
-    Brokers are removed incrementally from a live mask, so a sweep over
-    ``k`` failures costs ``k`` mask updates plus one connectivity
-    evaluation per reported point — not the O(k²) set rebuilds of the
-    naive formulation.
+    Removals shrink the dominated graph, which a union-find cannot
+    follow — so the sweep is replayed *backwards*: start a
+    :class:`~repro.core.engine.DominationEngine` from the survivors at
+    the last reported point and add brokers back in reverse removal
+    order.  Every reported point is then an O(1) pair-sum query against
+    one shared union-find (a single connected-components pass total),
+    instead of one full SciPy pass per point.  Values are bit-identical
+    to the from-scratch formulation (see
+    :func:`failure_sweep_reference`, kept for differential tests and
+    the speedup benchmark).
     """
-    if strategy not in ("random", "targeted", "degree"):
-        raise AlgorithmError(f"unknown strategy {strategy!r}")
-    brokers = list(dict.fromkeys(int(b) for b in brokers))
-    if not brokers:
-        raise AlgorithmError("broker set must be non-empty")
-    limit = len(brokers) if max_failures is None else min(max_failures, len(brokers))
-    if strategy == "random":
-        rng = ensure_rng(seed)
-        order = [int(b) for b in rng.permutation(brokers)]
-    elif strategy == "degree":
-        degrees = graph.degrees()
-        order = sorted(brokers, key=lambda b: (-int(degrees[b]), b))
-    else:
-        order = coverage_contribution_order(graph, brokers)
-    removed_counts = list(range(0, limit + 1, step))
-    if removed_counts[-1] != limit:
-        removed_counts.append(limit)
+    brokers, order, removed_counts, limit = _sweep_plan(
+        graph, brokers, strategy, max_failures, step, seed
+    )
+    total = len(brokers)
+    engine = DominationEngine(graph, order[limit:])
+    values_rev = []
+    prev = limit
+    for k in reversed(removed_counts):
+        for b in order[k:prev]:
+            engine.add_broker(b)
+        prev = k
+        values_rev.append(
+            engine.saturated_connectivity() if total - k > 0 else 0.0
+        )
+    return FailureSweepResult(
+        removed=np.asarray(removed_counts),
+        connectivity=np.asarray(list(reversed(values_rev))),
+        strategy=strategy,
+    )
+
+
+def failure_sweep_reference(
+    graph: ASGraph,
+    brokers: list[int],
+    *,
+    strategy: str = "random",
+    max_failures: int | None = None,
+    step: int = 1,
+    seed: SeedLike = 0,
+) -> FailureSweepResult:
+    """From-scratch :func:`failure_sweep`: one full connectivity
+    evaluation per reported point.
+
+    Kept as the differential-testing oracle and the baseline the engine
+    speedup benchmark measures against.
+    """
+    brokers, order, removed_counts, _ = _sweep_plan(
+        graph, brokers, strategy, max_failures, step, seed
+    )
     mask = np.zeros(graph.num_nodes, dtype=bool)
     mask[brokers] = True
     surviving = len(brokers)
@@ -130,6 +160,35 @@ def failure_sweep(
         connectivity=np.asarray(connectivity),
         strategy=strategy,
     )
+
+
+def _sweep_plan(
+    graph: ASGraph,
+    brokers: list[int],
+    strategy: str,
+    max_failures: int | None,
+    step: int,
+    seed: SeedLike,
+) -> tuple[list[int], list[int], list[int], int]:
+    """Validate inputs and fix the removal order and reported points."""
+    if strategy not in ("random", "targeted", "degree"):
+        raise AlgorithmError(f"unknown strategy {strategy!r}")
+    brokers = list(dict.fromkeys(int(b) for b in brokers))
+    if not brokers:
+        raise AlgorithmError("broker set must be non-empty")
+    limit = len(brokers) if max_failures is None else min(max_failures, len(brokers))
+    if strategy == "random":
+        rng = ensure_rng(seed)
+        order = [int(b) for b in rng.permutation(brokers)]
+    elif strategy == "degree":
+        degrees = graph.degrees()
+        order = sorted(brokers, key=lambda b: (-int(degrees[b]), b))
+    else:
+        order = coverage_contribution_order(graph, brokers)
+    removed_counts = list(range(0, limit + 1, step))
+    if removed_counts[-1] != limit:
+        removed_counts.append(limit)
+    return brokers, order, removed_counts, limit
 
 
 def single_failure_impact(graph: ASGraph, brokers: list[int]) -> dict:
@@ -202,7 +261,8 @@ def redundant_greedy(graph: ASGraph, budget: int, redundancy: int = 2) -> list[i
     if budget < 1 or budget > graph.num_nodes:
         raise AlgorithmError(f"budget {budget} out of range")
     n = graph.num_nodes
-    hits = np.zeros(n, dtype=np.int64)
+    engine = DominationEngine(graph)
+    hits = engine.hits_view
     chosen: list[int] = []
     chosen_mask = np.zeros(n, dtype=bool)
     import heapq
@@ -228,8 +288,7 @@ def redundant_greedy(graph: ASGraph, budget: int, redundancy: int = 2) -> list[i
             continue
         if -neg_g <= 0:
             break
-        hits[v] += 1
-        hits[graph.neighbors(v)] += 1
+        engine.add_broker(int(v))
         chosen.append(int(v))
         chosen_mask[v] = True
         round_no += 1

@@ -9,7 +9,8 @@ feasibility) so the common workflow is three lines::
     result = BrokerSelector(graph).select("maxsg", budget=60)
     print(result.summary())
 
-Algorithm registry:
+Algorithms resolve through :mod:`repro.core.registry`; the built-in
+registrations are:
 
 =============  ==========================================================
 name           implementation
@@ -30,21 +31,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core import baselines
-from repro.core.approx_mcbg import approx_mcbg
+from repro.core import registry
 from repro.core.connectivity import connectivity_curve, saturated_connectivity
 from repro.core.coverage import coverage_fraction, coverage_value
 from repro.core.domination import brokers_mutually_connected
-from repro.core.greedy import lazy_greedy_max_coverage
-from repro.core.maxsg import maxsg
-from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.utils.rng import SeedLike
 
-#: Algorithms that require a ``budget`` argument.
-BUDGETED_ALGORITHMS = ("greedy", "approx", "maxsg", "degree", "pagerank", "random")
+#: Algorithms that require a ``budget`` argument (registry order).
+BUDGETED_ALGORITHMS = registry.algorithm_names(budgeted=True)
 #: Algorithms whose size is determined by the graph itself.
-UNBUDGETED_ALGORITHMS = ("sc", "ixp", "tier1")
+UNBUDGETED_ALGORITHMS = registry.algorithm_names(budgeted=False)
 ALL_ALGORITHMS = BUDGETED_ALGORITHMS + UNBUDGETED_ALGORITHMS
 
 
@@ -108,15 +105,26 @@ class BrokerSelector:
         live ``Generator`` has unknowable state, so it bypasses the cache.
         """
         graph = self._graph
+        spec = registry.get_algorithm(algorithm)
+        declared = {p.name for p in spec.params}
+        knobs = {
+            name: value
+            for name, value in (
+                ("beta", beta),
+                ("seed", seed),
+                ("degree_threshold", degree_threshold),
+            )
+            if name in declared
+        }
         cache_params = None
         if cache is not None and (seed is None or isinstance(seed, int)):
+            # Only knobs the algorithm declares enter the key, so runs
+            # that differ in an irrelevant knob share one cache entry.
             cache_params = {
                 "algorithm": algorithm,
                 "budget": budget,
-                "beta": beta,
-                "seed": seed,
-                "degree_threshold": degree_threshold,
                 "evaluate": evaluate,
+                "params": registry.canonical_params(algorithm, knobs),
             }
             hit = cache.get(
                 graph_digest=graph.digest(),
@@ -133,35 +141,7 @@ class BrokerSelector:
                     mcbg_feasible=bool(hit["mcbg_feasible"]),
                     parameters=dict(hit["parameters"]),
                 )
-        params: dict = {}
-        if algorithm in BUDGETED_ALGORITHMS:
-            if budget is None:
-                raise AlgorithmError(f"algorithm {algorithm!r} requires a budget")
-            if algorithm == "greedy":
-                brokers = lazy_greedy_max_coverage(graph, budget)
-            elif algorithm == "approx":
-                result = approx_mcbg(graph, budget, beta=beta)
-                brokers = result.brokers
-                params = {"beta": beta, "x_star": result.x_star, "root": result.root}
-            elif algorithm == "maxsg":
-                brokers = maxsg(graph, budget)
-            elif algorithm == "degree":
-                brokers = baselines.degree_based(graph, budget)
-            elif algorithm == "pagerank":
-                brokers = baselines.pagerank_based(graph, budget)
-            else:  # random
-                brokers = baselines.random_brokers(graph, budget, seed=seed)
-        elif algorithm == "sc":
-            brokers = baselines.set_cover_dominating(graph, seed=seed)
-        elif algorithm == "ixp":
-            brokers = baselines.ixp_based(graph, degree_threshold=degree_threshold)
-            params = {"degree_threshold": degree_threshold}
-        elif algorithm == "tier1":
-            brokers = baselines.tier1_only(graph)
-        else:
-            raise AlgorithmError(
-                f"unknown algorithm {algorithm!r}; choose from {ALL_ALGORITHMS}"
-            )
+        brokers, params = registry.run_algorithm(algorithm, graph, budget, **knobs)
 
         if not evaluate:
             result = SelectionResult(

@@ -25,6 +25,7 @@ import heapq
 import numpy as np
 
 from repro.core.domination import dominated_adjacency
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.graph.csr import connected_components
@@ -71,34 +72,42 @@ class WeightedCoverageOracle:
             raise AlgorithmError("weights must be non-negative")
         self._graph = graph
         self._weights = weights
-        self._covered = np.zeros(graph.num_nodes, dtype=bool)
+        self._engine = DominationEngine(graph)
         self._brokers: list[int] = []
 
     @property
     def covered_mask(self) -> np.ndarray:
-        return self._covered
+        return self._engine.covered_view
 
     @property
     def brokers(self) -> list[int]:
         return list(self._brokers)
 
     def coverage(self) -> float:
-        return float(self._weights[self._covered].sum())
+        return float(self._weights[self._engine.covered_view].sum())
 
     def marginal_gain(self, v: int) -> float:
-        gain = 0.0 if self._covered[v] else float(self._weights[v])
+        covered = self._engine.covered_view
+        gain = 0.0 if covered[v] else float(self._weights[v])
         neigh = self._graph.neighbors(v)
-        fresh = neigh[~self._covered[neigh]]
+        fresh = neigh[~covered[neigh]]
         return gain + float(self._weights[fresh].sum())
 
     def add(self, v: int) -> float:
         if not 0 <= v < self._graph.num_nodes:
             raise AlgorithmError(f"broker id {v} out of range")
         gain = self.marginal_gain(v)
-        self._covered[v] = True
-        self._covered[self._graph.neighbors(v)] = True
+        self._engine.add_broker(int(v))
         self._brokers.append(int(v))
         return gain
+
+    def add_newly(self, v: int) -> np.ndarray:
+        """Add ``v`` and return the newly covered vertex ids."""
+        if not 0 <= v < self._graph.num_nodes:
+            raise AlgorithmError(f"broker id {v} out of range")
+        newly = self._engine.add_broker(int(v))
+        self._brokers.append(int(v))
+        return newly
 
 
 def weighted_greedy(
@@ -180,11 +189,10 @@ def weighted_maxsg(
                 heapq.heappush(heap, (-gain, v))
 
     def add(v: int, round_no: int) -> None:
-        before = oracle.covered_mask.copy()
-        oracle.add(v)
+        # The engine reports the newly covered vertices directly.
+        fresh = oracle.add_newly(v)
         in_set[v] = True
         chosen.append(v)
-        fresh = np.flatnonzero(oracle.covered_mask & ~before)
         frontier = set(int(x) for x in fresh)
         for u in fresh:
             frontier.update(int(x) for x in graph.neighbors(int(u)))

@@ -16,16 +16,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.approx_mcbg import approx_mcbg
-from repro.core.baselines import (
-    degree_based,
-    ixp_based,
-    pagerank_based,
-    set_cover_dominating,
-    tier1_only,
-)
+from repro.core.baselines import set_cover_dominating
 from repro.core.connectivity import connectivity_curve
 from repro.core.maxsg import maxsg
+from repro.core.registry import get_algorithm, run_algorithm
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, register
 from repro.experiments.sweeps import (
@@ -69,14 +63,24 @@ def run_fig2b(config: ExperimentConfig) -> ExperimentResult:
     budget = config.broker_budgets()["1.9%"]
     hops = list(range(1, config.max_hops + 1))
 
-    algorithms = {
-        "MaxSG": maxsg(graph, budget),
-        "Approx (Alg. 2)": approx_mcbg(graph, budget, beta=config.beta).brokers,
-        "Degree-Based": degree_based(graph, budget),
-        "PageRank-Based": pagerank_based(graph, budget),
-        "IXPB (all IXPs)": ixp_based(graph),
-        "Tier1Only": tier1_only(graph),
-    }
+    # Display label -> (registered algorithm, extra knobs); every entry
+    # resolves through the registry so fig2b's roster and the CLI's
+    # ``repro algorithms`` listing cannot drift apart.
+    roster = (
+        ("MaxSG", "maxsg", {}),
+        ("Approx (Alg. 2)", "approx", {"beta": config.beta}),
+        ("Degree-Based", "degree", {}),
+        ("PageRank-Based", "pagerank", {}),
+        ("IXPB (all IXPs)", "ixp", {}),
+        ("Tier1Only", "tier1", {}),
+    )
+    algorithms = {}
+    for label, name, knobs in roster:
+        spec = get_algorithm(name)
+        brokers, _ = run_algorithm(
+            name, graph, budget=budget if spec.budgeted else None, **knobs
+        )
+        algorithms[label] = brokers
     free = connectivity_curve(
         graph, None, max_hops=config.max_hops,
         num_sources=config.num_sources, seed=config.seed,

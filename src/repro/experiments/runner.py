@@ -463,13 +463,21 @@ _EXPERIMENT_CACHE_TAG = "experiment"
 
 
 def _experiment_cache_params(config: ExperimentConfig) -> dict:
-    """The config knobs an experiment's output can depend on."""
+    """The config knobs an experiment's output can depend on.
+
+    The algorithm-registry fingerprint rides along: a changed roster or
+    default knob means cached experiment outputs may no longer match
+    what the code would produce.
+    """
+    from repro.core.registry import registry_fingerprint
+
     return {
         "scale": config.scale,
         "seed": config.seed,
         "num_sources": config.num_sources,
         "max_hops": config.max_hops,
         "beta": config.beta,
+        "registry": registry_fingerprint(),
     }
 
 

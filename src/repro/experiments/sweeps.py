@@ -137,6 +137,7 @@ def record_from_sweep(
     seed: int = 0,
     params: dict | None = None,
     elapsed: float | None = None,
+    algorithm: str | None = None,
 ) -> RunRecord:
     """The ledger :class:`~repro.obs.ledger.RunRecord` for one sweep run.
 
@@ -145,7 +146,22 @@ def record_from_sweep(
     cache-dependent drift trips the exact regression gate.  Cache
     hit/miss counts land in ``counters`` (they describe the run, not the
     content).
+
+    ``algorithm`` names a registered selection algorithm; the record then
+    embeds its canonical descriptor (name + defaulted parameters) from
+    :mod:`repro.core.registry`, so ledger rows stay comparable even when
+    an algorithm grows new knobs.
     """
+    merged = dict(params or {})
+    if algorithm is not None:
+        from repro.core.registry import canonical_params, get_algorithm
+
+        spec = get_algorithm(algorithm)
+        merged["algorithm"] = {
+            "name": spec.name,
+            "params": canonical_params(algorithm),
+            "capabilities": list(spec.capabilities),
+        }
     return RunRecord(
         experiment=name,
         kind="sweep",
@@ -153,7 +169,7 @@ def record_from_sweep(
         seed=seed,
         git_rev=git_revision(),
         graph_digest=graph.digest() if graph is not None else "",
-        params=dict(params or {}),
+        params=merged,
         counters={
             "sweep.cache_hits": sweep.cache_hits,
             "sweep.cache_misses": sweep.cache_misses,

@@ -22,12 +22,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.connectivity import saturated_connectivity
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
-from repro.graph.csr import build_csr
 from repro.resilience.faults import FaultEvent, FaultKind
-from repro.simulation.churn import MutableTopology
 
 
 @dataclass(frozen=True)
@@ -65,11 +63,12 @@ class RepairRecord:
 class SelfHealingBrokerSet:
     """Broker set + degraded topology under a fault stream.
 
-    The topology view is a :class:`MutableTopology` (link cuts applied)
-    mirrored by a numpy edge-alive mask so the dominated graph ``B ⊙ A``
-    can be rebuilt vectorized for each connectivity probe.  Crashed
-    brokers are parked in a ``down`` set: they stop dominating edges but
-    may return via ``BROKER_UP`` (flapping), at which point they resume
+    All state lives in one :class:`~repro.core.engine.DominationEngine`:
+    faults and repairs patch it per event (O(affected neighborhood))
+    instead of rebuilding masks, and connectivity probes after a repair
+    are O(1) pair-sum queries against its union-find.  Crashed brokers
+    are parked in a ``down`` set: they stop dominating edges but may
+    return via ``BROKER_UP`` (flapping), at which point they resume
     service — replacements recruited meanwhile simply stay.
     """
 
@@ -88,16 +87,9 @@ class SelfHealingBrokerSet:
             if not 0 <= b < graph.num_nodes:
                 raise AlgorithmError(f"broker id {b} out of range")
         self.policy = policy or SlaPolicy()
-        self._topo = MutableTopology(graph)
-        self._edge_alive = np.ones(graph.num_edges, dtype=bool)
-        self._edge_index = {
-            (min(int(u), int(v)), max(int(u), int(v))): i
-            for i, (u, v) in enumerate(zip(graph.edge_src, graph.edge_dst))
-        }
+        self._engine = DominationEngine(graph, brokers)
         self._active = set(brokers)
         self._down: set[int] = set()
-        self._mask = np.zeros(graph.num_nodes, dtype=bool)
-        self._mask[brokers] = True
         self.added: list[int] = []
         self.repairs: list[RepairRecord] = []
         self.baseline = self.connectivity()
@@ -117,23 +109,18 @@ class SelfHealingBrokerSet:
     def sla_target(self) -> float:
         return self.policy.threshold * self.baseline
 
+    @property
+    def engine(self) -> DominationEngine:
+        """The backing mutable domination state."""
+        return self._engine
+
     def connectivity(self) -> float:
         """Saturated connectivity of the degraded dominated graph."""
-        src, dst = self._graph.edge_src, self._graph.edge_dst
-        keep = self._edge_alive & (self._mask[src] | self._mask[dst])
-        matrix = build_csr(
-            self._graph.num_nodes, src[keep], dst[keep], symmetric=True
-        )
-        return saturated_connectivity(self._graph, matrix=matrix.to_scipy())
+        return self._engine.saturated_connectivity()
 
     def covered_mask(self) -> np.ndarray:
         """Vertices covered by the active brokers on the degraded topology."""
-        src, dst = self._graph.edge_src, self._graph.edge_dst
-        s, d = src[self._edge_alive], dst[self._edge_alive]
-        covered = self._mask.copy()
-        covered[d[self._mask[s]]] = True
-        covered[s[self._mask[d]]] = True
-        return covered
+        return self._engine.covered_view.copy()
 
     # ------------------------------------------------------------------
     # Fault application
@@ -145,21 +132,17 @@ class SelfHealingBrokerSet:
             if event.node in self._active:
                 self._active.discard(event.node)
                 self._down.add(event.node)
-                self._mask[event.node] = False
+                self._engine.remove_broker(event.node)
         elif event.kind is FaultKind.BROKER_UP:
             assert event.node is not None
             if event.node in self._down:
                 self._down.discard(event.node)
                 self._active.add(event.node)
-                self._mask[event.node] = True
+                self._engine.add_broker(event.node)
         elif event.kind is FaultKind.LINK_CUT:
             assert event.endpoints is not None
             u, v = event.endpoints
-            key = (min(u, v), max(u, v))
-            idx = self._edge_index.get(key)
-            if idx is not None and self._edge_alive[idx]:
-                self._edge_alive[idx] = False
-                self._topo.remove_link(u, v)
+            self._engine.cut_link(int(u), int(v))
 
     # ------------------------------------------------------------------
     # Repair
@@ -186,7 +169,7 @@ class SelfHealingBrokerSet:
             if candidate is None:
                 break
             self._active.add(candidate)
-            self._mask[candidate] = True
+            self._engine.add_broker(candidate)
             self.added.append(candidate)
             added.append(candidate)
             budget -= 1
@@ -210,13 +193,13 @@ class SelfHealingBrokerSet:
         vertices when faults have detached whole regions.  Crashed
         brokers are not eligible — they are down, not for hire.
         """
-        covered = self.covered_mask()
-        adjacency = self._topo.adjacency
+        engine = self._engine
+        covered = engine.covered_view
         candidates: set[int] = set()
         for v in np.flatnonzero(covered):
             v = int(v)
             candidates.add(v)
-            candidates |= adjacency.get(v, set())
+            candidates.update(int(u) for u in engine.alive_neighbors(v))
         candidates -= self._active
         candidates -= self._down
         if not candidates:
@@ -225,8 +208,7 @@ class SelfHealingBrokerSet:
             ) - self._active - self._down
         best, best_gain = None, 0
         for c in sorted(candidates):
-            closed = adjacency.get(c, set()) | {c}
-            gain = sum(1 for v in closed if not covered[v])
+            gain = engine.marginal_gain(c)
             if gain > best_gain:
                 best, best_gain = c, gain
         return best
@@ -238,10 +220,13 @@ class SelfHealingBrokerSet:
         cuts can split it while every vertex still touches a broker.  A
         new broker then helps by dominating the edges *around* itself, so
         the top-``probe_limit`` highest-degree non-brokers are scored by
-        their actual connectivity delta (exact, but bounded).
+        their actual connectivity delta.  The engine answers each probe
+        in O(deg) from its union-find (:meth:`connectivity_if_added`)
+        instead of a full dominated-graph rebuild per probe.
         """
+        alive_degrees = self._engine.alive_degrees()
         degrees = {
-            v: len(adj) for v, adj in self._topo.adjacency.items()
+            v: int(alive_degrees[v]) for v in range(self._graph.num_nodes)
             if v not in self._active and v not in self._down
         }
         if not degrees:
@@ -249,9 +234,7 @@ class SelfHealingBrokerSet:
         probes = sorted(degrees, key=lambda v: (-degrees[v], v))[:probe_limit]
         best, best_value = None, current
         for c in probes:
-            self._mask[c] = True
-            value = self.connectivity()
-            self._mask[c] = False
+            value = self._engine.connectivity_if_added(c)
             if value > best_value + 1e-15:
                 best, best_value = c, value
         return best

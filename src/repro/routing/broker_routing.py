@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.domination import broker_mask, dominated_adjacency
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.graph.csr import UNREACHABLE, bfs_levels, bfs_parents, build_csr
@@ -65,23 +65,51 @@ class BrokeredRoute:
 
 
 class BrokerRouter:
-    """Serves B-dominated routes over a fixed topology and broker set."""
+    """Serves B-dominated routes over a fixed topology and broker set.
+
+    The dominated adjacency, broker mask, and broker-interior adjacency
+    all come from a :class:`~repro.core.engine.DominationEngine` snapshot,
+    so the data plane and the selection algorithms share one definition
+    of ``B ⊙ A``.  :meth:`from_engine` builds a router over a *degraded*
+    engine (failed nodes, cut links) — routes then use only alive edges.
+    """
 
     def __init__(self, graph: ASGraph, brokers: list[int]) -> None:
         if not brokers:
             raise AlgorithmError("broker set must be non-empty")
-        self._graph = graph
-        self._brokers = list(dict.fromkeys(int(b) for b in brokers))
-        self._mask = broker_mask(graph, self._brokers)
-        self._dominated = dominated_adjacency(graph, self._brokers)
+        for b in brokers:
+            if not 0 <= int(b) < graph.num_nodes:
+                raise AlgorithmError(f"broker id {b} out of range")
+        self._init_from_engine(
+            DominationEngine(graph, dict.fromkeys(int(b) for b in brokers))
+        )
+
+    @classmethod
+    def from_engine(cls, engine: DominationEngine) -> "BrokerRouter":
+        """Router over the engine's *current* (possibly degraded) state.
+
+        The router is a snapshot: later engine mutations do not update it.
+        """
+        if not engine.brokers():
+            raise AlgorithmError("broker set must be non-empty")
+        router = cls.__new__(cls)
+        router._init_from_engine(engine)
+        return router
+
+    def _init_from_engine(self, engine: DominationEngine) -> None:
+        n = engine.num_nodes
+        self._graph = engine.graph
+        self._num_nodes = n
+        self._brokers = engine.brokers()
+        self._mask = engine.effective_broker_mask().copy()
+        src, dst = engine.dominated_alive_edges()
+        self._dominated = build_csr(n, src, dst)
         # Broker-interior adjacency: edges whose *interior use* is free for
         # the coalition — both endpoints brokers, or one endpoint broker
         # and the other an endpoint of the route (handled at query time by
         # allowing the first/last hop to leave the broker sub-adjacency).
-        keep = self._mask[graph.edge_src] & self._mask[graph.edge_dst]
-        self._broker_adj = build_csr(
-            graph.num_nodes, graph.edge_src[keep], graph.edge_dst[keep]
-        )
+        keep = self._mask[src] & self._mask[dst]
+        self._broker_adj = build_csr(n, src[keep], dst[keep])
 
     @property
     def brokers(self) -> list[int]:
@@ -94,7 +122,7 @@ class BrokerRouter:
         equal length when one exists; otherwise returns the shortest
         dominated route and reports which interior vertices must be hired.
         """
-        n = self._graph.num_nodes
+        n = self._num_nodes
         if not (0 <= source < n and 0 <= destination < n):
             raise AlgorithmError("source/destination out of range")
         if source == destination:
@@ -118,15 +146,20 @@ class BrokerRouter:
 
     def _broker_only_path(self, source: int, destination: int) -> list[int] | None:
         """Shortest path whose interior is entirely inside the broker set."""
-        # BFS over brokers, seeded by the source's broker neighbours.
-        graph = self._graph
-        seeds = [int(v) for v in graph.neighbors(source) if self._mask[v]]
+        # BFS over brokers, seeded by the source's broker neighbours.  An
+        # endpoint-to-broker edge is dominated by definition, so the
+        # dominated adjacency holds exactly the gate edges we need.
+        seeds = [
+            int(v) for v in self._dominated.neighbors(source) if self._mask[v]
+        ]
         if self._mask[source]:
             seeds.append(source)
         if not seeds:
             return None
         dest_gate = set(
-            int(v) for v in graph.neighbors(destination) if self._mask[v]
+            int(v)
+            for v in self._dominated.neighbors(destination)
+            if self._mask[v]
         )
         if self._mask[destination]:
             dest_gate.add(destination)

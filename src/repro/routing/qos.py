@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.domination import broker_mask, dominated_edge_mask
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.types import Relationship
@@ -97,13 +97,23 @@ def _build_weighted_adjacency(
     metrics: LinkMetrics,
     brokers: list[int] | None,
     min_bandwidth_gbps: float,
+    engine: DominationEngine | None = None,
 ) -> list[list[tuple[int, float, float]]]:
-    """Adjacency lists of (neighbor, latency, bandwidth), filtered."""
+    """Adjacency lists of (neighbor, latency, bandwidth), filtered.
+
+    ``engine`` routes over a live (possibly degraded) domination state:
+    only alive base edges with an effective broker endpoint survive.
+    Engine extension edges carry no metrics and are not used.
+    """
     n = graph.num_nodes
     keep = metrics.bandwidth_gbps >= min_bandwidth_gbps
-    if brokers is not None:
-        mask = broker_mask(graph, brokers)
-        keep = keep & dominated_edge_mask(graph, mask)
+    if engine is not None:
+        keep = keep & engine.dominated_base_edge_mask()
+    elif brokers is not None:
+        dominated = DominationEngine(
+            graph, dict.fromkeys(int(b) for b in brokers)
+        )
+        keep = keep & dominated.dominated_base_edge_mask()
     adj: list[list[tuple[int, float, float]]] = [[] for _ in range(n)]
     for i in np.flatnonzero(keep):
         u, v = int(graph.edge_src[i]), int(graph.edge_dst[i])
@@ -121,19 +131,23 @@ def qos_shortest_path(
     *,
     brokers: list[int] | None = None,
     min_bandwidth_gbps: float = 0.0,
+    engine: DominationEngine | None = None,
 ) -> QoSPath | None:
     """Minimum-latency (optionally B-dominated) path above a bandwidth floor.
 
     Classic Dijkstra over the filtered adjacency; returns ``None`` when no
     compliant path exists.  ``brokers=None`` searches the full topology —
     the baseline an SLA negotiator compares the brokered offer against.
+    Passing ``engine`` routes over its live (possibly degraded) state.
     """
     n = graph.num_nodes
     if not (0 <= source < n and 0 <= target < n):
         raise AlgorithmError("source/target out of range")
     if source == target:
         return QoSPath([source], 0.0, float("inf"))
-    adj = _build_weighted_adjacency(graph, metrics, brokers, min_bandwidth_gbps)
+    adj = _build_weighted_adjacency(
+        graph, metrics, brokers, min_bandwidth_gbps, engine=engine
+    )
     dist = np.full(n, np.inf)
     parent = np.full(n, -1, dtype=np.int64)
     bottleneck = np.zeros(n)
@@ -175,6 +189,7 @@ def qos_coverage(
     min_bandwidth_gbps: float = 0.0,
     num_pairs: int = 500,
     seed: SeedLike = 0,
+    engine: DominationEngine | None = None,
 ) -> float:
     """Fraction of sampled pairs servable within the QoS budget.
 
@@ -186,7 +201,9 @@ def qos_coverage(
         raise AlgorithmError("max_latency_ms must be positive")
     rng = ensure_rng(seed)
     n = graph.num_nodes
-    adj = _build_weighted_adjacency(graph, metrics, brokers, min_bandwidth_gbps)
+    adj = _build_weighted_adjacency(
+        graph, metrics, brokers, min_bandwidth_gbps, engine=engine
+    )
     served = 0
     # One Dijkstra per sampled source, reused for several targets.
     sources = rng.integers(0, n, size=max(num_pairs // 8, 1))

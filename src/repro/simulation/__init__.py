@@ -4,6 +4,7 @@ from repro.simulation.churn import (
     ChurnEvent,
     ChurnTrace,
     IncrementalBrokerSet,
+    IncrementalBrokerSetReference,
     MutableTopology,
     generate_churn_trace,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "ChurnTrace",
     "generate_churn_trace",
     "IncrementalBrokerSet",
+    "IncrementalBrokerSetReference",
     "MutableTopology",
     "ServiceRequest",
     "MarketplaceReport",

@@ -10,10 +10,13 @@ This module provides the dynamic machinery:
   deltas (stub AS arrivals with providers, AS departures, peering link
   births/deaths) consistent with the generator's structural model;
 * :class:`IncrementalBrokerSet` — maintains a broker set under that
-  stream: applies deltas to a mutable topology view, tracks the covered
-  set incrementally, and *patches* the broker set (greedy, budgeted)
-  when coverage drops below a target — the repair is O(affected
-  neighbourhood), not O(graph).
+  stream: applies deltas to a :class:`repro.core.engine.DominationEngine`,
+  tracks the covered set incrementally, and *patches* the broker set
+  (greedy, budgeted) when coverage drops below a target — the repair is
+  O(affected neighbourhood), not O(graph);
+* :class:`IncrementalBrokerSetReference` — the from-scratch maintainer
+  (recomputes the covered set per query) kept as the differential-testing
+  oracle and the baseline the engine speedup benchmark measures against.
 
 The invariant tests assert that the incrementally maintained coverage
 always equals a from-scratch recomputation on the current topology.
@@ -26,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.types import NodeKind
@@ -203,6 +207,206 @@ class IncrementalBrokerSet:
     highest-gain candidates adjacent to the covered region (the MaxSG
     rule) until the target holds or ``max_brokers`` is reached.  Brokers
     that depart the topology are retired automatically.
+
+    All state lives in one :class:`~repro.core.engine.DominationEngine`:
+    each delta patches the covered mask in O(affected neighbourhood) and
+    :meth:`coverage_fraction` is an O(1) counter read, where the
+    reference maintainer rebuilds the covered set per query.  Departures
+    cut the node's live links before failing it, so an id that later
+    re-arrives comes back bare — the same contract as the reference's
+    adjacency-dict removal.  Repairs scan candidates in sorted order
+    (ties break to the smallest id, as in the self-healing loop), so a
+    seeded trace replays to a bit-identical broker set.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        brokers: list[int],
+        *,
+        coverage_target: float = 0.9,
+        max_brokers: int | None = None,
+    ) -> None:
+        if not 0.0 < coverage_target <= 1.0:
+            raise AlgorithmError("coverage_target must be in (0, 1]")
+        self._brokers = set(int(b) for b in brokers)
+        if not self._brokers:
+            raise AlgorithmError("broker set must be non-empty")
+        self._engine = DominationEngine(graph, sorted(self._brokers))
+        # External id -> engine id, for traces whose arrival ids do not
+        # line up with the engine's dense allocation (and the reverse map
+        # for reporting).  Empty for generator-produced traces.
+        self._alias: dict[int, int] = {}
+        self._rev: dict[int, int] = {}
+        self._target = coverage_target
+        self._max_brokers = max_brokers if max_brokers is not None else len(
+            self._brokers
+        ) * 2
+        self.stats = RepairStats()
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def brokers(self) -> list[int]:
+        return sorted(self._brokers)
+
+    @property
+    def engine(self) -> DominationEngine:
+        """The backing mutable domination state."""
+        return self._engine
+
+    def covered_set(self) -> set[int]:
+        rev = self._rev
+        return {
+            rev.get(int(v), int(v))
+            for v in np.flatnonzero(self._engine.covered_view)
+        }
+
+    def coverage_fraction(self) -> float:
+        return self._engine.coverage_fraction()
+
+    def _engine_id(self, node: int) -> int:
+        return self._alias.get(node, node)
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply(self, event: ChurnEvent) -> None:
+        """Absorb one delta, retiring/repairing brokers as needed."""
+        engine = self._engine
+        if event.kind is ChurnKind.AS_ARRIVAL:
+            assert event.node is not None
+            node = int(event.node)
+            eng = self._engine_id(node)
+            if 0 <= eng < engine.num_nodes:
+                # A known id re-arrives: revive it (bare — its links were
+                # cut on departure) and attach the new neighbours.
+                if not engine.is_alive(eng):
+                    engine.restore_node(eng)
+                for u in event.neighbors:
+                    engine.add_link(eng, self._engine_id(int(u)))
+            else:
+                neighbors = tuple(
+                    self._engine_id(int(u)) for u in event.neighbors
+                )
+                eng = engine.add_node(neighbors)
+                if eng != node:
+                    self._alias[node] = eng
+                    self._rev[eng] = node
+        elif event.kind is ChurnKind.AS_DEPARTURE:
+            assert event.node is not None
+            node = int(event.node)
+            eng = self._engine_id(node)
+            known = 0 <= eng < engine.num_nodes
+            if node in self._brokers:
+                self._brokers.discard(node)
+                if known:
+                    engine.remove_broker(eng)
+                self.stats.brokers_retired += 1
+            if known and engine.is_alive(eng):
+                for u in [int(x) for x in engine.alive_neighbors(eng)]:
+                    engine.cut_link(eng, u)
+                engine.fail_node(eng)
+        elif event.kind is ChurnKind.LINK_UP:
+            assert event.endpoints is not None
+            u, v = (self._engine_id(int(x)) for x in event.endpoints)
+            if 0 <= u < engine.num_nodes and 0 <= v < engine.num_nodes:
+                engine.add_link(u, v)
+        elif event.kind is ChurnKind.LINK_DOWN:
+            assert event.endpoints is not None
+            u, v = (self._engine_id(int(x)) for x in event.endpoints)
+            if (
+                0 <= u < engine.num_nodes
+                and 0 <= v < engine.num_nodes
+                and engine.is_alive(u)
+                and engine.is_alive(v)
+            ):
+                engine.cut_link(u, v)
+        self.stats.events_applied += 1
+        if self.coverage_fraction() < self._target:
+            self._repair()
+
+    def run(self, trace: ChurnTrace) -> RepairStats:
+        """Apply a whole trace; returns the accumulated statistics."""
+        for event in trace.events:
+            self.apply(event)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def _repair(self) -> None:
+        """Greedy patching until the target holds (MaxSG rule).
+
+        Candidates are vertices adjacent to the covered region (keeping
+        the dominating-path invariant); each patch picks the candidate
+        covering the most uncovered vertices.
+        """
+        self.stats.repairs_triggered += 1
+        engine = self._engine
+        while (
+            len(self._brokers) < self._max_brokers
+            and engine.coverage_fraction() < self._target
+        ):
+            covered = engine.covered_view
+            uncovered = np.flatnonzero(engine.alive_view & ~covered)
+            if len(uncovered) == 0:
+                break
+            # Candidate pool: covered vertices and their neighbours (the
+            # connected-growth rule), falling back to uncovered hubs when
+            # churn has detached whole regions.
+            candidates: set[int] = set()
+            for v in np.flatnonzero(covered):
+                v = int(v)
+                candidates.add(v)
+                candidates.update(int(u) for u in engine.alive_neighbors(v))
+            candidates -= {self._engine_id(b) for b in self._brokers}
+            if not candidates:
+                candidates = set(int(v) for v in uncovered)
+            best, best_gain = None, 0
+            for c in sorted(candidates):
+                gain = engine.marginal_gain(c)
+                if gain > best_gain:
+                    best, best_gain = c, gain
+            if best is None:
+                break
+            engine.add_broker(best)
+            self._brokers.add(self._rev.get(best, best))
+            self.stats.brokers_added += 1
+
+    # ------------------------------------------------------------------
+    # Export for verification
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ASGraph:
+        """Materialize the current topology as an immutable ASGraph.
+
+        Node ids are re-packed densely; used by tests to verify the
+        incremental coverage against a from-scratch computation.
+        """
+        engine = self._engine
+        alive = [int(v) for v in np.flatnonzero(engine.alive_view)]
+        index = {v: i for i, v in enumerate(alive)}
+        edges = [(index[u], index[v]) for u, v in engine.alive_edges()]
+        return ASGraph.from_edges(len(alive), edges)
+
+    def snapshot_brokers(self) -> list[int]:
+        """Broker ids re-packed to match :meth:`snapshot`."""
+        engine = self._engine
+        alive = [int(v) for v in np.flatnonzero(engine.alive_view)]
+        index = {v: i for i, v in enumerate(alive)}
+        roster = sorted(self._engine_id(b) for b in self._brokers)
+        return [index[b] for b in roster if b in index]
+
+
+class IncrementalBrokerSetReference:
+    """From-scratch maintainer over a :class:`MutableTopology`.
+
+    Same events, same repair rule, same outputs as
+    :class:`IncrementalBrokerSet`, but every :meth:`coverage_fraction`
+    rebuilds the covered set from the broker roster — O(Σ deg(B)) per
+    query instead of O(1).  Kept as the differential-testing oracle and
+    the baseline the engine speedup benchmark measures against.
     """
 
     def __init__(
@@ -278,12 +482,7 @@ class IncrementalBrokerSet:
     # Repair
     # ------------------------------------------------------------------
     def _repair(self) -> None:
-        """Greedy patching until the target holds (MaxSG rule).
-
-        Candidates are vertices adjacent to the covered region (keeping
-        the dominating-path invariant); each patch picks the candidate
-        covering the most uncovered vertices.
-        """
+        """Greedy patching until the target holds (MaxSG rule)."""
         self.stats.repairs_triggered += 1
         alive = self._topo.alive
         while (
@@ -294,9 +493,6 @@ class IncrementalBrokerSet:
             uncovered = alive - covered
             if not uncovered:
                 break
-            # Candidate pool: covered vertices and their neighbours (the
-            # connected-growth rule), falling back to uncovered hubs when
-            # churn has detached whole regions.
             candidates: set[int] = set()
             for v in covered:
                 candidates.add(v)
@@ -306,7 +502,7 @@ class IncrementalBrokerSet:
             if not candidates:
                 candidates = uncovered
             best, best_gain = None, 0
-            for c in candidates:
+            for c in sorted(candidates):
                 closed = (self._topo.adjacency.get(c, set()) | {c}) & alive
                 gain = len(closed - covered)
                 if gain > best_gain:
@@ -320,11 +516,7 @@ class IncrementalBrokerSet:
     # Export for verification
     # ------------------------------------------------------------------
     def snapshot(self) -> ASGraph:
-        """Materialize the current topology as an immutable ASGraph.
-
-        Node ids are re-packed densely; used by tests to verify the
-        incremental coverage against a from-scratch computation.
-        """
+        """Materialize the current topology as an immutable ASGraph."""
         alive = sorted(self._topo.alive)
         index = {v: i for i, v in enumerate(alive)}
         edges = []

@@ -1,7 +1,7 @@
 """Small shared utilities: seeded RNG plumbing, timers, table rendering."""
 
+from repro.obs.timing import Timer
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.tables import format_table
-from repro.utils.timer import Timer
 
 __all__ = ["ensure_rng", "spawn_rngs", "format_table", "Timer"]

@@ -3,12 +3,21 @@
 The experiment harness, the ``@profiled`` decorator and the runner all
 share one canonical implementation in the observability package.  This
 module remains so that ``from repro.utils.timer import Timer`` keeps
-working; new code should import from :mod:`repro.obs` (which also
-exposes the optional ``metric=`` histogram flush the old class lacked).
+working, but importing it now emits a :class:`DeprecationWarning`; new
+code should import from :mod:`repro.obs` (which also exposes the
+optional ``metric=`` histogram flush the old class lacked).
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.timing import Timer
+
+warnings.warn(
+    "repro.utils.timer is deprecated; import Timer from repro.obs.timing",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["Timer"]

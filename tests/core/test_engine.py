@@ -1,0 +1,196 @@
+"""Unit tests for the mutable domination engine (`repro.core.engine`).
+
+The engine is the single CSR-backed state every algorithm and dynamic
+subsystem now runs on, so these tests pin its contract: incremental
+updates match from-scratch recomputation bit-for-bit, the undo log
+restores exact state, and the legacy free functions agree with it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.connectivity import saturated_connectivity
+from repro.core.coverage import coverage_value, covered_mask
+from repro.core.engine import DominationEngine
+from repro.core.robustness import broker_hit_counts
+from repro.exceptions import AlgorithmError
+
+
+class TestConstruction:
+    def test_empty_roster(self, star10):
+        engine = DominationEngine(star10)
+        assert engine.coverage() == 0
+        assert engine.brokers() == []
+        assert not engine.covered_view.any()
+
+    def test_matches_legacy_coverage(self, tiny_internet):
+        brokers = [0, 5, 17, 100]
+        engine = DominationEngine(tiny_internet, brokers)
+        assert engine.coverage() == coverage_value(tiny_internet, brokers)
+        np.testing.assert_array_equal(
+            engine.covered_view, covered_mask(tiny_internet, brokers)
+        )
+        np.testing.assert_array_equal(
+            engine.hits_view, broker_hit_counts(tiny_internet, brokers)
+        )
+
+    def test_matches_legacy_connectivity(self, tiny_internet):
+        brokers = [0, 5, 17, 100]
+        engine = DominationEngine(tiny_internet, brokers)
+        assert engine.saturated_connectivity() == saturated_connectivity(
+            tiny_internet, brokers
+        )
+
+    def test_out_of_range_broker(self, star10):
+        with pytest.raises(AlgorithmError):
+            DominationEngine(star10, [99])
+
+
+class TestBrokerMutations:
+    def test_add_returns_newly_covered(self, star10):
+        engine = DominationEngine(star10)
+        newly = engine.add_broker(0)
+        assert sorted(int(v) for v in newly) == list(range(10))
+        assert engine.add_broker(0).size == 0  # idempotent no-op
+
+    def test_remove_returns_newly_uncovered(self, star10):
+        engine = DominationEngine(star10, [0, 1])
+        lost = engine.remove_broker(0)
+        # Leaves 2..9 lose coverage; 0 and 1 stay covered via broker 1.
+        assert sorted(int(v) for v in lost) == list(range(2, 10))
+        assert engine.coverage() == 2
+
+    def test_marginal_gain_matches_add(self, tiny_internet):
+        engine = DominationEngine(tiny_internet, [3])
+        for v in (0, 10, 50, 200):
+            gain = engine.marginal_gain(v)
+            assert gain == len(engine.add_broker(v))
+            engine.remove_broker(v)
+
+    def test_add_dead_vertex_raises(self, star10):
+        engine = DominationEngine(star10)
+        engine.fail_node(4)
+        with pytest.raises(AlgorithmError):
+            engine.add_broker(4)
+
+
+class TestTopologyMutations:
+    def test_fail_node_uncovers_leaves(self, star10):
+        engine = DominationEngine(star10, [0])
+        assert engine.coverage() == 10
+        assert engine.fail_node(0)
+        assert engine.coverage() == 0
+        assert engine.num_alive == 9
+        assert not engine.fail_node(0)  # already down
+
+    def test_restore_node_recovers(self, star10):
+        engine = DominationEngine(star10, [0])
+        engine.fail_node(0)
+        assert engine.restore_node(0)
+        assert engine.coverage() == 10
+        assert engine.saturated_connectivity() == 1.0
+
+    def test_cut_and_restore_link(self, star10):
+        engine = DominationEngine(star10, [0])
+        assert engine.cut_link(0, 5)
+        assert engine.coverage() == 9
+        assert not engine.cut_link(0, 5)  # already dead
+        assert engine.restore_link(0, 5)
+        assert engine.coverage() == 10
+
+    def test_add_link_semantics(self, path10):
+        engine = DominationEngine(path10, [0])
+        assert not engine.add_link(3, 3)  # self loop
+        assert not engine.add_link(0, 1)  # exists
+        assert engine.add_link(0, 9)
+        assert engine.is_covered(9)
+        engine.fail_node(4)
+        assert not engine.add_link(4, 7)  # dead endpoint
+
+    def test_add_link_revives_cut_edge(self, star10):
+        engine = DominationEngine(star10, [0])
+        engine.cut_link(0, 3)
+        assert engine.add_link(0, 3)  # revive, not duplicate
+        assert engine.coverage() == 10
+
+    def test_add_node(self, star10):
+        engine = DominationEngine(star10, [0])
+        v = engine.add_node((0,))
+        assert v == 10
+        assert engine.num_nodes == 11
+        assert engine.is_covered(v)
+        assert engine.coverage() == 11
+
+    def test_verify_after_mutations(self, tiny_internet):
+        engine = DominationEngine(tiny_internet, [0, 5, 17])
+        engine.fail_node(5)
+        engine.cut_link(
+            int(tiny_internet.edge_src[0]), int(tiny_internet.edge_dst[0])
+        )
+        engine.add_broker(9)
+        engine.add_node((9, 17))
+        engine.verify()  # raises on any incremental drift
+
+
+class TestConnectivity:
+    def test_connectivity_if_added_matches_actual(self, tiny_internet):
+        engine = DominationEngine(tiny_internet, [3, 40])
+        for v in (0, 7, 101, 300):
+            probe = engine.connectivity_if_added(v)
+            token = engine.checkpoint()
+            engine.add_broker(v)
+            assert engine.saturated_connectivity() == probe
+            engine.rollback(token)
+
+    def test_incremental_after_growth(self, tiny_internet):
+        engine = DominationEngine(tiny_internet, [3])
+        base = engine.saturated_connectivity()
+        engine.add_broker(40)
+        grown = engine.saturated_connectivity()
+        assert grown >= base
+        assert grown == saturated_connectivity(tiny_internet, [3, 40])
+
+
+class TestCheckpointRollback:
+    def test_rollback_restores_exact_state(self, tiny_internet):
+        engine = DominationEngine(tiny_internet, [0, 5, 17])
+        covered = engine.covered_view.copy()
+        hits = engine.hits_view.copy()
+        conn = engine.saturated_connectivity()
+        token = engine.checkpoint()
+        engine.add_broker(9)
+        engine.fail_node(17)
+        engine.cut_link(
+            int(tiny_internet.edge_src[4]), int(tiny_internet.edge_dst[4])
+        )
+        engine.remove_broker(0)
+        engine.rollback(token)
+        np.testing.assert_array_equal(engine.covered_view, covered)
+        np.testing.assert_array_equal(engine.hits_view, hits)
+        assert engine.brokers() == [0, 5, 17]
+        assert engine.saturated_connectivity() == conn
+        engine.verify()
+
+    def test_nested_checkpoints(self, star10):
+        engine = DominationEngine(star10, [0])
+        outer = engine.checkpoint()
+        engine.fail_node(3)
+        inner = engine.checkpoint()
+        engine.remove_broker(0)
+        engine.rollback(inner)
+        assert engine.brokers() == [0]
+        assert not engine.is_alive(3)
+        engine.rollback(outer)
+        assert engine.is_alive(3)
+        assert engine.coverage() == 10
+
+    def test_rollback_of_dead_broker_removal(self, star10):
+        """Removing a roster entry on a dead node must undo cleanly."""
+        engine = DominationEngine(star10, [0, 3])
+        token = engine.checkpoint()
+        engine.fail_node(3)
+        engine.remove_broker(3)
+        engine.rollback(token)
+        assert engine.brokers() == [0, 3]
+        assert engine.is_alive(3)
+        engine.verify()

@@ -5,9 +5,9 @@ import time
 import numpy as np
 import pytest
 
+from repro.obs.timing import Timer
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.tables import format_percent, format_table
-from repro.utils.timer import Timer
 
 
 class TestRNG:
@@ -77,11 +77,26 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             Timer().stop()
 
-    def test_is_the_obs_timer(self):
-        """The old import path stays alive as an alias for repro.obs.Timer."""
-        from repro.obs.timing import Timer as ObsTimer
+    def test_legacy_module_warns_and_aliases(self):
+        """``repro.utils.timer`` still works but warns on import."""
+        import importlib
+        import warnings
 
-        assert Timer is ObsTimer
+        import repro.utils.timer as legacy
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = importlib.reload(legacy)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert legacy.Timer is Timer
+
+    def test_package_export_is_the_obs_timer(self):
+        """``repro.utils.Timer`` aliases the canonical obs implementation."""
+        from repro.utils import Timer as UtilsTimer
+
+        assert UtilsTimer is Timer
 
     def test_metric_flushes_into_registry(self):
         from repro.obs import get_registry
