@@ -1,0 +1,117 @@
+"""Bench X8 — extension: disruption time, broker plane vs BGP (fig6).
+
+The headline robustness claim: when brokers fail, the broker control
+plane re-stitches connectivity in roughly one control round trip, while
+the BGP baseline path-explores across MRAI rounds.  The fast benchmark
+times the full (fault kind x replicate) sweep and asserts the medians
+separate; the slow one widens the replicate pool for a denser CDF.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.maxsg import maxsg
+from repro.experiments.convergence import (
+    FAULT_KINDS,
+    build_outage_schedule,
+    disruption_times,
+    run_disruption_sweep,
+    summarize_cells,
+)
+from repro.simulation.convergence import (
+    BGPConvergenceSimulator,
+    BrokerConvergenceSimulator,
+)
+
+
+@pytest.fixture(scope="module")
+def brokers(config, warm_graph):
+    return maxsg(warm_graph, config.broker_budgets()["1.9%"])
+
+
+def _render(cells) -> str:
+    rows = summarize_cells(cells)
+    header = ("kind", "model", "TTFR", "TTC", "pair-s dark", "msgs")
+    widths = [max(len(str(r[i])) for r in [header, *rows]) for i in range(6)]
+    lines = ["  ".join(str(c).ljust(w) for c, w in zip(r, widths))
+             for r in [header, *rows]]
+    return "\n".join(lines)
+
+
+def test_convergence_disruption(benchmark, config, warm_graph, brokers):
+    cells = run_once(
+        benchmark, run_disruption_sweep, warm_graph, brokers, seed=config.seed
+    )
+    print("\n" + _render(cells))
+    broker_ttc = disruption_times(cells, "broker")
+    bgp_ttc = disruption_times(cells, "bgp")
+    # Cells whose outage never moves the darkness curve report no TTC
+    # (a link cut the topology absorbs outright) and drop out of the
+    # sample; most cells must still land one.
+    assert len(FAULT_KINDS) <= len(broker_ttc) <= len(FAULT_KINDS) * 3
+    assert len(FAULT_KINDS) <= len(bgp_ttc) <= len(FAULT_KINDS) * 3
+    # A regional outage always breaches the SLA, so it cleanly shows
+    # the shape: one control round trip vs MRAI-paced path exploration.
+    regional = [c for c in cells if c["kind"] == "regional"]
+    assert statistics.median(
+        disruption_times(regional, "broker")
+    ) < statistics.median(disruption_times(regional, "bgp"))
+    # Acceptance (small profile and up): broker median disruption over
+    # *all* fault kinds strictly below the BGP baseline's.  The tiny
+    # profile samples too few BGP destinations for a pooled median —
+    # a targeted outage there barely touches the sampled data plane.
+    if config.scale != "tiny":
+        assert statistics.median(broker_ttc) < statistics.median(bgp_ttc)
+    # The sweep actually exercised both control planes.  (A single
+    # link-cut cell may legitimately send no BGP messages when none of
+    # its severed links carry a best path to a sampled destination.)
+    assert sum(cell["bgp"].messages_sent for cell in cells) > 0
+    for cell in cells:
+        assert cell["broker"].events_processed > 0
+
+
+def test_convergence_bit_identical(config, warm_graph, brokers):
+    """Two same-seed runs of either model emit byte-identical reports."""
+    schedule = build_outage_schedule(
+        warm_graph, list(brokers), "targeted", config.seed
+    )
+    a = BrokerConvergenceSimulator(
+        warm_graph, list(brokers), schedule, seed=config.seed
+    ).run()
+    b = BrokerConvergenceSimulator(
+        warm_graph, list(brokers), schedule, seed=config.seed
+    ).run()
+    assert a.digest() == b.digest()
+    c = BGPConvergenceSimulator(warm_graph, schedule, seed=config.seed).run()
+    d = BGPConvergenceSimulator(warm_graph, schedule, seed=config.seed).run()
+    assert c.digest() == d.digest()
+
+
+@pytest.mark.slow
+def test_convergence_cdf(benchmark, config, warm_graph, brokers):
+    """Dense disruption-time CDF: 8 replicates per fault kind."""
+    cells = run_once(
+        benchmark,
+        run_disruption_sweep,
+        warm_graph,
+        brokers,
+        replicates=8,
+        seed=config.seed,
+    )
+    broker_ttc = disruption_times(cells, "broker")
+    bgp_ttc = disruption_times(cells, "bgp")
+    for name, ttc in (("broker", broker_ttc), ("bgp", bgp_ttc)):
+        q = statistics.quantiles(ttc, n=4)
+        print(f"\n{name}: p25={q[0]:.2f}s p50={q[1]:.2f}s p75={q[2]:.2f}s "
+              f"max={max(ttc):.2f}s (n={len(ttc)})")
+    # The SLA-breaching incident class separates at every quantile.
+    regional = [c for c in cells if c["kind"] == "regional"]
+    assert statistics.median(
+        disruption_times(regional, "broker")
+    ) < statistics.median(disruption_times(regional, "bgp"))
+    if config.scale != "tiny":
+        assert statistics.median(broker_ttc) < statistics.median(bgp_ttc)
+    # The gap holds at the tail too, not just the middle of the CDF.
+    assert sorted(broker_ttc)[-1] <= sorted(bgp_ttc)[-1]

@@ -354,6 +354,125 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convergence(args: argparse.Namespace) -> int:
+    from repro.core.maxsg import maxsg
+    from repro.experiments.convergence import (
+        FAULT_KINDS,
+        disruption_times,
+        run_disruption_sweep,
+        summarize_cells,
+    )
+    from repro.obs import Timer
+    from repro.resilience import SlaPolicy
+    from repro.simulation.convergence import LatencyModel
+    from repro.utils.tables import format_table
+
+    graph = load_internet(args.scale, seed=args.seed)
+    budget = args.budget or max(1, round(0.019 * graph.num_nodes))
+    brokers = maxsg(graph, budget)
+    kinds = FAULT_KINDS if args.kind == "all" else (args.kind,)
+    repair_budget = args.repair_budget or max(4, budget // 8)
+    latency = LatencyModel(mrai=args.mrai, loss_prob=args.loss_prob)
+    policy = SlaPolicy(threshold=args.sla, repair_budget=repair_budget)
+    with Timer() as timer:
+        cells = run_disruption_sweep(
+            graph,
+            brokers,
+            kinds=kinds,
+            replicates=max(1, args.replicates),
+            seed=args.seed,
+            latency=latency,
+            policy=policy,
+            num_destinations=args.destinations,
+        )
+    summary = format_table(
+        ["fault kind", "model", "med TTFR", "med TTC",
+         "med pair-s dark", "med msgs"],
+        summarize_cells(cells),
+        title=(
+            f"Disruption time, |B|={len(brokers)} on {args.scale} "
+            f"({args.replicates} replicate(s) per kind)"
+        ),
+    )
+    print(summary)
+    disruption = {
+        model: disruption_times(cells, model) for model in ("broker", "bgp")
+    }
+    cdf_rows = []
+    for model, times in disruption.items():
+        if not times:
+            cdf_rows.append((model, "-", "-", "-", "-", "-"))
+            continue
+        q = _quantile_row(times)
+        cdf_rows.append((model, *q))
+    cdf = format_table(
+        ["model", "min", "p25", "median", "p75", "max"],
+        cdf_rows,
+        title="Time-to-full-convergence distribution (seconds after first fault)",
+    )
+    print(cdf)
+    ledger = _ledger_from_args(args)
+    if ledger is not None:
+        import hashlib
+
+        from repro.obs.ledger import (
+            RunRecord,
+            git_revision,
+            now,
+            summarize_observation,
+        )
+
+        digest_material = "\n".join(
+            [summary, cdf]
+            + [cell[m].digest() for cell in cells for m in ("broker", "bgp")]
+        )
+        ledger.append(RunRecord(
+            experiment="convergence",
+            kind="convergence",
+            scale=args.scale,
+            seed=args.seed,
+            git_rev=git_revision(),
+            graph_digest=graph.digest(),
+            params={
+                "budget": budget,
+                "kinds": list(kinds),
+                "replicates": args.replicates,
+                "destinations": args.destinations,
+                "sla": args.sla,
+                "latency": latency.to_params(),
+                "disruption": disruption,
+            },
+            counters={
+                "convergence.cells": len(cells),
+                "convergence.broker.messages": sum(
+                    c["broker"].messages_sent for c in cells
+                ),
+                "convergence.bgp.messages": sum(
+                    c["bgp"].messages_sent for c in cells
+                ),
+            },
+            timings={"experiment.seconds": summarize_observation(timer.elapsed)},
+            result_digest=hashlib.sha256(
+                digest_material.encode()
+            ).hexdigest(),
+            ts=now(),
+        ))
+    return 0
+
+
+def _quantile_row(times: list[float]) -> tuple[str, str, str, str, str]:
+    import statistics
+
+    qs = statistics.quantiles(times, n=4) if len(times) > 1 else [times[0]] * 3
+    return (
+        f"{min(times):.2f}s",
+        f"{qs[0]:.2f}s",
+        f"{statistics.median(times):.2f}s",
+        f"{qs[2]:.2f}s",
+        f"{max(times):.2f}s",
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig
     from repro.obs import Timer
@@ -684,6 +803,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay this many seeded campaigns (seed, seed+1, ...)")
     _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_resilience)
+
+    p = sub.add_parser(
+        "convergence",
+        help="disruption time under failure: broker control plane "
+             "vs message-level BGP (fig6)",
+    )
+    p.add_argument("--scale", choices=available_scales(), default="tiny")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--budget", type=int, default=None,
+                   help="broker-set size (default: 1.9%% of nodes)")
+    p.add_argument("--kind", default="all",
+                   choices=("all", "targeted", "regional", "linkcut"),
+                   help="fault kind (default: all three)")
+    p.add_argument("--replicates", type=int, default=3,
+                   help="seeded outages per fault kind (seed, seed+1, ...)")
+    p.add_argument("--destinations", type=int, default=6,
+                   help="sampled BGP destinations (per-message state cost)")
+    p.add_argument("--sla", type=float, default=0.95,
+                   help="SLA the broker controller defends")
+    p.add_argument("--repair-budget", type=int, default=None,
+                   help="recruits per incident (default: budget/8, min 4)")
+    p.add_argument("--mrai", type=float, default=2.0,
+                   help="BGP minimum route advertisement interval (seconds)")
+    p.add_argument("--loss-prob", type=float, default=0.0,
+                   help="broker control-message loss probability")
+    _add_parallel_flags(p)
+    p.set_defaults(fn=_cmd_convergence)
 
     p = sub.add_parser(
         "report",

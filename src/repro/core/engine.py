@@ -517,6 +517,29 @@ class DominationEngine:
         pair_sum = self._pair_sum + merged * (merged - 1) - before
         return pair_sum / (n * (n - 1))
 
+    def component_labels(self) -> np.ndarray:
+        """Canonical component labels of the dominated subgraph ``B ⊙ A``.
+
+        Each vertex is labelled with the *smallest vertex id* in its
+        component, so the labelling is independent of union-find
+        internals and mutation history: two engines represent the same
+        dominated-graph partition iff their label arrays are equal.
+        Dead and isolated vertices are singleton components labelled by
+        themselves.  Used by the convergence layer to compare the
+        event-driven simulator's quiescent state against a state-based
+        replay of the same schedule.
+        """
+        n = self._num_nodes
+        if self._dsu_parent is None or self._dsu_dirty:
+            self._rebuild_dsu()
+        roots = np.fromiter(
+            (self._find(v) for v in range(n)), dtype=np.int64, count=n
+        )
+        ids = np.arange(n, dtype=np.int64)
+        mins = ids.copy()
+        np.minimum.at(mins, roots, ids)
+        return mins[roots]
+
     # ------------------------------------------------------------------
     # Dominated-subgraph exports
     # ------------------------------------------------------------------

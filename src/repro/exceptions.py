@@ -49,6 +49,30 @@ class ConvergenceError(ReproError):
     """
 
 
+class ResilienceError(ReproError):
+    """The resilience machinery hit an inconsistent or malformed state.
+
+    Raised with structured context instead of a bare assertion: a
+    malformed :class:`~repro.resilience.faults.FaultEvent` (e.g. a
+    broker event without a node), or — when a replay is run with
+    ``verify_every`` — incremental engine state diverging from the
+    from-scratch recomputation.  ``step`` is the schedule step at which
+    the problem surfaced (``None`` outside a replay) and ``details``
+    carries the engine's drift diagnosis verbatim.
+    """
+
+    def __init__(self, message: str, *, step: int | None = None,
+                 details: str = "") -> None:
+        self.step = step
+        self.details = details
+        parts = [message]
+        if step is not None:
+            parts.append(f"at step {step}")
+        if details:
+            parts.append(f"({details})")
+        super().__init__(" ".join(parts))
+
+
 class ExperimentTimeoutError(ReproError):
     """An experiment exceeded its wall-clock budget.
 

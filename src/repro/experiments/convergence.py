@@ -1,0 +1,215 @@
+"""Fig. 6 (extension) — disruption time: broker re-stitching vs BGP.
+
+The resilience experiments (fig5d) established *what* survives a fault
+campaign; this one measures *how long* the disruption lasts.  For each
+fault kind a single-shot outage fires at step 1 — simultaneous so the
+measured time is pure reaction time, not campaign duration — and the
+same schedule drives both convergence models: the broker control plane
+(detect, re-plan, install) and the message-level BGP baseline (session
+timeouts, path exploration, MRAI pacing).  Replicates vary the outage
+seed; the medians land in the table and the full disruption-time
+samples feed the dashboard's CDF.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.maxsg import maxsg
+from repro.core.robustness import coverage_contribution_order
+from repro.exceptions import AlgorithmError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, register
+from repro.graph.asgraph import ASGraph
+from repro.resilience import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    SlaPolicy,
+    link_cut_campaign,
+    regional_outage,
+)
+from repro.simulation.convergence import (
+    BGPConvergenceSimulator,
+    BrokerConvergenceSimulator,
+    ConvergenceReport,
+    LatencyModel,
+)
+from repro.utils.rng import ensure_rng
+
+#: Fault kinds exercised by the disruption-time experiment.
+FAULT_KINDS = ("targeted", "regional", "linkcut")
+
+#: Outage seeds per fault kind (config.seed + offset).
+NUM_REPLICATES = 3
+
+#: Sampled destinations for the BGP baseline (per-message state is
+#: O(nodes x destinations); the sample keeps the small profile honest
+#: without tracking every one of the n^2 pairs).
+NUM_DESTINATIONS = 6
+
+
+def build_outage_schedule(
+    graph: ASGraph, brokers: list[int], kind: str, seed: int
+) -> FaultSchedule:
+    """One single-shot outage of the given kind, firing at step 1.
+
+    ``targeted`` drops a seeded sample drawn from the top half of the
+    coverage-contribution hit list (the high-value brokers an adversary
+    or defection wave would take), ``regional`` is a radius-1
+    neighbourhood outage around a seeded epicenter, and ``linkcut``
+    severs a seeded batch of broker-incident links.  All events share
+    step 1 so both convergence models face one simultaneous incident.
+    """
+    if kind == "targeted":
+        order = coverage_contribution_order(graph, brokers)
+        pool = order[: max(4, len(order) // 2)]
+        count = max(2, len(pool) // 3)
+        rng = ensure_rng(seed)
+        victims = sorted(
+            int(b) for b in rng.choice(pool, size=count, replace=False)
+        )
+        events = [
+            FaultEvent(1, FaultKind.BROKER_DOWN, node=b, cause="targeted")
+            for b in victims
+        ]
+        return FaultSchedule.from_events(1, events, description="targeted")
+    if kind == "regional":
+        return regional_outage(graph, brokers, radius=1, step=1, seed=seed)
+    if kind == "linkcut":
+        return link_cut_campaign(
+            graph,
+            num_steps=1,
+            cuts_per_step=max(10, graph.num_edges // 500),
+            seed=seed,
+            brokers=brokers,
+        )
+    raise AlgorithmError(
+        f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+    )
+
+
+def run_disruption_sweep(
+    graph: ASGraph,
+    brokers: list[int],
+    *,
+    kinds: tuple[str, ...] = FAULT_KINDS,
+    replicates: int = NUM_REPLICATES,
+    seed: int = 1,
+    latency: LatencyModel | None = None,
+    policy: SlaPolicy | None = None,
+    num_destinations: int = NUM_DESTINATIONS,
+) -> list[dict]:
+    """Run both models over every (kind, replicate) cell.
+
+    Returns one dict per cell: ``{"kind", "seed", "broker", "bgp"}``
+    with the two :class:`ConvergenceReport` objects.  Shared by the
+    fig6 experiment, the ``repro convergence`` CLI and the benchmark so
+    all three measure identical campaigns.
+    """
+    latency = latency or LatencyModel()
+    policy = policy or SlaPolicy(
+        threshold=0.95, repair_budget=max(4, len(brokers) // 8)
+    )
+    cells: list[dict] = []
+    for kind in kinds:
+        for replica in range(replicates):
+            outage_seed = seed + replica
+            schedule = build_outage_schedule(graph, brokers, kind, outage_seed)
+            broker_report = BrokerConvergenceSimulator(
+                graph, brokers, schedule,
+                latency=latency, policy=policy, seed=outage_seed,
+            ).run()
+            bgp_report = BGPConvergenceSimulator(
+                graph, schedule,
+                latency=latency, seed=outage_seed,
+                num_destinations=num_destinations,
+            ).run()
+            cells.append({
+                "kind": kind,
+                "seed": outage_seed,
+                "broker": broker_report,
+                "bgp": bgp_report,
+            })
+    return cells
+
+
+def disruption_times(cells: list[dict], model: str) -> list[float]:
+    """Time-to-full-convergence samples of one model, CDF-ready (sorted)."""
+    times = [
+        cell[model].time_to_full_convergence
+        for cell in cells
+        if cell[model].time_to_full_convergence is not None
+    ]
+    return sorted(times)
+
+
+def _median(values: list[float]) -> float | None:
+    return statistics.median(values) if values else None
+
+
+def _fmt(value: float | None, suffix: str = "s") -> str:
+    return "-" if value is None else f"{value:.2f}{suffix}"
+
+
+def summarize_cells(cells: list[dict]) -> list[tuple]:
+    """Per-(kind, model) median rows for the fig6 table."""
+    rows: list[tuple] = []
+    for kind in dict.fromkeys(cell["kind"] for cell in cells):
+        subset = [cell for cell in cells if cell["kind"] == kind]
+        for model in ("broker", "bgp"):
+            reports: list[ConvergenceReport] = [c[model] for c in subset]
+            ttfr = _median([
+                r.time_to_first_repair for r in reports
+                if r.time_to_first_repair is not None
+            ])
+            ttc = _median([
+                r.time_to_full_convergence for r in reports
+                if r.time_to_full_convergence is not None
+            ])
+            dark = _median([r.pair_seconds_dark for r in reports])
+            msgs = _median([float(r.messages_sent) for r in reports])
+            rows.append((
+                kind,
+                model,
+                _fmt(ttfr),
+                _fmt(ttc),
+                _fmt(dark, ""),
+                f"{msgs:.0f}" if msgs is not None else "-",
+            ))
+    return rows
+
+
+@register("fig6")
+def run_fig6(config: ExperimentConfig) -> ExperimentResult:
+    graph = config.graph()
+    budget = config.broker_budgets()["1.9%"]
+    brokers = maxsg(graph, budget)
+    cells = run_disruption_sweep(graph, brokers, seed=config.seed)
+    broker_ttc = disruption_times(cells, "broker")
+    bgp_ttc = disruption_times(cells, "bgp")
+    ratio = ""
+    if broker_ttc and bgp_ttc:
+        ratio = (
+            f"median disruption: broker {statistics.median(broker_ttc):.2f}s "
+            f"vs BGP {statistics.median(bgp_ttc):.2f}s "
+            f"({statistics.median(bgp_ttc) / max(statistics.median(broker_ttc), 1e-9):.1f}x)"
+        )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title=(
+            f"Fig. 6: disruption time under failure, |B|={len(brokers)} "
+            f"({NUM_REPLICATES} replicates x {len(FAULT_KINDS)} fault kinds)"
+        ),
+        headers=[
+            "fault kind", "model", "med TTFR", "med TTC",
+            "med pair-s dark", "med msgs",
+        ],
+        rows=summarize_cells(cells),
+        notes=(
+            "Single-shot outages at step 1; TTC measured from the first "
+            "fault.  The broker plane pays detection + control RTT + FIB "
+            "install once, the BGP baseline explores paths across MRAI "
+            f"rounds.  {ratio}"
+        ),
+    )

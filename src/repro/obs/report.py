@@ -261,6 +261,77 @@ def sparkline_svg(
     )
 
 
+def cdf_svg(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 300,
+    height: int = 120,
+    unit: str = "s",
+) -> str:
+    """Inline-SVG empirical CDF staircases, one per named series.
+
+    Series are drawn in name order with the dashboard's ``--series-N``
+    palette; every step carries a native tooltip.  Built for the
+    convergence records' disruption-time comparison (broker vs BGP),
+    but any ``name -> samples`` mapping renders.
+    """
+    named = [
+        (name, sorted(float(v) for v in values))
+        for name, values in sorted(series.items())
+        if values
+    ]
+    if not named:
+        return ""
+    pad = 6.0
+    hi = max(values[-1] for _, values in named)
+    lo = 0.0
+    span = (hi - lo) or 1.0
+
+    def x_of(v: float) -> float:
+        return round(pad + (width - 2 * pad) * (v - lo) / span, 2)
+
+    def y_of(frac: float) -> float:
+        return round(pad + (height - 2 * pad) * (1.0 - frac), 2)
+
+    parts: list[str] = []
+    for index, (name, values) in enumerate(named):
+        color = f"var(--series-{index % 2 + 1})"
+        n = len(values)
+        points = [(x_of(lo), y_of(0.0))]
+        for i, v in enumerate(values):
+            x = x_of(v)
+            points.append((x, points[-1][1]))
+            points.append((x, y_of((i + 1) / n)))
+        points.append((x_of(hi), y_of(1.0)))
+        polyline = " ".join(f"{x},{y}" for x, y in points)
+        parts.append(
+            f'<polyline points="{polyline}" fill="none" stroke="{color}" '
+            'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        parts.append("".join(
+            f'<circle cx="{x_of(v)}" cy="{y_of((i + 1) / n)}" r="5" '
+            'fill="transparent">'
+            f"<title>{_html.escape(name)}: {v:.6g}{unit} "
+            f"&le; {(100 * (i + 1) / n):.0f}%</title></circle>"
+            for i, v in enumerate(values)
+        ))
+        parts.append(
+            f'<text x="{width - pad}" y="{pad + 12 + 14 * index}" '
+            f'text-anchor="end" font-size="11" fill="{color}">'
+            f"{_html.escape(name)}</text>"
+        )
+    aria = _html.escape(
+        "CDF of " + ", ".join(
+            f"{name} ({len(values)} samples)" for name, values in named
+        )
+    )
+    return (
+        f'<svg class="cdf" viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{aria}">{"".join(parts)}'
+        "</svg>"
+    )
+
+
 _DASHBOARD_CSS = """
 :root {
   color-scheme: light;
@@ -413,6 +484,19 @@ def render_dashboard(
                 )
                 + "</div>"
             )
+        disruption = latest.params.get("disruption")
+        if isinstance(disruption, dict):
+            cdf = cdf_svg({
+                str(model): samples
+                for model, samples in disruption.items()
+                if isinstance(samples, (list, tuple)) and samples
+            })
+            if cdf:
+                sparkcells.append(
+                    '<div class="sparkcell">'
+                    '<div class="lbl">disruption-time CDF '
+                    "(time-to-full-convergence)</div>" + cdf + "</div>"
+                )
         recent = history[-8:]
         run_rows = "".join(
             "<tr>"

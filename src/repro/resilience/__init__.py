@@ -21,6 +21,8 @@ from repro.resilience.healing import (
     RepairRecord,
     SelfHealingBrokerSet,
     SlaPolicy,
+    best_bridge_candidate,
+    best_coverage_candidate,
 )
 from repro.resilience.replay import (
     ReplaySweep,
@@ -46,6 +48,8 @@ __all__ = [
     "SlaPolicy",
     "RepairRecord",
     "SelfHealingBrokerSet",
+    "best_bridge_candidate",
+    "best_coverage_candidate",
     "ReplaySweep",
     "ResilienceReport",
     "StepRecord",

@@ -59,10 +59,30 @@ class FaultEvent:
     cause: str = ""
 
 
+#: Application order of co-occurring kinds within one step.  Explicit so
+#: the replay semantics cannot silently change if an enum value is ever
+#: renamed: crashes land first, recoveries second, link cuts last.  (The
+#: numeric order matches the historical lexicographic sort of the enum
+#: values, so existing schedules replay bit-identically.)
+_KIND_ORDER: dict[FaultKind, int] = {
+    FaultKind.BROKER_DOWN: 0,
+    FaultKind.BROKER_UP: 1,
+    FaultKind.LINK_CUT: 2,
+}
+
+
 def _event_key(event: FaultEvent) -> tuple:
+    """The total deterministic order of events on a shared clock.
+
+    ``(step, kind priority, node, endpoints, cause)`` — every field of
+    the event participates, so the sort key is total: two events compare
+    equal only if they *are* equal.  Composition order of the source
+    schedules therefore never leaks into replay order; see
+    :func:`compose`.
+    """
     return (
         event.step,
-        event.kind.value,
+        _KIND_ORDER[event.kind],
         -1 if event.node is None else event.node,
         event.endpoints or (-1, -1),
         event.cause,
@@ -73,10 +93,11 @@ def _event_key(event: FaultEvent) -> tuple:
 class FaultSchedule:
     """A replayable fault campaign over steps ``1..num_steps``.
 
-    Events are kept sorted by ``(step, kind, target)`` so iteration — and
-    therefore every replay — is deterministic regardless of how the
-    schedule was assembled.  Build instances through the generator
-    functions or :meth:`from_events`.
+    Events are kept sorted under the total order ``(step, kind, node,
+    endpoints, cause)`` — see :func:`_event_key` — so iteration, and
+    therefore every replay, is deterministic regardless of how the
+    schedule was assembled or composed.  Build instances through the
+    generator functions or :meth:`from_events`.
     """
 
     num_steps: int
@@ -116,7 +137,16 @@ class FaultSchedule:
 
 
 def compose(*schedules: FaultSchedule, description: str = "") -> FaultSchedule:
-    """Overlay any number of schedules into one campaign."""
+    """Overlay any number of schedules into one campaign.
+
+    Same-step events from different schedules are interleaved under the
+    total deterministic order ``(step, kind, node, endpoints, cause)``
+    with kinds applying as crash < recovery < link-cut — so
+    ``compose(a, b)`` and ``compose(b, a)`` yield the same event stream
+    (only the joined ``description`` reflects argument order), and a
+    composed campaign replays identically no matter how it was
+    assembled.
+    """
     if not schedules:
         raise AlgorithmError("compose requires at least one schedule")
     merged = schedules[0]

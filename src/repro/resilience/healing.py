@@ -23,9 +23,74 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import DominationEngine
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, ResilienceError
 from repro.graph.asgraph import ASGraph
 from repro.resilience.faults import FaultEvent, FaultKind
+
+
+def best_coverage_candidate(
+    engine: DominationEngine, *, excluded: set[int]
+) -> int | None:
+    """Highest coverage-gain recruit under the MaxSG connected-growth rule.
+
+    Candidates are the covered region and its frontier (so the dominated
+    region keeps growing connectedly, as in
+    ``IncrementalBrokerSet._repair``), falling back to uncovered
+    vertices when faults have detached whole regions.  ``excluded``
+    vertices (current brokers, crashed brokers, pending recruits) are
+    never eligible.  Deterministic: candidates scan in ascending id and
+    ties break to the smallest id.  Shared by the SLA self-healer and
+    the convergence simulator's repair planner so both make identical
+    recruiting decisions.
+    """
+    covered = engine.covered_view
+    candidates: set[int] = set()
+    for v in np.flatnonzero(covered):
+        v = int(v)
+        candidates.add(v)
+        candidates.update(int(u) for u in engine.alive_neighbors(v))
+    candidates -= excluded
+    if not candidates:
+        candidates = set(int(v) for v in np.flatnonzero(~covered)) - excluded
+    best, best_gain = None, 0
+    for c in sorted(candidates):
+        gain = engine.marginal_gain(c)
+        if gain > best_gain:
+            best, best_gain = c, gain
+    return best
+
+
+def best_bridge_candidate(
+    engine: DominationEngine,
+    *,
+    excluded: set[int],
+    current: float,
+    probe_limit: int = 20,
+) -> int | None:
+    """Fallback when no recruit gains coverage: bridge components.
+
+    Full coverage does not imply a connected dominated graph — link cuts
+    can split it while every vertex still touches a broker.  A new
+    broker then helps by dominating the edges *around* itself, so the
+    top-``probe_limit`` highest-degree non-excluded vertices are scored
+    by their actual connectivity delta.  The engine answers each probe
+    in O(deg) from its union-find (``connectivity_if_added``) instead of
+    a full dominated-graph rebuild per probe.
+    """
+    alive_degrees = engine.alive_degrees()
+    degrees = {
+        v: int(alive_degrees[v]) for v in range(engine.num_nodes)
+        if v not in excluded
+    }
+    if not degrees:
+        return None
+    probes = sorted(degrees, key=lambda v: (-degrees[v], v))[:probe_limit]
+    best, best_value = None, current
+    for c in probes:
+        value = engine.connectivity_if_added(c)
+        if value > best_value + 1e-15:
+            best, best_value = c, value
+    return best
 
 
 @dataclass(frozen=True)
@@ -126,27 +191,59 @@ class SelfHealingBrokerSet:
     # Fault application
     # ------------------------------------------------------------------
     def apply(self, event: FaultEvent) -> None:
-        """Absorb one fault delta (no SLA check — see :meth:`maybe_repair`)."""
+        """Absorb one fault delta (no SLA check — see :meth:`maybe_repair`).
+
+        A malformed event — a broker event without a ``node``, a link
+        cut without ``endpoints`` — raises a structured
+        :class:`~repro.exceptions.ResilienceError` instead of tripping a
+        bare assertion.
+        """
         if event.kind is FaultKind.BROKER_DOWN:
-            assert event.node is not None
+            if event.node is None:
+                raise ResilienceError(
+                    "BROKER_DOWN event carries no node", step=event.step
+                )
             if event.node in self._active:
                 self._active.discard(event.node)
                 self._down.add(event.node)
                 self._engine.remove_broker(event.node)
         elif event.kind is FaultKind.BROKER_UP:
-            assert event.node is not None
+            if event.node is None:
+                raise ResilienceError(
+                    "BROKER_UP event carries no node", step=event.step
+                )
             if event.node in self._down:
                 self._down.discard(event.node)
                 self._active.add(event.node)
                 self._engine.add_broker(event.node)
         elif event.kind is FaultKind.LINK_CUT:
-            assert event.endpoints is not None
+            if event.endpoints is None:
+                raise ResilienceError(
+                    "LINK_CUT event carries no endpoints", step=event.step
+                )
             u, v = event.endpoints
             self._engine.cut_link(int(u), int(v))
 
     # ------------------------------------------------------------------
     # Repair
     # ------------------------------------------------------------------
+    def recruit(self, broker: int) -> bool:
+        """Activate ``broker`` directly, bypassing the SLA check.
+
+        The install path of the convergence simulator, where *planning*
+        (a checkpointed dry run of the repair rule) and *installation*
+        (this call, after the control-plane latency elapses) happen at
+        different times.  Returns ``False`` when the vertex is already
+        an active or crashed broker.
+        """
+        broker = int(broker)
+        if broker in self._active or broker in self._down:
+            return False
+        self._active.add(broker)
+        self._engine.add_broker(broker)
+        self.added.append(broker)
+        return True
+
     def maybe_repair(self, step: int, *, current: float | None = None) -> RepairRecord | None:
         """Check the SLA and, if violated, run one budgeted repair.
 
@@ -185,56 +282,17 @@ class SelfHealingBrokerSet:
         return record
 
     def _best_candidate(self) -> int | None:
-        """Highest coverage-gain recruit, MaxSG connected-growth rule.
-
-        Candidates are the covered region and its frontier (so the
-        dominated region keeps growing connectedly, as in
-        ``IncrementalBrokerSet._repair``), falling back to uncovered
-        vertices when faults have detached whole regions.  Crashed
-        brokers are not eligible — they are down, not for hire.
-        """
-        engine = self._engine
-        covered = engine.covered_view
-        candidates: set[int] = set()
-        for v in np.flatnonzero(covered):
-            v = int(v)
-            candidates.add(v)
-            candidates.update(int(u) for u in engine.alive_neighbors(v))
-        candidates -= self._active
-        candidates -= self._down
-        if not candidates:
-            candidates = set(
-                int(v) for v in np.flatnonzero(~covered)
-            ) - self._active - self._down
-        best, best_gain = None, 0
-        for c in sorted(candidates):
-            gain = engine.marginal_gain(c)
-            if gain > best_gain:
-                best, best_gain = c, gain
-        return best
+        """Delegates to :func:`best_coverage_candidate`; crashed brokers
+        are not eligible — they are down, not for hire."""
+        return best_coverage_candidate(
+            self._engine, excluded=self._active | self._down
+        )
 
     def _best_bridge(self, current: float, *, probe_limit: int = 20) -> int | None:
-        """Fallback when no recruit gains coverage: bridge components.
-
-        Full coverage does not imply a connected dominated graph — link
-        cuts can split it while every vertex still touches a broker.  A
-        new broker then helps by dominating the edges *around* itself, so
-        the top-``probe_limit`` highest-degree non-brokers are scored by
-        their actual connectivity delta.  The engine answers each probe
-        in O(deg) from its union-find (:meth:`connectivity_if_added`)
-        instead of a full dominated-graph rebuild per probe.
-        """
-        alive_degrees = self._engine.alive_degrees()
-        degrees = {
-            v: int(alive_degrees[v]) for v in range(self._graph.num_nodes)
-            if v not in self._active and v not in self._down
-        }
-        if not degrees:
-            return None
-        probes = sorted(degrees, key=lambda v: (-degrees[v], v))[:probe_limit]
-        best, best_value = None, current
-        for c in probes:
-            value = self._engine.connectivity_if_added(c)
-            if value > best_value + 1e-15:
-                best, best_value = c, value
-        return best
+        """Delegates to :func:`best_bridge_candidate` over non-brokers."""
+        return best_bridge_candidate(
+            self._engine,
+            excluded=self._active | self._down,
+            current=current,
+            probe_limit=probe_limit,
+        )

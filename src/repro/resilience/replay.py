@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.exceptions import AlgorithmError, ResilienceError
 from repro.graph.asgraph import ASGraph
 from repro.obs import add_counter, get_tracer, profiled
 from repro.resilience.faults import FaultSchedule
@@ -110,15 +111,36 @@ def replay_schedule(
     *,
     policy: SlaPolicy | None = None,
     heal: bool = True,
+    verify_every: int = 0,
 ) -> ResilienceReport:
     """Run ``schedule`` against ``brokers`` and record the trajectory.
 
     ``heal=False`` replays the raw degradation (the no-insurance curve
     the paper's Section 7.2 worries about); ``heal=True`` lets the SLA
     monitor recruit repairs after each step's faults.
+
+    ``verify_every=k`` cross-checks the healer's incrementally
+    maintained :class:`~repro.core.engine.DominationEngine` against a
+    from-scratch recomputation every ``k`` steps (and once more after
+    the final step).  Divergence raises a structured
+    :class:`~repro.exceptions.ResilienceError` carrying the step index
+    and the engine's drift diagnosis — never a bare assertion.
     """
+    if verify_every < 0:
+        raise AlgorithmError(f"verify_every must be >= 0, got {verify_every}")
     tracer = get_tracer()
     healer = SelfHealingBrokerSet(graph, brokers, policy=policy)
+
+    def _verify(step: int) -> None:
+        try:
+            healer.engine.verify()
+        except AlgorithmError as exc:
+            raise ResilienceError(
+                "incremental replay state diverged from recomputation",
+                step=step,
+                details=str(exc),
+            ) from exc
+
     steps: list[StepRecord] = []
     faults_applied = 0
     repairs = 0
@@ -135,6 +157,8 @@ def replay_schedule(
             faults_applied += len(events)
             if record is not None:
                 repairs += 1
+            if verify_every and step % verify_every == 0:
+                _verify(step)
             span.set(faults=len(events), degraded=degraded, healed=healed)
         steps.append(
             StepRecord(
@@ -145,6 +169,8 @@ def replay_schedule(
                 added=record.added if record is not None else (),
             )
         )
+    if verify_every and schedule.num_steps % verify_every != 0:
+        _verify(schedule.num_steps)
     add_counter("resilience.steps", schedule.num_steps)
     add_counter("resilience.faults_applied", faults_applied)
     add_counter("resilience.repairs", repairs)

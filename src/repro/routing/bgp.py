@@ -72,6 +72,34 @@ class RouteInfo:
         return path
 
 
+def export_allowed(learned_from: int, *, to_customer: bool) -> bool:
+    """The Gao-Rexford export rule as one predicate.
+
+    An AS announces a route to a neighbor iff the route is its own or
+    was learned from a customer (valley-free "customer routes go
+    everywhere"), or the neighbor is one of its customers (everything is
+    exported downhill).  ``learned_from`` is the :class:`RouteType`
+    through which the exporting AS holds the route.  The message-level
+    convergence simulator shares this predicate with the fixed-point
+    computation in :meth:`BGPSimulator.route_to` so both agree on which
+    announcements may propagate.
+    """
+    if learned_from in (int(RouteType.SELF), int(RouteType.CUSTOMER)):
+        return True
+    return to_customer
+
+
+def preference_key(learned_from: int, path_length: int, neighbor: int) -> tuple:
+    """Total preference order over candidate routes — smaller wins.
+
+    ``(route class, AS-path length, neighbor id)``: customer < peer <
+    provider (the :class:`RouteType` values are already in that order),
+    then shortest path, then lowest neighbor id as the deterministic
+    final tie-break (the stand-in for lowest router id in real BGP).
+    """
+    return (int(learned_from), int(path_length), int(neighbor))
+
+
 class BGPSimulator:
     """Computes Gao-Rexford routes on an :class:`ASGraph`.
 
@@ -98,6 +126,17 @@ class BGPSimulator:
     @property
     def graph(self) -> ASGraph:
         return self._graph
+
+    def neighbor_tables(
+        self,
+    ) -> tuple[list[list[int]], list[list[int]], list[list[int]]]:
+        """``(providers, customers, peers)`` adjacency lists per vertex.
+
+        The prebuilt relationship-typed neighbor structure, exposed for
+        message-level simulators that drive the same policy graph one
+        UPDATE at a time.  Callers must treat the lists as read-only.
+        """
+        return self._providers, self._customers, self._peers
 
     def route_to(self, destination: int) -> RouteInfo:
         """Best policy-compliant route from every vertex to ``destination``.

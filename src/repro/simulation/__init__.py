@@ -1,4 +1,9 @@
-"""Dynamic-system substrate: topology churn + the brokered SLA marketplace."""
+"""Dynamic-system substrate: churn, the SLA marketplace, and convergence.
+
+:mod:`repro.simulation.convergence` is imported lazily by its users —
+it pulls in the resilience and routing layers, which some lightweight
+churn consumers do not need.
+"""
 
 from repro.simulation.churn import (
     ChurnEvent,

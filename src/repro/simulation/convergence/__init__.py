@@ -1,0 +1,40 @@
+"""Discrete-event convergence simulators: disruption *time*, not just state.
+
+Two models over the same :class:`~repro.resilience.faults.FaultSchedule`
+and :class:`~repro.simulation.convergence.core.LatencyModel` clock:
+
+* :class:`BrokerConvergenceSimulator` — the paper's centralized control
+  plane: detection, checkpointed re-planning on a delayed view of the
+  network, and per-recruit install commands with loss/retry/backoff;
+* :class:`BGPConvergenceSimulator` — the distributed baseline: per-
+  message Gao-Rexford path-vector propagation with MRAI timers and path
+  exploration.
+
+Both emit a :class:`ConvergenceReport` (time-to-first-repair, time-to-
+full-convergence, pair-seconds-dark, message counts) that is seeded-
+replayable and bit-identical across runs.
+"""
+
+from repro.simulation.convergence.bgp import BGPConvergenceSimulator
+from repro.simulation.convergence.broker import BrokerConvergenceSimulator
+from repro.simulation.convergence.core import (
+    DarknessIntegrator,
+    EventQueue,
+    LatencyModel,
+)
+from repro.simulation.convergence.report import (
+    ConvergenceReport,
+    report_from_dict,
+    report_to_dict,
+)
+
+__all__ = [
+    "BGPConvergenceSimulator",
+    "BrokerConvergenceSimulator",
+    "ConvergenceReport",
+    "DarknessIntegrator",
+    "EventQueue",
+    "LatencyModel",
+    "report_from_dict",
+    "report_to_dict",
+]

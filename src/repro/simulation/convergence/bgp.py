@@ -1,0 +1,445 @@
+"""Message-level BGP baseline: path exploration under MRAI timers.
+
+The fixed-point computation in :mod:`repro.routing.bgp` jumps straight
+to the converged Gao-Rexford routes; this simulator walks there one
+UPDATE at a time, which is where BGP's disruption cost lives.  Sessions
+notice a failure only after ``detection_delay``; each hop of an UPDATE
+pays ``link_delay``; repeat announcements on a session are rate-limited
+by the ``mrai`` timer (withdrawals are not); and a router that loses
+its best route falls back to the next entry in its Adj-RIB-In — often a
+*stale* path through the very failure, which it happily announces
+onward until the withdrawal wave catches up.  That fallback cascade is
+BGP path exploration, and it is why the baseline's convergence time
+stretches across multiple MRAI rounds while the broker control plane
+re-stitches in one detection + RTT + FIB write.
+
+State is tracked per sampled destination (seeded sample — full O(n²)
+pair tracking would swamp the small profiles): per-router best route
+(Adj-RIB-Out side), per-session Adj-RIB-In, per-session last-advertised
+route and MRAI deadline.  Import applies loop rejection; the decision
+process ranks candidates with :func:`repro.routing.bgp.preference_key`
+and exports under :func:`repro.routing.bgp.export_allowed` — the same
+policy predicates as the fixed point, so quiescence lands on an
+equally-preferred route set.  A pair counts *dark* when the source has
+no route or its current path traverses a down node or cut link (the
+data plane drops on stale paths long before control-plane withdrawal).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.obs import add_counter, get_tracer, profiled
+from repro.resilience.faults import FaultKind, FaultSchedule
+from repro.routing.bgp import BGPSimulator, RouteType, export_allowed, preference_key
+from repro.simulation.convergence.core import (
+    PRIO_DETECT,
+    PRIO_FAULT,
+    PRIO_MESSAGE,
+    PRIO_TIMER,
+    DarknessIntegrator,
+    EventQueue,
+    LatencyModel,
+)
+from repro.simulation.convergence.report import ConvergenceReport
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["BGPConvergenceSimulator"]
+
+_CUSTOMER = int(RouteType.CUSTOMER)
+
+
+class BGPConvergenceSimulator:
+    """Simulate one fault campaign through per-message BGP convergence.
+
+    Deterministic: destinations are a seeded sample, every scan is over
+    sorted ids, and the event queue's ``(time, priority, seq)`` order is
+    total — two same-seed runs emit bit-identical reports.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        schedule: FaultSchedule,
+        *,
+        latency: LatencyModel | None = None,
+        seed: SeedLike = 0,
+        num_destinations: int = 8,
+    ) -> None:
+        if num_destinations < 1:
+            raise AlgorithmError("num_destinations must be >= 1")
+        self._graph = graph
+        self._schedule = schedule
+        self.latency = latency or LatencyModel()
+        self._seed = seed
+        self._num_destinations = num_destinations
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    @profiled("convergence.bgp")
+    def run(self) -> ConvergenceReport:
+        tracer = get_tracer()
+        lat = self.latency
+        n = self._graph.num_nodes
+        rng = ensure_rng(self._seed)
+        sim = BGPSimulator(self._graph)
+        providers, customers, peers = sim.neighbor_tables()
+
+        # Relationship class of the route a router learns from each
+        # neighbor, and the sorted session list per router.
+        nclass: list[dict[int, int]] = [{} for _ in range(n)]
+        for v in range(n):
+            for u in customers[v]:
+                nclass[v][u] = int(RouteType.CUSTOMER)
+            for u in peers[v]:
+                nclass[v][u] = int(RouteType.PEER)
+            for u in providers[v]:
+                nclass[v][u] = int(RouteType.PROVIDER)
+        self._nclass = nclass
+        self._sessions = [sorted(nclass[v]) for v in range(n)]
+
+        dests = sorted(
+            int(d)
+            for d in rng.choice(n, size=min(self._num_destinations, n), replace=False)
+        )
+        self._dests = dests
+        # Per-destination protocol state, indexed by destination slot.
+        self._rib: list[dict[int, tuple[int, tuple, int]]] = []
+        self._adj_in: list[dict[int, dict[int, tuple]]] = []
+        self._last_sent: list[dict[tuple[int, int], tuple | None]] = []
+        self._mrai_until: list[dict[tuple[int, int], float]] = []
+        self._timer_set: list[set[tuple[int, int]]] = []
+        self._valid: list[set[int]] = []
+        for d in dests:
+            self._init_destination(sim, d)
+        self._down: set[int] = set()
+        self._cut: set[frozenset] = set()
+        v0 = sum(len(s) for s in self._valid)
+        self._valid_count = v0
+        self._v0 = v0
+        baseline = v0 / (len(dests) * (n - 1)) if n > 1 else 0.0
+
+        queue = EventQueue()
+        self._queue = queue
+        dark = DarknessIntegrator()
+        self._dark = dark
+        # Same clock as the broker model: steps 1..num_steps only.
+        fault_steps = sorted({
+            e.step for e in self._schedule.events
+            if 1 <= e.step <= self._schedule.num_steps
+        })
+        for step in fault_steps:
+            queue.push(lat.fault_time(step), PRIO_FAULT, ("fault", step))
+        first_fault = lat.fault_time(fault_steps[0]) if fault_steps else None
+
+        self._sent = self._lost = 0
+        self._last_rib_change: float | None = None
+        processed = 0
+        with tracer.span(
+            "convergence.bgp.run",
+            events=len(self._schedule.events),
+            destinations=len(dests),
+        ) as span:
+            while queue:
+                t, payload = queue.pop()
+                processed += 1
+                kind = payload[0]
+                if kind == "fault":
+                    self._apply_fault_step(payload[1], t)
+                elif kind == "session_down":
+                    self._session_down(payload[1], payload[2], t)
+                elif kind == "session_up":
+                    self._session_up(payload[1], payload[2], t)
+                elif kind == "msg":
+                    self._deliver(payload[1], payload[2], payload[3], payload[4], t)
+                elif kind == "timer":
+                    self._timer(payload[1], payload[2], payload[3], t)
+                else:  # pragma: no cover - defensive
+                    raise AlgorithmError(f"unknown BGP event {kind!r}")
+            span.set(messages=self._sent, lost=self._lost)
+
+        end_time = queue.now
+        pair_seconds = dark.finish(end_time)
+        add_counter("convergence.bgp.runs", 1)
+        add_counter("convergence.bgp.messages", self._sent)
+        converged = dark.last_change_time
+        if self._last_rib_change is not None:
+            converged = max(
+                converged if converged is not None else self._last_rib_change,
+                self._last_rib_change,
+            )
+        return ConvergenceReport(
+            model="bgp",
+            description=self._schedule.description,
+            baseline=baseline,
+            first_fault_time=first_fault,
+            time_to_first_repair=_offset(dark.first_repair_time, first_fault),
+            time_to_full_convergence=_offset(converged, first_fault),
+            pair_seconds_dark=pair_seconds,
+            final_dark_fraction=dark.current,
+            max_dark_fraction=max(d for _, d in dark.timeline),
+            messages_sent=self._sent,
+            messages_lost=self._lost,
+            retries=0,
+            events_processed=processed,
+            end_time=end_time,
+            timeline=tuple(dark.timeline),
+        )
+
+    # ------------------------------------------------------------------
+    # Initial converged state (the route_to fixed point, message-free)
+    # ------------------------------------------------------------------
+    def _init_destination(self, sim: BGPSimulator, d: int) -> None:
+        n = self._graph.num_nodes
+        info = sim.route_to(d)
+        paths: dict[int, tuple] = {d: (d,)}
+
+        def path_of(v: int) -> tuple:
+            chain = []
+            while v not in paths:
+                chain.append(v)
+                v = int(info.next_hop[v])
+            tail = paths[v]
+            for u in reversed(chain):
+                tail = (u,) + tail
+                paths[u] = tail
+            return paths[chain[0]] if chain else tail
+
+        rib: dict[int, tuple[int, tuple, int]] = {
+            d: (int(RouteType.SELF), (d,), -1)
+        }
+        for v in range(n):
+            if v != d and info.route_type[v] != int(RouteType.NONE):
+                rib[v] = (int(info.route_type[v]), path_of(v), int(info.next_hop[v]))
+        adj_in: dict[int, dict[int, tuple]] = {v: {} for v in range(n)}
+        last_sent: dict[tuple[int, int], tuple | None] = {}
+        for u in range(n):
+            route = rib.get(u)
+            if route is None:
+                continue
+            klass, path, _ = route
+            for v in self._sessions[u]:
+                if export_allowed(klass, to_customer=self._nclass[u][v] == _CUSTOMER):
+                    last_sent[(u, v)] = path
+                    if v not in path:
+                        adj_in[v][u] = path
+        self._rib.append(rib)
+        self._adj_in.append(adj_in)
+        self._last_sent.append(last_sent)
+        self._mrai_until.append({})
+        self._timer_set.append(set())
+        self._valid.append({v for v in rib if v != d})
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def _apply_fault_step(self, step: int, t: float) -> None:
+        lat = self.latency
+        detect = t + lat.detection_delay
+        for event in self._schedule.at(step):
+            if event.kind is FaultKind.BROKER_DOWN:
+                x = event.node
+                if x is None or x in self._down:
+                    continue
+                self._down.add(x)
+                for w in self._sessions[x]:
+                    # w's side times the session out (x itself is frozen);
+                    # the session was up iff w is alive and the link uncut.
+                    if w not in self._down and frozenset((w, x)) not in self._cut:
+                        self._queue.push(detect, PRIO_DETECT, ("session_down", w, x))
+            elif event.kind is FaultKind.BROKER_UP:
+                x = event.node
+                if x is None or x not in self._down:
+                    continue
+                self._down.discard(x)
+                self._reboot(x)
+                for w in self._sessions[x]:
+                    if self._session_alive(x, w):
+                        self._queue.push(detect, PRIO_DETECT, ("session_up", x, w))
+                        self._queue.push(detect, PRIO_DETECT, ("session_up", w, x))
+            elif event.kind is FaultKind.LINK_CUT:
+                if event.endpoints is None:
+                    continue
+                u, v = int(event.endpoints[0]), int(event.endpoints[1])
+                key = frozenset((u, v))
+                if key in self._cut:
+                    continue
+                notify = self._session_alive(u, v)
+                self._cut.add(key)
+                if notify:
+                    self._queue.push(detect, PRIO_DETECT, ("session_down", u, v))
+                    self._queue.push(detect, PRIO_DETECT, ("session_down", v, u))
+        self._refresh_validity(t)
+
+    def _reboot(self, x: int) -> None:
+        """A recovered router comes back empty (cold RIB, fresh sessions)."""
+        for di, d in enumerate(self._dests):
+            self._adj_in[di][x] = {}
+            if x != d:
+                self._rib[di].pop(x, None)
+            for w in self._sessions[x]:
+                self._last_sent[di].pop((x, w), None)
+                self._mrai_until[di].pop((x, w), None)
+
+    # ------------------------------------------------------------------
+    # Session events
+    # ------------------------------------------------------------------
+    def _session_alive(self, u: int, v: int) -> bool:
+        return (
+            u not in self._down
+            and v not in self._down
+            and frozenset((u, v)) not in self._cut
+        )
+
+    def _session_down(self, u: int, x: int, t: float) -> None:
+        """Router ``u`` times out its session to ``x``."""
+        if u in self._down:
+            return
+        for di in range(len(self._dests)):
+            self._last_sent[di].pop((u, x), None)
+            self._mrai_until[di].pop((u, x), None)
+            if self._adj_in[di][u].pop(x, None) is not None:
+                self._decide(di, u, t)
+
+    def _session_up(self, u: int, x: int, t: float) -> None:
+        """Session ``u -> x`` (re-)establishes: ``u`` sends its table."""
+        if not self._session_alive(u, x):
+            return
+        for di in range(len(self._dests)):
+            self._last_sent[di][(u, x)] = None
+            self._mrai_until[di].pop((u, x), None)
+            if u in self._rib[di]:
+                self._sync(di, u, x, t)
+
+    # ------------------------------------------------------------------
+    # Decision process, export policy, MRAI pacing
+    # ------------------------------------------------------------------
+    def _decide(self, di: int, v: int, t: float) -> None:
+        d = self._dests[di]
+        if v == d:
+            return
+        best: tuple[int, tuple, int] | None = None
+        best_key = None
+        table = self._adj_in[di][v]
+        for u in sorted(table):
+            path = table[u]
+            key = preference_key(self._nclass[v][u], len(path), u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (self._nclass[v][u], (v,) + path, u)
+        old = self._rib[di].get(v)
+        if best == old:
+            return
+        if best is None:
+            del self._rib[di][v]
+        else:
+            self._rib[di][v] = best
+        self._last_rib_change = t
+        self._update_validity(di, v, t)
+        for w in self._sessions[v]:
+            if self._session_alive(v, w):
+                self._sync(di, v, w, t)
+
+    def _sync(self, di: int, v: int, w: int, t: float) -> None:
+        """Bring session ``v -> w`` in line with ``v``'s current best.
+
+        Withdrawals go out immediately; announcements respect the MRAI
+        deadline, deferring (one timer per session) when inside it.
+        """
+        route = self._rib[di].get(v)
+        desired: tuple | None = None
+        if route is not None:
+            klass, path, _ = route
+            if export_allowed(klass, to_customer=self._nclass[v][w] == _CUSTOMER):
+                desired = path
+        if desired == self._last_sent[di].get((v, w)):
+            return
+        if desired is None:
+            self._send(di, v, w, None, t)
+            return
+        until = self._mrai_until[di].get((v, w), 0.0)
+        if t >= until:
+            self._send(di, v, w, desired, t)
+        elif (v, w) not in self._timer_set[di]:
+            self._timer_set[di].add((v, w))
+            self._queue.push(until, PRIO_TIMER, ("timer", di, v, w))
+
+    def _timer(self, di: int, v: int, w: int, t: float) -> None:
+        self._timer_set[di].discard((v, w))
+        if self._session_alive(v, w):
+            self._sync(di, v, w, t)
+
+    def _send(self, di: int, v: int, w: int, path: tuple | None, t: float) -> None:
+        self._last_sent[di][(v, w)] = path
+        if path is not None:
+            self._mrai_until[di][(v, w)] = t + self.latency.mrai
+        self._sent += 1
+        self._queue.push(
+            t + self.latency.link_delay, PRIO_MESSAGE, ("msg", di, v, w, path)
+        )
+
+    def _deliver(self, di: int, u: int, v: int, path: tuple | None, t: float) -> None:
+        if not self._session_alive(u, v):
+            self._lost += 1
+            return
+        if path is None or v in path:
+            self._adj_in[di][v].pop(u, None)
+        else:
+            self._adj_in[di][v][u] = path
+        self._decide(di, v, t)
+
+    # ------------------------------------------------------------------
+    # Darkness bookkeeping
+    # ------------------------------------------------------------------
+    def _path_valid(self, path: tuple) -> bool:
+        for node in path:
+            if node in self._down:
+                return False
+        for a, b in zip(path, path[1:]):
+            if frozenset((a, b)) in self._cut:
+                return False
+        return True
+
+    def _pair_valid(self, di: int, v: int) -> bool:
+        d = self._dests[di]
+        if v == d or v in self._down or d in self._down:
+            return False
+        route = self._rib[di].get(v)
+        return route is not None and self._path_valid(route[1])
+
+    def _update_validity(self, di: int, v: int, t: float) -> None:
+        now_valid = self._pair_valid(di, v)
+        was_valid = v in self._valid[di]
+        if now_valid and not was_valid:
+            self._valid[di].add(v)
+            self._valid_count += 1
+        elif was_valid and not now_valid:
+            self._valid[di].discard(v)
+            self._valid_count -= 1
+        else:
+            return
+        self._dark.update(t, self._dark_fraction())
+
+    def _refresh_validity(self, t: float) -> None:
+        """Full data-plane rescan after a fault batch changed topology."""
+        count = 0
+        for di in range(len(self._dests)):
+            fresh = {
+                v for v in self._rib[di] if self._pair_valid(di, v)
+            }
+            self._valid[di] = fresh
+            count += len(fresh)
+        self._valid_count = count
+        self._dark.update(t, self._dark_fraction())
+
+    def _dark_fraction(self) -> float:
+        if self._v0 <= 0:
+            return 0.0
+        return min(1.0, max(0.0, (self._v0 - self._valid_count) / self._v0))
+
+
+def _offset(time: float | None, origin: float | None) -> float | None:
+    if time is None or origin is None:
+        return None
+    return time - origin

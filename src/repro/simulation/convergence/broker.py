@@ -1,0 +1,278 @@
+"""Event-driven broker control plane: how fast does re-stitching happen?
+
+The state-based replay (:func:`repro.resilience.replay.replay_schedule`)
+answers *what* the healed broker set looks like; this simulator answers
+*how long* the network stayed dark getting there.  The same
+:class:`~repro.resilience.faults.FaultSchedule` drives two
+:class:`~repro.core.engine.DominationEngine`-backed states:
+
+* the **network** — ground truth, degraded the instant a fault fires
+  and repaired only when an install actually lands;
+* the controller's **view** — learns of a fault ``detection_delay``
+  later, *plans* the repair with the exact rule the SLA self-healer
+  uses (a checkpointed dry run on the view engine, rolled back before
+  any commitment), and then issues one install command per recruit.
+
+Each install pays ``control_rtt + fib_install``; with ``loss_prob > 0``
+commands are dropped (seeded), retried under exponential backoff, and —
+once retries are exhausted — abandoned: the network degrades gracefully
+to its stale paths instead of crashing, which is precisely the broker
+scheme's failure mode the paper's Section 7.2 asks about.
+
+Because planning delegates to the same
+:func:`~repro.resilience.healing.best_coverage_candidate` /
+:func:`~repro.resilience.healing.best_bridge_candidate` pair as
+:class:`~repro.resilience.healing.SelfHealingBrokerSet`, a lossless run
+whose control-plane latencies fit inside one schedule step converges to
+*exactly* the state-based replay's broker set — the differential
+property the test suite pins down.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.obs import add_counter, get_tracer, profiled
+from repro.resilience.faults import FaultSchedule
+from repro.resilience.healing import (
+    SelfHealingBrokerSet,
+    SlaPolicy,
+    best_bridge_candidate,
+    best_coverage_candidate,
+)
+from repro.simulation.convergence.core import (
+    PRIO_DETECT,
+    PRIO_FAULT,
+    PRIO_MESSAGE,
+    PRIO_TIMER,
+    DarknessIntegrator,
+    EventQueue,
+    LatencyModel,
+)
+from repro.simulation.convergence.report import ConvergenceReport
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["BrokerConvergenceSimulator"]
+
+
+class BrokerConvergenceSimulator:
+    """Simulate one fault campaign through the broker control plane.
+
+    Deterministic: the event queue's ``(time, priority, seq)`` order is
+    total, loss draws are consumed in event order from one seeded
+    generator, and every planning scan is the sorted-deterministic
+    healer rule — so two same-seed runs emit bit-identical reports.
+    After :meth:`run`, :attr:`network` exposes the ground-truth final
+    state for differential checks against ``replay_schedule``.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        brokers: list[int],
+        schedule: FaultSchedule,
+        *,
+        latency: LatencyModel | None = None,
+        policy: SlaPolicy | None = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        self._graph = graph
+        self._brokers = [int(b) for b in brokers]
+        self._schedule = schedule
+        self.latency = latency or LatencyModel()
+        self.policy = policy or SlaPolicy()
+        self._seed = seed
+        #: Ground-truth state, populated by :meth:`run`.
+        self.network: SelfHealingBrokerSet | None = None
+        #: Controller's delayed view, populated by :meth:`run`.
+        self.view: SelfHealingBrokerSet | None = None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    @profiled("convergence.broker")
+    def run(self) -> ConvergenceReport:
+        tracer = get_tracer()
+        lat = self.latency
+        rng = ensure_rng(self._seed)
+        network = SelfHealingBrokerSet(
+            self._graph, self._brokers, policy=self.policy
+        )
+        view = SelfHealingBrokerSet(self._graph, self._brokers, policy=self.policy)
+        self.network, self.view = network, view
+        baseline = network.baseline
+
+        queue = EventQueue()
+        dark = DarknessIntegrator()
+        # Mirror replay_schedule's clock exactly: faults fire on steps
+        # 1..num_steps (step-0 events are outside the replay horizon),
+        # and the controller polls the SLA *every* step — a violation
+        # that survived one budgeted repair is retried next step with a
+        # fresh per-incident budget, just like maybe_repair.
+        fault_steps = sorted({
+            e.step for e in self._schedule.events
+            if 1 <= e.step <= self._schedule.num_steps
+        })
+        for step in fault_steps:
+            queue.push(lat.fault_time(step), PRIO_FAULT, ("fault", step))
+        for step in range(1, self._schedule.num_steps + 1):
+            queue.push(
+                lat.fault_time(step) + lat.detection_delay,
+                PRIO_DETECT,
+                ("detect", step),
+            )
+        first_fault = lat.fault_time(fault_steps[0]) if fault_steps else None
+
+        pending: set[int] = set()  # recruits commanded but not installed
+        planned_total = 0          # counts toward policy.max_total_added
+        sent = lost = retried = processed = abandoned = 0
+
+        with tracer.span(
+            "convergence.broker.run", events=len(self._schedule.events)
+        ) as span:
+            while queue:
+                t, payload = queue.pop()
+                processed += 1
+                kind = payload[0]
+                if kind == "fault":
+                    for event in self._schedule.at(payload[1]):
+                        network.apply(event)
+                    dark.update(t, self._dark_fraction(network, baseline))
+                elif kind == "detect":
+                    for event in self._schedule.at(payload[1]):
+                        view.apply(event)
+                    planned = self._plan(view, pending, planned_total)
+                    planned_total += len(planned)
+                    for recruit in planned:
+                        pending.add(recruit)
+                        outcome = self._dispatch(queue, t, recruit, 1, rng)
+                        sent += 1
+                        lost += outcome
+                elif kind == "retry":
+                    recruit, attempt = payload[1], payload[2]
+                    outcome = self._dispatch(queue, t, recruit, attempt, rng)
+                    sent += 1
+                    retried += 1
+                    lost += outcome
+                elif kind == "abandon":
+                    # All retries exhausted: degrade gracefully — the
+                    # network keeps serving over its stale paths and the
+                    # recruit slot is freed for future planning.
+                    pending.discard(payload[1])
+                    abandoned += 1
+                elif kind == "install":
+                    recruit = payload[1]
+                    pending.discard(recruit)
+                    network.recruit(recruit)
+                    view.recruit(recruit)
+                    dark.update(t, self._dark_fraction(network, baseline))
+                else:  # pragma: no cover - defensive
+                    raise AlgorithmError(f"unknown broker event {kind!r}")
+            span.set(messages=sent, lost=lost, installs=planned_total - len(pending))
+
+        end_time = queue.now
+        pair_seconds = dark.finish(end_time)
+        add_counter("convergence.broker.runs", 1)
+        add_counter("convergence.broker.messages", sent)
+        add_counter("convergence.broker.lost", lost)
+        add_counter("convergence.broker.abandoned", abandoned)
+        return ConvergenceReport(
+            model="broker",
+            description=self._schedule.description,
+            baseline=baseline,
+            first_fault_time=first_fault,
+            time_to_first_repair=_offset(dark.first_repair_time, first_fault),
+            time_to_full_convergence=_offset(dark.last_change_time, first_fault),
+            pair_seconds_dark=pair_seconds,
+            final_dark_fraction=dark.current,
+            max_dark_fraction=max(d for _, d in dark.timeline),
+            messages_sent=sent,
+            messages_lost=lost,
+            retries=retried,
+            events_processed=processed,
+            end_time=end_time,
+            timeline=tuple(dark.timeline),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dark_fraction(network: SelfHealingBrokerSet, baseline: float) -> float:
+        """Fraction of baseline-connected pairs currently dark."""
+        if baseline <= 0.0:
+            return 0.0
+        return max(0.0, (baseline - network.connectivity()) / baseline)
+
+    def _plan(
+        self, view: SelfHealingBrokerSet, pending: set[int], planned_total: int
+    ) -> list[int]:
+        """Choose recruits on the view — a checkpointed, rolled-back dry
+        run of exactly the ``SelfHealingBrokerSet.maybe_repair`` rule.
+
+        The view engine is mutated candidate-by-candidate so each greedy
+        pick sees its predecessors (the sequence matters), then rolled
+        back: nothing is committed until the install lands.  Pending
+        recruits are excluded so a lossy run never commands the same
+        vertex twice.
+        """
+        value = view.connectivity()
+        if value >= view.sla_target:
+            return []
+        budget = self.policy.repair_budget
+        if self.policy.max_total_added is not None:
+            budget = min(budget, self.policy.max_total_added - planned_total)
+        engine = view.engine
+        excluded = set(view.active_brokers) | set(view.down_brokers) | set(pending)
+        token = engine.checkpoint()
+        planned: list[int] = []
+        try:
+            while budget > 0 and value < view.sla_target:
+                candidate = best_coverage_candidate(engine, excluded=excluded)
+                if candidate is None:
+                    candidate = best_bridge_candidate(
+                        engine, excluded=excluded, current=value
+                    )
+                if candidate is None:
+                    break
+                engine.add_broker(candidate)
+                excluded.add(candidate)
+                planned.append(candidate)
+                budget -= 1
+                value = engine.saturated_connectivity()
+        finally:
+            engine.rollback(token)
+        return planned
+
+    def _dispatch(
+        self, queue: EventQueue, t: float, recruit: int, attempt: int, rng
+    ) -> int:
+        """Send one install command; returns 1 if it was lost.
+
+        A delivered command installs after the full control round trip
+        plus FIB write; a lost one retries under exponential backoff
+        until ``max_retries`` is spent, then abandons the recruit.
+        """
+        lat = self.latency
+        if rng.random() < lat.loss_prob:
+            if attempt <= lat.max_retries:
+                queue.push(
+                    t + lat.retry_delay(attempt),
+                    PRIO_TIMER,
+                    ("retry", recruit, attempt + 1),
+                )
+            else:
+                queue.push(t, PRIO_TIMER, ("abandon", recruit))
+            return 1
+        queue.push(
+            t + lat.control_rtt + lat.fib_install,
+            PRIO_MESSAGE,
+            ("install", recruit),
+        )
+        return 0
+
+
+def _offset(time: float | None, origin: float | None) -> float | None:
+    if time is None or origin is None:
+        return None
+    return time - origin

@@ -1,0 +1,203 @@
+"""Shared machinery of the convergence simulators.
+
+Both convergence models — the broker control plane and the BGP
+path-vector baseline — are discrete-event simulations over the same
+clock: a :class:`LatencyModel` maps a :class:`FaultSchedule`'s integer
+steps onto wall-clock fault times and prices every control-plane
+action, an :class:`EventQueue` (stdlib ``heapq``, no simpy) delivers
+events in a total deterministic order, and a
+:class:`DarknessIntegrator` turns the piecewise-constant dark-pair
+fraction into the paper-facing disruption metrics (pair-seconds-dark,
+time-to-first-repair, time-to-full-convergence).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.exceptions import AlgorithmError
+
+__all__ = [
+    "LatencyModel",
+    "EventQueue",
+    "DarknessIntegrator",
+    "PRIO_FAULT",
+    "PRIO_DETECT",
+    "PRIO_MESSAGE",
+    "PRIO_TIMER",
+]
+
+
+#: Delivery order of co-occurring event classes.  Failures hit the data
+#: plane before anyone reacts to them; detections fire before messages
+#: whose sends they may supersede; expiring timers run last.
+PRIO_FAULT = 0
+PRIO_DETECT = 1
+PRIO_MESSAGE = 2
+PRIO_TIMER = 3
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Every latency the control plane pays, in abstract seconds.
+
+    ``step_interval`` places :class:`FaultSchedule` step ``s`` at wall
+    time ``s * step_interval``.  The broker model pays ``detection_delay``
+    (monitor notices the failure) + ``control_rtt`` (command round trip
+    to the recruit) + ``fib_install`` (paths re-installed) per repair;
+    the BGP baseline pays ``detection_delay`` (session timeout) +
+    ``link_delay`` per UPDATE hop with ``mrai`` rate-limiting repeat
+    announcements on a session.  ``loss_prob`` drops broker control
+    messages (seeded), each retried after ``retry_timeout`` growing by
+    ``retry_backoff`` per attempt, at most ``max_retries`` times before
+    the repair degrades gracefully to the stale (pre-repair) paths.
+    """
+
+    detection_delay: float = 1.0
+    control_rtt: float = 0.2
+    fib_install: float = 0.1
+    link_delay: float = 0.05
+    mrai: float = 2.0
+    loss_prob: float = 0.0
+    retry_timeout: float = 0.5
+    retry_backoff: float = 2.0
+    max_retries: int = 3
+    step_interval: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "detection_delay", "control_rtt", "fib_install", "link_delay",
+            "mrai", "retry_timeout",
+        ):
+            if getattr(self, name) < 0:
+                raise AlgorithmError(f"{name} must be >= 0")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise AlgorithmError(
+                f"loss_prob must be in [0, 1), got {self.loss_prob}"
+            )
+        if self.retry_backoff < 1.0:
+            raise AlgorithmError("retry_backoff must be >= 1")
+        if self.max_retries < 0:
+            raise AlgorithmError("max_retries must be >= 0")
+        if self.step_interval <= 0:
+            raise AlgorithmError("step_interval must be > 0")
+
+    def fault_time(self, step: int) -> float:
+        """Wall-clock time at which schedule step ``step`` fires."""
+        return step * self.step_interval
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.retry_timeout * self.retry_backoff ** (attempt - 1)
+
+    def to_params(self) -> dict:
+        """JSON-safe form for ledger records and cache keys."""
+        return {
+            "detection_delay": self.detection_delay,
+            "control_rtt": self.control_rtt,
+            "fib_install": self.fib_install,
+            "link_delay": self.link_delay,
+            "mrai": self.mrai,
+            "loss_prob": self.loss_prob,
+            "retry_timeout": self.retry_timeout,
+            "retry_backoff": self.retry_backoff,
+            "max_retries": self.max_retries,
+            "step_interval": self.step_interval,
+        }
+
+
+class EventQueue:
+    """Deterministic discrete-event queue on stdlib ``heapq``.
+
+    Entries are ``(time, priority, seq, payload)``: ties on time break
+    by event-class priority, then by insertion order — a total order,
+    so two runs that push the same events pop them identically and the
+    whole simulation replays bit-for-bit.  Scheduling into the past is
+    an error (it would silently reorder history).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, tuple]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event."""
+        return self._now
+
+    def push(self, time: float, priority: int, payload: tuple) -> None:
+        if time < self._now:
+            raise AlgorithmError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (float(time), int(priority), self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, tuple]:
+        if not self._heap:
+            raise AlgorithmError("pop from empty event queue")
+        time, _, _, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class DarknessIntegrator:
+    """Integrates the piecewise-constant dark-pair fraction over time.
+
+    ``update(t, dark)`` closes the interval since the previous change at
+    the old level and records the new one; ``finish(t)`` closes the last
+    interval and returns pair-seconds-dark (the area under the curve —
+    "fraction of baseline-connected pairs" × seconds).  The recorded
+    ``timeline`` keeps one ``(time, dark)`` sample per level change,
+    which is exactly the staircase the dashboard plots.
+
+    Disruption landmarks fall out of the same stream: the first rise
+    above zero darkness is the disruption start, the first subsequent
+    *decrease* is the first repair taking effect, and the last change of
+    any kind is full convergence (quiescence may still be dark when
+    repair was impossible — graceful degradation, not an error).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._last_time = start_time
+        self._last_dark = 0.0
+        self._area = 0.0
+        self.timeline: list[tuple[float, float]] = [(start_time, 0.0)]
+        self.first_dark_time: float | None = None
+        self.first_repair_time: float | None = None
+        self.last_change_time: float | None = None
+
+    @property
+    def current(self) -> float:
+        return self._last_dark
+
+    def update(self, time: float, dark: float) -> None:
+        if time < self._last_time:
+            raise AlgorithmError("darkness updates must be time-ordered")
+        if dark == self._last_dark:
+            return
+        self._area += (time - self._last_time) * self._last_dark
+        if dark > 0.0 and self.first_dark_time is None:
+            self.first_dark_time = time
+        if dark < self._last_dark and self.first_repair_time is None:
+            self.first_repair_time = time
+        self.last_change_time = time
+        self._last_time = time
+        self._last_dark = dark
+        self.timeline.append((time, dark))
+
+    def finish(self, time: float) -> float:
+        """Close the integral at ``time`` and return pair-seconds-dark."""
+        if time < self._last_time:
+            raise AlgorithmError("cannot finish before the last update")
+        self._area += (time - self._last_time) * self._last_dark
+        self._last_time = time
+        return self._area

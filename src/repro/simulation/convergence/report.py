@@ -1,0 +1,123 @@
+"""The common outcome type of both convergence models.
+
+A :class:`ConvergenceReport` captures one fault campaign's disruption
+profile — *how long* pairs stayed dark, not just which pairs ended up
+dark (that is :class:`repro.resilience.replay.ResilienceReport`'s job).
+All times are in the :class:`~repro.simulation.convergence.core.
+LatencyModel`'s abstract seconds and are measured from the first fault,
+so a broker run and a BGP run over the same schedule are directly
+comparable.  Reports are plain data: lossless dict round-trip for the
+result cache/ledger and a canonical digest for bit-identical replay
+checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+__all__ = ["ConvergenceReport", "report_to_dict", "report_from_dict"]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Disruption profile of one simulated fault campaign.
+
+    ``baseline`` is the model's healthy-state service level (the broker
+    model's saturated connectivity / the BGP model's policy-reachable
+    fraction over sampled pairs); darkness is measured relative to it,
+    so ``pair_seconds_dark`` integrates "fraction of initially-served
+    pairs out of service" over time.  ``time_to_first_repair`` and
+    ``time_to_full_convergence`` are offsets from ``first_fault_time``
+    (``None`` when the campaign caused no disruption, or — for the
+    former — when nothing ever recovered).  A non-zero
+    ``final_dark_fraction`` is graceful degradation: the model
+    quiesced on stale/partial paths rather than full service.
+    """
+
+    model: str
+    description: str
+    baseline: float
+    first_fault_time: float | None
+    time_to_first_repair: float | None
+    time_to_full_convergence: float | None
+    pair_seconds_dark: float
+    final_dark_fraction: float
+    max_dark_fraction: float
+    messages_sent: int
+    messages_lost: int
+    retries: int
+    events_processed: int
+    end_time: float
+    timeline: tuple[tuple[float, float], ...]
+
+    def digest(self) -> str:
+        """Canonical content hash — equal iff the reports are equal."""
+        payload = json.dumps(
+            report_to_dict(self), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def summary(self) -> str:
+        ttfr = (
+            "-" if self.time_to_first_repair is None
+            else f"{self.time_to_first_repair:.2f}s"
+        )
+        ttc = (
+            "-" if self.time_to_full_convergence is None
+            else f"{self.time_to_full_convergence:.2f}s"
+        )
+        return (
+            f"{self.model}: first repair {ttfr}, converged {ttc}, "
+            f"{self.pair_seconds_dark:.3f} pair-s dark "
+            f"(peak {100 * self.max_dark_fraction:.1f}%, "
+            f"final {100 * self.final_dark_fraction:.1f}%), "
+            f"{self.messages_sent} msgs"
+        )
+
+
+def report_to_dict(report: ConvergenceReport) -> dict:
+    """JSON-safe form of a :class:`ConvergenceReport` (lossless)."""
+    return {
+        "model": report.model,
+        "description": report.description,
+        "baseline": report.baseline,
+        "first_fault_time": report.first_fault_time,
+        "time_to_first_repair": report.time_to_first_repair,
+        "time_to_full_convergence": report.time_to_full_convergence,
+        "pair_seconds_dark": report.pair_seconds_dark,
+        "final_dark_fraction": report.final_dark_fraction,
+        "max_dark_fraction": report.max_dark_fraction,
+        "messages_sent": report.messages_sent,
+        "messages_lost": report.messages_lost,
+        "retries": report.retries,
+        "events_processed": report.events_processed,
+        "end_time": report.end_time,
+        "timeline": [[t, d] for t, d in report.timeline],
+    }
+
+
+def report_from_dict(data: dict) -> ConvergenceReport:
+    """Inverse of :func:`report_to_dict`."""
+
+    def _opt(value) -> float | None:
+        return None if value is None else float(value)
+
+    return ConvergenceReport(
+        model=str(data["model"]),
+        description=str(data["description"]),
+        baseline=float(data["baseline"]),
+        first_fault_time=_opt(data["first_fault_time"]),
+        time_to_first_repair=_opt(data["time_to_first_repair"]),
+        time_to_full_convergence=_opt(data["time_to_full_convergence"]),
+        pair_seconds_dark=float(data["pair_seconds_dark"]),
+        final_dark_fraction=float(data["final_dark_fraction"]),
+        max_dark_fraction=float(data["max_dark_fraction"]),
+        messages_sent=int(data["messages_sent"]),
+        messages_lost=int(data["messages_lost"]),
+        retries=int(data["retries"]),
+        events_processed=int(data["events_processed"]),
+        end_time=float(data["end_time"]),
+        timeline=tuple((float(t), float(d)) for t, d in data["timeline"]),
+    )

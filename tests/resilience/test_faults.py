@@ -198,3 +198,49 @@ class TestComposedCampaign:
         a, b = build(), build()
         assert a == b
         assert a.description == "campaign"
+
+
+class TestComposeTotalOrder:
+    """compose() must define a total deterministic order for same-step
+    events regardless of the order its inputs are given in."""
+
+    def test_compose_is_commutative(self, tiny_internet):
+        brokers = maxsg(tiny_internet, 10)
+        a = independent_crashes(brokers, num_steps=5, crash_prob=0.3, seed=4)
+        b = link_cut_campaign(
+            tiny_internet, num_steps=5, cuts_per_step=3, seed=4, brokers=brokers
+        )
+        ab = compose(a, b, description="x")
+        ba = compose(b, a, description="x")
+        assert ab.events == ba.events
+        assert ab == ba
+
+    def test_same_step_kind_order(self):
+        # Same step: BROKER_DOWN sorts before BROKER_UP before LINK_CUT,
+        # then by node id, endpoints and cause — a documented total order.
+        events = [
+            FaultEvent(2, FaultKind.LINK_CUT, endpoints=(1, 2)),
+            FaultEvent(2, FaultKind.BROKER_UP, node=9),
+            FaultEvent(2, FaultKind.BROKER_DOWN, node=9),
+            FaultEvent(2, FaultKind.BROKER_DOWN, node=3),
+        ]
+        lo = FaultSchedule.from_events(2, events[:2])
+        hi = FaultSchedule.from_events(2, events[2:])
+        composed = compose(lo, hi)
+        kinds = [(e.kind, e.node) for e in composed.events]
+        assert kinds == [
+            (FaultKind.BROKER_DOWN, 3),
+            (FaultKind.BROKER_DOWN, 9),
+            (FaultKind.BROKER_UP, 9),
+            (FaultKind.LINK_CUT, None),
+        ]
+
+    def test_ties_broken_by_node_then_cause(self):
+        a = FaultSchedule.from_events(
+            1, [FaultEvent(1, FaultKind.BROKER_DOWN, node=5, cause="b")]
+        )
+        b = FaultSchedule.from_events(
+            1, [FaultEvent(1, FaultKind.BROKER_DOWN, node=5, cause="a")]
+        )
+        composed = compose(a, b)
+        assert [e.cause for e in composed.events] == ["a", "b"]

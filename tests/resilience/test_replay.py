@@ -98,3 +98,66 @@ class TestTrajectoryShape:
             # the violation either healed in-step (0) or took >= 1 step
             assert all(t >= 0 for t in times)
             assert len(times) >= 1
+
+
+class TestVerifiedReplay:
+    def test_verify_every_clean_run_matches_unverified(self, tiny_internet, campaign):
+        brokers, schedule = campaign
+        policy = SlaPolicy(threshold=0.9, repair_budget=3)
+        plain = replay_schedule(tiny_internet, brokers, schedule, policy=policy)
+        checked = replay_schedule(
+            tiny_internet, brokers, schedule, policy=policy, verify_every=1
+        )
+        assert plain == checked
+
+    def test_negative_verify_every_rejected(self, tiny_internet, campaign):
+        from repro.exceptions import AlgorithmError
+
+        brokers, schedule = campaign
+        with pytest.raises(AlgorithmError):
+            replay_schedule(tiny_internet, brokers, schedule, verify_every=-1)
+
+    def test_drift_raises_structured_resilience_error(
+        self, tiny_internet, campaign, monkeypatch
+    ):
+        from repro.core.engine import DominationEngine
+        from repro.exceptions import AlgorithmError, ResilienceError
+
+        brokers, schedule = campaign
+
+        def broken_verify(self):
+            raise AlgorithmError("coverage drifted by 3 nodes")
+
+        monkeypatch.setattr(DominationEngine, "verify", broken_verify)
+        with pytest.raises(ResilienceError) as excinfo:
+            replay_schedule(
+                tiny_internet, brokers, schedule, verify_every=2
+            )
+        err = excinfo.value
+        # Structured, not a bare assertion: step index + drift details.
+        assert err.step == 2
+        assert "coverage drifted" in err.details
+        assert "step 2" in str(err)
+
+    def test_final_step_verified_even_off_cadence(
+        self, tiny_internet, monkeypatch
+    ):
+        from repro.core.engine import DominationEngine
+        from repro.exceptions import AlgorithmError, ResilienceError
+
+        brokers = maxsg(tiny_internet, 10)
+        schedule = independent_crashes(
+            brokers, num_steps=3, crash_prob=0.2, seed=11
+        )
+
+        calls: list[int] = []
+        real = DominationEngine.verify
+
+        def counting_verify(self):
+            calls.append(1)
+            return real(self)
+
+        monkeypatch.setattr(DominationEngine, "verify", counting_verify)
+        replay_schedule(tiny_internet, brokers, schedule, verify_every=2)
+        # step 2 (cadence) + the extra final-step check at step 3
+        assert len(calls) == 2

@@ -1,0 +1,274 @@
+"""Unit tests for the discrete-event convergence simulators."""
+
+import pytest
+
+from tests.fixtures import maxsg_brokers
+from repro.exceptions import AlgorithmError
+from repro.resilience import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    SlaPolicy,
+    link_cut_campaign,
+    regional_outage,
+)
+from repro.simulation.convergence import (
+    BGPConvergenceSimulator,
+    BrokerConvergenceSimulator,
+    DarknessIntegrator,
+    EventQueue,
+    LatencyModel,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.simulation.convergence.core import PRIO_DETECT, PRIO_FAULT
+
+
+def targeted_schedule(graph, brokers, count=3):
+    from repro.core.robustness import coverage_contribution_order
+
+    victims = coverage_contribution_order(graph, brokers)[:count]
+    return FaultSchedule.from_events(
+        1,
+        [FaultEvent(1, FaultKind.BROKER_DOWN, node=b, cause="targeted")
+         for b in victims],
+        description="targeted",
+    )
+
+
+class TestEventQueue:
+    def test_orders_by_time_then_priority_then_seq(self):
+        q = EventQueue()
+        q.push(2.0, PRIO_FAULT, ("late",))
+        q.push(1.0, PRIO_DETECT, ("second",))
+        q.push(1.0, PRIO_FAULT, ("first",))
+        q.push(1.0, PRIO_FAULT, ("third",))
+        popped = [q.pop()[1][0] for _ in range(4)]
+        assert popped == ["first", "third", "second", "late"]
+
+    def test_rejects_scheduling_into_the_past(self):
+        q = EventQueue()
+        q.push(5.0, PRIO_FAULT, ("x",))
+        q.pop()
+        with pytest.raises(AlgorithmError):
+            q.push(4.0, PRIO_FAULT, ("y",))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(AlgorithmError):
+            EventQueue().pop()
+
+
+class TestLatencyModel:
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            LatencyModel(detection_delay=-1.0)
+        with pytest.raises(AlgorithmError):
+            LatencyModel(loss_prob=1.0)
+        with pytest.raises(AlgorithmError):
+            LatencyModel(retry_backoff=0.5)
+        with pytest.raises(AlgorithmError):
+            LatencyModel(step_interval=0.0)
+
+    def test_retry_backoff_grows(self):
+        lat = LatencyModel(retry_timeout=0.5, retry_backoff=2.0)
+        assert lat.retry_delay(1) == 0.5
+        assert lat.retry_delay(3) == 2.0
+
+    def test_params_round_trip(self):
+        lat = LatencyModel(mrai=7.0)
+        assert LatencyModel(**lat.to_params()) == lat
+
+
+class TestDarknessIntegrator:
+    def test_integrates_staircase(self):
+        dark = DarknessIntegrator()
+        dark.update(1.0, 0.5)
+        dark.update(3.0, 0.25)
+        assert dark.finish(5.0) == pytest.approx(0.5 * 2.0 + 0.25 * 2.0)
+        assert dark.timeline == [(0.0, 0.0), (1.0, 0.5), (3.0, 0.25)]
+
+    def test_landmarks(self):
+        dark = DarknessIntegrator()
+        dark.update(2.0, 0.4)
+        dark.update(6.0, 0.1)
+        dark.update(9.0, 0.0)
+        assert dark.first_dark_time == 2.0
+        assert dark.first_repair_time == 6.0
+        assert dark.last_change_time == 9.0
+
+    def test_rejects_time_travel(self):
+        dark = DarknessIntegrator()
+        dark.update(3.0, 0.2)
+        with pytest.raises(AlgorithmError):
+            dark.update(2.0, 0.1)
+
+
+class TestBrokerConvergence:
+    def test_bit_identical_across_runs(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        runs = [
+            BrokerConvergenceSimulator(
+                tiny_internet, brokers, sched, seed=5
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert runs[0].digest() == runs[1].digest()
+
+    def test_repairs_restore_connectivity(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        policy = SlaPolicy(threshold=0.95, repair_budget=8)
+        report = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, policy=policy, seed=5
+        ).run()
+        assert report.first_fault_time == 10.0
+        assert report.time_to_first_repair is not None
+        assert report.final_dark_fraction < report.max_dark_fraction
+        assert report.messages_sent > 0
+        assert report.pair_seconds_dark > 0.0
+
+    def test_detection_precedes_install(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        lat = LatencyModel(detection_delay=2.0, control_rtt=0.5, fib_install=0.25)
+        report = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, latency=lat,
+            policy=SlaPolicy(threshold=0.95, repair_budget=8), seed=5,
+        ).run()
+        assert report.time_to_first_repair == pytest.approx(2.75)
+
+    def test_lossy_control_plane_retries_and_degrades(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        policy = SlaPolicy(threshold=0.95, repair_budget=8)
+        lossy = LatencyModel(loss_prob=0.7, max_retries=2)
+        report = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, latency=lossy,
+            policy=policy, seed=5,
+        ).run()
+        clean = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, policy=policy, seed=5
+        ).run()
+        assert report.messages_lost > 0
+        assert report.retries > 0
+        # Lost installs arrive late or never: the lossy run can only be
+        # as dark or darker, never brighter — and it must still quiesce.
+        assert report.pair_seconds_dark >= clean.pair_seconds_dark
+        # Graceful degradation, not a crash: bit-identical on re-run too.
+        rerun = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, latency=lossy,
+            policy=policy, seed=5,
+        ).run()
+        assert rerun.digest() == report.digest()
+
+    def test_no_faults_no_disruption(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        empty = FaultSchedule.from_events(3, [], description="quiet")
+        report = BrokerConvergenceSimulator(
+            tiny_internet, brokers, empty, seed=5
+        ).run()
+        assert report.pair_seconds_dark == 0.0
+        assert report.first_fault_time is None
+        assert report.time_to_full_convergence is None
+
+    def test_report_dict_round_trip(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        report = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, seed=5
+        ).run()
+        assert report_from_dict(report_to_dict(report)) == report
+
+
+class TestBGPConvergence:
+    def test_bit_identical_across_runs(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        runs = [
+            BGPConvergenceSimulator(
+                tiny_internet, sched, seed=5, num_destinations=5
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert runs[0].digest() == runs[1].digest()
+
+    def test_path_exploration_emits_messages(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        report = BGPConvergenceSimulator(
+            tiny_internet, sched, seed=5, num_destinations=5
+        ).run()
+        assert report.messages_sent > 0
+        assert report.pair_seconds_dark > 0.0
+        # Convergence cannot complete before the session timeout fires.
+        assert report.time_to_full_convergence is not None
+        assert report.time_to_full_convergence >= 1.0
+
+    def test_mrai_stretches_convergence(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        fast = BGPConvergenceSimulator(
+            tiny_internet, sched, latency=LatencyModel(mrai=0.0),
+            seed=5, num_destinations=5,
+        ).run()
+        slow = BGPConvergenceSimulator(
+            tiny_internet, sched, latency=LatencyModel(mrai=5.0),
+            seed=5, num_destinations=5,
+        ).run()
+        assert slow.time_to_full_convergence >= fast.time_to_full_convergence
+
+    def test_node_recovery_relights_pairs(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        victim = brokers[0]
+        sched = FaultSchedule.from_events(
+            2,
+            [
+                FaultEvent(1, FaultKind.BROKER_DOWN, node=victim),
+                FaultEvent(2, FaultKind.BROKER_UP, node=victim),
+            ],
+            description="flap",
+        )
+        report = BGPConvergenceSimulator(
+            tiny_internet, sched, seed=5, num_destinations=5
+        ).run()
+        # After the node returns and re-converges, darkness clears.
+        assert report.final_dark_fraction == pytest.approx(0.0)
+
+    def test_broker_converges_faster_than_bgp(self, tiny_internet):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        sched = targeted_schedule(tiny_internet, brokers)
+        policy = SlaPolicy(threshold=0.95, repair_budget=8)
+        broker = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, policy=policy, seed=5
+        ).run()
+        bgp = BGPConvergenceSimulator(
+            tiny_internet, sched, seed=5, num_destinations=5
+        ).run()
+        assert (
+            broker.time_to_full_convergence < bgp.time_to_full_convergence
+        )
+
+
+class TestOtherFaultKinds:
+    @pytest.mark.parametrize("kind", ["regional", "linkcut"])
+    def test_both_models_quiesce(self, tiny_internet, kind):
+        brokers = list(maxsg_brokers("tiny", 1, 10))
+        if kind == "regional":
+            sched = regional_outage(tiny_internet, brokers, radius=1, seed=2)
+        else:
+            sched = link_cut_campaign(
+                tiny_internet, num_steps=1, cuts_per_step=25,
+                seed=2, brokers=brokers,
+            )
+        broker = BrokerConvergenceSimulator(
+            tiny_internet, brokers, sched, seed=2
+        ).run()
+        bgp = BGPConvergenceSimulator(
+            tiny_internet, sched, seed=2, num_destinations=5
+        ).run()
+        for report in (broker, bgp):
+            assert report.events_processed > 0
+            assert 0.0 <= report.final_dark_fraction <= 1.0
