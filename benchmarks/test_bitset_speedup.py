@@ -1,0 +1,86 @@
+"""Bench P7 — the acceptance benchmark for the bitset kernel backend.
+
+The issue's claim, asserted (not just timed): the bitset backend makes
+greedy max-coverage and the connectivity curve at least 5x faster than
+the python reference kernels at the ``small`` profile, while returning
+*bit-identical* results — so a passing run doubles as a differential
+check at benchmark scale.
+
+Unlike the rest of the harness this file pins the ``small`` profile
+explicitly instead of honouring ``REPRO_BENCH_SCALE``: the acceptance
+bar is defined at 3,019 nodes, and at ``tiny`` the python kernels are
+too fast for a stable ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import timed_once
+from repro.core.bitset import bitset_greedy_max_coverage
+from repro.core.connectivity import connectivity_curve
+from repro.core.greedy import greedy_max_coverage
+from repro.core.maxsg import maxsg
+from repro.datasets.loader import load_internet
+
+MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    """The 3,019-node small profile, built outside any timed region."""
+    return load_internet("small", seed=1)
+
+
+def test_greedy_max_coverage_speedup(benchmark, small_graph):
+    budget = max(8, small_graph.num_nodes // 50)
+    t0 = time.perf_counter()
+    slow = greedy_max_coverage(small_graph, budget)
+    slow_s = time.perf_counter() - t0
+
+    fast, fast_s = timed_once(
+        benchmark, bitset_greedy_max_coverage, small_graph, budget
+    )
+    assert fast == slow
+    if fast_s is None:  # --benchmark-disable: equality-only smoke mode
+        return
+    print(
+        f"\ngreedy max-coverage (budget {budget}): "
+        f"python {slow_s:.2f}s, bitset {fast_s:.3f}s "
+        f"({slow_s / fast_s:.1f}x)"
+    )
+    assert fast_s * MIN_SPEEDUP <= slow_s, (
+        f"expected >= {MIN_SPEEDUP}x greedy speedup, "
+        f"got {slow_s / fast_s:.2f}x"
+    )
+
+
+def test_connectivity_curve_speedup(benchmark, small_graph):
+    brokers = maxsg(
+        small_graph, max(8, small_graph.num_nodes // 50), backend="bitset"
+    )
+    kwargs = dict(max_hops=8, seed=1)
+    t0 = time.perf_counter()
+    slow = connectivity_curve(small_graph, brokers, backend="python", **kwargs)
+    slow_s = time.perf_counter() - t0
+
+    fast, fast_s = timed_once(
+        benchmark, connectivity_curve, small_graph, brokers,
+        backend="bitset", **kwargs,
+    )
+    np.testing.assert_array_equal(fast.fractions, slow.fractions)
+    assert fast.saturated == slow.saturated
+    if fast_s is None:  # --benchmark-disable: equality-only smoke mode
+        return
+    print(
+        f"\nconnectivity curve ({len(brokers)} brokers, exact sources): "
+        f"python {slow_s:.2f}s, bitset {fast_s:.3f}s "
+        f"({slow_s / fast_s:.1f}x)"
+    )
+    assert fast_s * MIN_SPEEDUP <= slow_s, (
+        f"expected >= {MIN_SPEEDUP}x connectivity speedup, "
+        f"got {slow_s / fast_s:.2f}x"
+    )

@@ -18,6 +18,7 @@ import time
 
 import numpy as np
 
+from benchmarks.conftest import timed_once
 from repro.core.maxsg import maxsg
 from repro.core.robustness import failure_sweep, failure_sweep_reference
 from repro.simulation.churn import (
@@ -39,15 +40,16 @@ def test_failure_sweep_speedup(benchmark, config, warm_graph):
     def engine_sweep():
         return failure_sweep(warm_graph, brokers, **kwargs)
 
-    fast = benchmark.pedantic(engine_sweep, rounds=1, iterations=1)
-    fast_s = benchmark.stats.stats.total
+    fast, fast_s = timed_once(benchmark, engine_sweep)
+    np.testing.assert_array_equal(fast.removed, slow.removed)
+    np.testing.assert_array_equal(fast.connectivity, slow.connectivity)
+    if fast_s is None:  # --benchmark-disable: equality-only smoke mode
+        return
     print(
         f"\nfailure sweep ({len(brokers)} brokers, {len(fast.removed)} points): "
         f"from-scratch {slow_s:.2f}s, engine {fast_s:.2f}s "
         f"({slow_s / fast_s:.1f}x)"
     )
-    np.testing.assert_array_equal(fast.removed, slow.removed)
-    np.testing.assert_array_equal(fast.connectivity, slow.connectivity)
     assert fast_s * 2.0 <= slow_s, (
         f"expected >= 2x sweep speedup, got {slow_s / fast_s:.2f}x"
     )
@@ -71,18 +73,17 @@ def test_churn_maintenance_speedup(benchmark, config, warm_graph):
     slow = replay(IncrementalBrokerSetReference)
     slow_s = time.perf_counter() - t0
 
-    fast = benchmark.pedantic(
-        replay, args=(IncrementalBrokerSet,), rounds=1, iterations=1
-    )
-    fast_s = benchmark.stats.stats.total
+    fast, fast_s = timed_once(benchmark, replay, IncrementalBrokerSet)
+    assert fast.brokers == slow.brokers
+    assert fast.covered_set() == slow.covered_set()
+    assert fast.stats == slow.stats
+    if fast_s is None:  # --benchmark-disable: equality-only smoke mode
+        return
     print(
         f"\nchurn replay ({CHURN_EVENTS} events): "
         f"from-scratch {slow_s:.2f}s, engine {fast_s:.2f}s "
         f"({slow_s / fast_s:.1f}x)"
     )
-    assert fast.brokers == slow.brokers
-    assert fast.covered_set() == slow.covered_set()
-    assert fast.stats == slow.stats
     assert fast_s * 2.0 <= slow_s, (
         f"expected >= 2x churn speedup, got {slow_s / fast_s:.2f}x"
     )

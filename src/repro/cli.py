@@ -96,7 +96,10 @@ def _cmd_select(args: argparse.Namespace) -> int:
         return 2
     graph = load_internet(args.scale, seed=args.seed)
     selector = BrokerSelector(graph)
-    result = selector.select(args.algorithm, args.budget, seed=args.seed)
+    result = selector.select(
+        args.algorithm, args.budget, seed=args.seed,
+        backend=args.kernel_backend,
+    )
     print(result.summary())
     if args.show_brokers:
         names = [graph.name_of(b) for b in result.broker_set[: args.show_brokers]]
@@ -219,7 +222,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         run_experiment_batch,
     )
 
-    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, kernel_backend=args.kernel_backend
+    )
     names = list_experiments() if args.name == "all" else [args.name]
     batch = run_experiment_batch(
         names,
@@ -481,6 +486,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         num_sources=args.num_sources,
+        kernel_backend=args.kernel_backend,
     )
     budgets = args.budgets or None
     with Timer() as timer:
@@ -632,6 +638,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_kernel_backend_flag(p: argparse.ArgumentParser) -> None:
+    """``--kernel-backend`` — which kernel implementation runs the math.
+
+    Distinct from ``--backend`` (the parallel *executor*): every kernel
+    backend returns bit-identical results, so this only changes speed.
+    Default ``None`` defers to ``$REPRO_KERNEL_BACKEND`` / ``python``.
+    """
+    from repro.core.registry import backend_names
+
+    p.add_argument("--kernel-backend", choices=backend_names(), default=None,
+                   help="kernel backend for selection/connectivity math "
+                        "(default: $REPRO_KERNEL_BACKEND or 'python'; "
+                        "results are bit-identical across backends)")
+
+
 def _add_parallel_flags(p: argparse.ArgumentParser) -> None:
     """The shared executor/cache knobs (``repro.parallel``)."""
     from repro.parallel.executor import BACKENDS
@@ -715,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=available_scales(), default="small")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--show-brokers", type=int, default=0)
+    _add_kernel_backend_flag(p)
     p.set_defaults(fn=_cmd_select)
 
     p = sub.add_parser("experiment", help="reproduce a paper table/figure")
@@ -729,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None,
                    help="JSON checkpoint file; reruns resume past "
                         "completed experiments")
+    _add_kernel_backend_flag(p)
     _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_experiment)
 
@@ -747,6 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ranked rows per cell (table5)")
     p.add_argument("--pretty", action="store_true", help="indent the JSON")
     p.add_argument("--output", default=None, help="write JSON to file")
+    _add_kernel_backend_flag(p)
     _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_sweep)
 

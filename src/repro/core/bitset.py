@@ -1,0 +1,241 @@
+"""Bitset backend for the coverage kernels (Algorithm 1 twins).
+
+Closed neighborhoods are precomputed once per graph as an ``(n, words)``
+``uint64`` block matrix — row ``u`` is the mask ``{u} ∪ N(u)`` — plus a
+python-int view of every row for the heap-driven kernels.  With those in
+hand the two greedy selection rules become pure mask algebra:
+
+* :func:`bitset_greedy_max_coverage` — paper Algorithm 1, with the whole
+  candidate pool's marginal gains evaluated in one batched
+  AND + popcount per round (:func:`batched_marginal_gains`);
+* :func:`bitset_lazy_greedy_max_coverage` — the CELF lazy variant; a
+  gain re-evaluation is one ``(mask & uncovered).bit_count()``.
+
+Both are pinned bit-identical to their pure-python twins in
+:mod:`repro.core.greedy` by the differential suite
+(``tests/core/test_backend_differential.py``): same rosters, same
+selection order, same tie-breaks (ties go to the smallest vertex id in
+all four implementations).
+
+The per-graph mask tables are cached in an ``id()``-keyed registry with
+weakref eviction — :class:`~repro.graph.asgraph.ASGraph` is a frozen
+dataclass holding ndarrays, so it is weakref-able but not hashable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph
+from repro.graph.bitset import (
+    bitwise_count,
+    blocks_to_mask,
+    num_words,
+)
+from repro.obs import add_counter, get_tracer, profiled
+
+_BLOCK_CACHE: dict[int, tuple[weakref.ref, np.ndarray]] = {}
+_MASK_CACHE: dict[int, tuple[weakref.ref, list[int]]] = {}
+
+
+def _cache_get(cache: dict, graph: ASGraph):
+    entry = cache.get(id(graph))
+    if entry is not None and entry[0]() is graph:
+        return entry[1]
+    return None
+
+
+def _cache_put(cache: dict, graph: ASGraph, value) -> None:
+    key = id(graph)
+
+    def _evict(_ref, *, _key=key, _cache=cache):
+        _cache.pop(_key, None)
+
+    cache[key] = (weakref.ref(graph, _evict), value)
+
+
+def closed_neighborhood_blocks(graph: ASGraph) -> np.ndarray:
+    """``(n, num_words(n))`` uint64 matrix; row ``u`` masks ``{u} ∪ N(u)``.
+
+    Built once per graph (grouped segmented OR over the CSR edge list)
+    and cached for the graph's lifetime; treat the result as read-only.
+    """
+    cached = _cache_get(_BLOCK_CACHE, graph)
+    if cached is not None:
+        return cached
+    n = graph.num_nodes
+    words = max(num_words(n), 1)
+    indptr = graph.adj.indptr
+    self_ids = np.arange(n, dtype=np.int64)
+    src = np.concatenate(
+        [np.repeat(self_ids, np.diff(indptr)), self_ids]
+    )
+    dst = np.concatenate([graph.adj.indices.astype(np.int64), self_ids])
+    # Group the (row, word) cells, OR each group's bit values in one
+    # reduceat, then scatter into the flat table.
+    key = src * words + (dst >> 6)
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    bitval = np.uint64(1) << (dst[order] & 63).astype(np.uint64)
+    cells, starts = np.unique(key, return_index=True)
+    blocks = np.zeros(n * words, dtype=np.uint64)
+    if len(cells):
+        blocks[cells] = np.bitwise_or.reduceat(bitval, starts)
+    table = blocks.reshape(n, words)
+    add_counter("kernel.bitset.mask_builds")
+    _cache_put(_BLOCK_CACHE, graph, table)
+    return table
+
+
+def closed_neighborhood_masks(graph: ASGraph) -> list[int]:
+    """Python-int view of :func:`closed_neighborhood_blocks` (cached)."""
+    cached = _cache_get(_MASK_CACHE, graph)
+    if cached is not None:
+        return cached
+    blocks = closed_neighborhood_blocks(graph)
+    masks = [blocks_to_mask(row) for row in blocks]
+    _cache_put(_MASK_CACHE, graph, masks)
+    return masks
+
+
+def batched_marginal_gains(
+    nbhd_blocks: np.ndarray, uncovered_blocks: np.ndarray
+) -> np.ndarray:
+    """Marginal coverage gain of every row of ``nbhd_blocks`` at once.
+
+    ``gains[i] = |N[v_i] ∩ uncovered|`` — one vectorized AND + popcount
+    over the whole candidate pool, the batched-evaluation primitive the
+    plain greedy loop (and anything scanning many candidates) uses.
+    """
+    return bitwise_count(nbhd_blocks & uncovered_blocks).sum(
+        axis=1, dtype=np.int64
+    )
+
+
+def _validate_budget(graph: ASGraph, budget: int) -> None:
+    if budget < 1:
+        raise AlgorithmError(f"budget must be >= 1, got {budget}")
+    if budget > graph.num_nodes:
+        raise AlgorithmError(
+            f"budget {budget} exceeds the number of vertices {graph.num_nodes}"
+        )
+
+
+def _uncovered_blocks(n: int) -> np.ndarray:
+    """Block mask of the full universe ``{0, .., n-1}``."""
+    blocks = np.full(max(num_words(n), 1), ~np.uint64(0), dtype=np.uint64)
+    tail = n & 63
+    if tail:
+        blocks[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+    if n == 0:
+        blocks[:] = np.uint64(0)
+    return blocks
+
+
+@profiled("kernel.bitset_greedy")
+def bitset_greedy_max_coverage(
+    graph: ASGraph,
+    budget: int,
+    *,
+    candidates: np.ndarray | None = None,
+) -> list[int]:
+    """Bitset twin of :func:`repro.core.greedy.greedy_max_coverage`.
+
+    Identical selection rule and tie-breaks: each round takes the
+    ``argmax`` of the batched gains, which resolves ties to the smallest
+    vertex id exactly like the python loop's strict ``>`` comparison
+    over an ascending pool.
+    """
+    _validate_budget(graph, budget)
+    pool = (
+        np.arange(graph.num_nodes)
+        if candidates is None
+        else np.unique(np.asarray(candidates, dtype=np.int64))
+    )
+    if len(pool) == 0:
+        raise AlgorithmError("candidate pool is empty")
+    tracer = get_tracer()
+    blocks = closed_neighborhood_blocks(graph)
+    cand_blocks = blocks[pool]
+    uncovered = _uncovered_blocks(graph.num_nodes)
+    chosen: list[int] = []
+    for round_no in range(budget):
+        with tracer.span("bitset_greedy.round", round=round_no) as span:
+            gains = batched_marginal_gains(cand_blocks, uncovered)
+            best = int(gains.argmax())
+            if gains[best] == 0:
+                break  # nothing adds coverage
+            v = int(pool[best])
+            chosen.append(v)
+            uncovered &= ~blocks[v]
+            span.set(vertex=v, gain=int(gains[best]))
+    add_counter("kernel.bitset_greedy.gain_evaluations", len(pool) * len(chosen))
+    add_counter("kernel.bitset_greedy.rounds", len(chosen))
+    return chosen
+
+
+@profiled("kernel.bitset_lazy_greedy")
+def bitset_lazy_greedy_max_coverage(
+    graph: ASGraph,
+    budget: int,
+    *,
+    candidates: np.ndarray | None = None,
+) -> list[int]:
+    """Bitset twin of :func:`repro.core.greedy.lazy_greedy_max_coverage`.
+
+    Mirrors the CELF control flow exactly — same initial degree bounds,
+    same stale-round bookkeeping, same heap order — so the selection
+    sequence is bit-identical; only the gain oracle changes, to one
+    AND + popcount over python-int masks.
+    """
+    _validate_budget(graph, budget)
+    pool = (
+        np.arange(graph.num_nodes)
+        if candidates is None
+        else np.unique(np.asarray(candidates, dtype=np.int64))
+    )
+    if len(pool) == 0:
+        raise AlgorithmError("candidate pool is empty")
+    tracer = get_tracer()
+    evaluations = 0
+    repops = 0
+    masks = closed_neighborhood_masks(graph)
+    uncovered = (1 << graph.num_nodes) - 1
+    degrees = graph.degrees()
+    heap: list[tuple[int, int]] = [(-(int(degrees[v]) + 1), int(v)) for v in pool]
+    heapq.heapify(heap)
+    stale = np.zeros(graph.num_nodes, dtype=np.int64)
+    round_no = 0
+    chosen: list[int] = []
+    done = False
+    while heap and len(chosen) < budget and not done:
+        with tracer.span("bitset_lazy_greedy.round", round=round_no) as span:
+            while True:
+                if not heap:
+                    done = True
+                    break
+                neg_gain, v = heapq.heappop(heap)
+                if stale[v] != round_no:
+                    evaluations += 1
+                    gain = (masks[v] & uncovered).bit_count()
+                    stale[v] = round_no
+                    if gain > 0:
+                        repops += 1
+                        heapq.heappush(heap, (-gain, v))
+                    continue
+                if -neg_gain <= 0:
+                    done = True
+                    break
+                uncovered &= ~masks[v]
+                chosen.append(v)
+                round_no += 1
+                span.set(vertex=v, gain=-neg_gain)
+                break
+    add_counter("kernel.bitset_lazy_greedy.gain_evaluations", evaluations)
+    add_counter("kernel.bitset_lazy_greedy.heap_repops", repops)
+    add_counter("kernel.bitset_lazy_greedy.rounds", len(chosen))
+    return chosen

@@ -73,8 +73,21 @@ class DominationEngine:
         Optional initial broker set (duplicates are ignored).
     """
 
-    def __init__(self, graph: ASGraph, brokers=()) -> None:
+    def __init__(
+        self, graph: ASGraph, brokers=(), *, backend: str = "python"
+    ) -> None:
+        if backend not in ("python", "bitset"):
+            raise AlgorithmError(
+                f"unknown engine backend {backend!r}; "
+                "choose 'python' or 'bitset'"
+            )
         self._graph = graph
+        self._backend = backend
+        # Bitset mirror of the uncovered set (python-int mask); ``None``
+        # means dirty — rebuilt from ``_covered`` on the next probe.
+        # Only maintained while the topology is pristine (``_simple``).
+        self._uncovered_bits: int | None = None
+        self._nbhd_masks: list[int] | None = None
         n = graph.num_nodes
         self._n_base = n
         self._num_nodes = n
@@ -196,6 +209,9 @@ class DominationEngine:
         """
         self._check_vertex(v)
         if self._simple:
+            if self._backend == "bitset":
+                masks = self._bitset_masks()
+                return (masks[v] & self._fresh_uncovered_bits()).bit_count()
             neigh = self._indices[self._indptr[v] : self._indptr[v + 1]]
             gain = 0 if self._covered[v] else 1
             return gain + int(np.count_nonzero(~self._covered[neigh]))
@@ -253,6 +269,8 @@ class DominationEngine:
                 self._covered[v] = True
                 newly = np.append(fresh, v)
             self._covered_alive += len(newly)
+            if self._uncovered_bits is not None:
+                self._uncovered_bits &= ~self._bitset_masks()[v]
             if self._dsu_parent is not None and not self._dsu_dirty:
                 for u in neigh:
                     self._union(v, int(u))
@@ -291,6 +309,7 @@ class DominationEngine:
         if self._dsu_parent is not None:
             self._dsu_dirty = True
         if self._simple:
+            self._uncovered_bits = None  # coverage shrinks: mirror is dirty
             neigh = self._indices[self._indptr[v] : self._indptr[v + 1]]
             self._hits[v] -= 1
             self._hits[neigh] -= 1
@@ -720,6 +739,27 @@ class DominationEngine:
     def _leave_simple(self) -> None:
         if self._simple:
             self._simple = False
+            # The bitset mirror only models the pristine topology; the
+            # general paths fall back to the covered-mask arrays.
+            self._uncovered_bits = None
+
+    def _bitset_masks(self) -> list[int]:
+        """Closed-neighborhood int masks (cached per graph)."""
+        if self._nbhd_masks is None:
+            from repro.core.bitset import closed_neighborhood_masks
+
+            self._nbhd_masks = closed_neighborhood_masks(self._graph)
+        return self._nbhd_masks
+
+    def _fresh_uncovered_bits(self) -> int:
+        """The uncovered-set mask, rebuilt from ``_covered`` when dirty."""
+        bits = self._uncovered_bits
+        if bits is None:
+            n = self._n_base
+            packed = np.packbits(self._covered[:n], bitorder="little")
+            bits = ((1 << n) - 1) & ~int.from_bytes(packed.tobytes(), "little")
+            self._uncovered_bits = bits
+        return bits
 
     def _deallocate_node(self, v: int) -> None:
         """Reverse :meth:`add_node` during rollback.

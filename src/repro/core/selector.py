@@ -91,6 +91,7 @@ class BrokerSelector:
         degree_threshold: int = 0,
         evaluate: bool = True,
         cache=None,
+        backend: str | None = None,
     ) -> SelectionResult:
         """Run ``algorithm`` and evaluate the resulting broker set.
 
@@ -103,9 +104,15 @@ class BrokerSelector:
         whole selection+evaluation on disk, keyed by the graph digest and
         every selection knob.  Only integer/None seeds are cacheable — a
         live ``Generator`` has unknowable state, so it bypasses the cache.
+
+        ``backend`` picks the kernel backend
+        (:func:`repro.core.registry.resolve_backend` semantics).  Every
+        backend produces bit-identical broker sets; the resolved name
+        still enters the cache key so a run's provenance is explicit.
         """
         graph = self._graph
         spec = registry.get_algorithm(algorithm)
+        resolved_backend = registry.resolve_backend(backend)
         declared = {p.name for p in spec.params}
         knobs = {
             name: value
@@ -124,6 +131,7 @@ class BrokerSelector:
                 "algorithm": algorithm,
                 "budget": budget,
                 "evaluate": evaluate,
+                "backend": resolved_backend,
                 "params": registry.canonical_params(algorithm, knobs),
             }
             hit = cache.get(
@@ -141,7 +149,9 @@ class BrokerSelector:
                     mcbg_feasible=bool(hit["mcbg_feasible"]),
                     parameters=dict(hit["parameters"]),
                 )
-        brokers, params = registry.run_algorithm(algorithm, graph, budget, **knobs)
+        brokers, params = registry.run_algorithm(
+            algorithm, graph, budget, backend=resolved_backend, **knobs
+        )
 
         if not evaluate:
             result = SelectionResult(
@@ -202,6 +212,7 @@ class BrokerSelector:
         max_hops: int = 8,
         num_sources: int | None = None,
         seed: SeedLike = 0,
+        backend: str | None = None,
     ):
         """l-hop connectivity curve (delegates to the engine)."""
         return connectivity_curve(
@@ -210,4 +221,5 @@ class BrokerSelector:
             max_hops=max_hops,
             num_sources=num_sources,
             seed=seed,
+            backend=backend,
         )

@@ -60,6 +60,7 @@ def run_fig2a(config: ExperimentConfig, *, iterations: int = 300) -> ExperimentR
 @register("fig2b")
 def run_fig2b(config: ExperimentConfig) -> ExperimentResult:
     graph = config.graph()
+    kernel_backend = config.resolved_backend()
     budget = config.broker_budgets()["1.9%"]
     hops = list(range(1, config.max_hops + 1))
 
@@ -78,12 +79,14 @@ def run_fig2b(config: ExperimentConfig) -> ExperimentResult:
     for label, name, knobs in roster:
         spec = get_algorithm(name)
         brokers, _ = run_algorithm(
-            name, graph, budget=budget if spec.budgeted else None, **knobs
+            name, graph, budget=budget if spec.budgeted else None,
+            backend=kernel_backend, **knobs
         )
         algorithms[label] = brokers
     free = connectivity_curve(
         graph, None, max_hops=config.max_hops,
         num_sources=config.num_sources, seed=config.seed,
+        backend=kernel_backend,
     )
     rows = []
     curves = {"ASesWithIXPs": free}
@@ -95,6 +98,7 @@ def run_fig2b(config: ExperimentConfig) -> ExperimentResult:
         curve = connectivity_curve(
             graph, brokers, max_hops=config.max_hops,
             num_sources=config.num_sources, seed=config.seed,
+            backend=kernel_backend,
         )
         curves[name] = curve
         cells = [name, len(brokers)]
@@ -133,6 +137,7 @@ def _fig2b_cell(task: dict) -> dict:
         max_hops=task["max_hops"],
         num_sources=task["num_sources"],
         seed=task["seed"],
+        backend=task.get("kernel_backend", "python"),
     )
     return {
         "fractions": [float(f) for f in curve.fractions],
@@ -167,7 +172,8 @@ def fig2b_seed_sweep(
     else:
         budgets = sorted(dict.fromkeys(int(b) for b in budgets))
     seeds = [config.seed] if seeds is None else [int(s) for s in seeds]
-    brokers_full = maxsg(graph, max(budgets))
+    kernel_backend = config.resolved_backend()
+    brokers_full = maxsg(graph, max(budgets), backend=kernel_backend)
     digest = graph.digest()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
@@ -196,6 +202,7 @@ def fig2b_seed_sweep(
                     "brokers": brokers_full[: min(b, len(brokers_full))],
                     "max_hops": config.max_hops,
                     "num_sources": config.num_sources,
+                    "kernel_backend": kernel_backend,
                     "params": params,
                 }
             )

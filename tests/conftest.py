@@ -38,6 +38,20 @@ def mini_internet() -> ASGraph:
     return fixtures.mini_internet_graph(3)
 
 
+@pytest.fixture(scope="session")
+def full_internet() -> ASGraph:
+    """The paper-sized 52k-node profile, gated behind REPRO_TEST_FULL=1.
+
+    Session-scoped: the graph builds once no matter how many full-scale
+    tests opt in; everything else skips in milliseconds.
+    """
+    if not fixtures.full_profile_enabled():
+        pytest.skip(
+            f"full-profile tests disabled (set {fixtures.FULL_PROFILE_ENV}=1)"
+        )
+    return fixtures.full_internet(1)
+
+
 @pytest.fixture()
 def star10() -> ASGraph:
     return star_graph(10)

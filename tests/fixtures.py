@@ -11,6 +11,7 @@ The pytest fixtures in ``conftest.py`` delegate here.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 from repro.core.maxsg import maxsg
@@ -20,6 +21,25 @@ from repro.graph.asgraph import ASGraph
 
 #: The paper's three broker-budget fractions (Table 1 rows).
 PAPER_FRACTIONS = {"0.19%": 0.0019, "1.9%": 0.019, "6.8%": 0.068}
+
+#: Env var that opts the suite into the paper-sized 52,079-node profile.
+FULL_PROFILE_ENV = "REPRO_TEST_FULL"
+
+
+def full_profile_enabled() -> bool:
+    """Whether full-scale tests should run (``REPRO_TEST_FULL=1``)."""
+    return os.environ.get(FULL_PROFILE_ENV, "") not in ("", "0")
+
+
+@lru_cache(maxsize=1)
+def full_internet(seed: int = 1) -> ASGraph:
+    """The paper-sized ``full`` profile (~52k nodes, built once per run).
+
+    Callers must gate on :func:`full_profile_enabled` — building this
+    graph takes tens of seconds and the bitset masks hundreds of MB, so
+    it only belongs in explicitly opted-in (CI smoke) runs.
+    """
+    return load_internet("full", seed=seed)
 
 
 @lru_cache(maxsize=None)
