@@ -1,0 +1,185 @@
+"""Bench P8 — the acceptance benchmark for the hub-label serving tier.
+
+The issue's claim, asserted (not just timed): at the ``small`` profile
+a hub-label lookup answers the same query a per-query BFS answers —
+**bit-identically** — at a p50 at least 100x faster.  The BFS
+comparator is the straightforward adjacency-list BFS with early exit a
+serving tier without an index would run per request; both sides resolve
+the identical seeded pair sample, so a passing run doubles as a
+differential check at benchmark scale.  The closed-loop load generator
+rides along and records its throughput (and digest) in the session
+ledger when CI opts in via ``REPRO_LEDGER``.
+
+Like ``test_bitset_speedup.py`` this file pins the ``small`` profile
+for the 100x bar: at ``tiny`` (604 nodes) both sides sit in the
+microsecond regime and the ratio is noise, so there the bar softens to
+equality plus a token 5x.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import _session_ledger, timed_once
+from repro.core.engine import DominationEngine
+from repro.core.maxsg import maxsg
+from repro.datasets.loader import load_internet
+from repro.serving import (
+    HubLabelIndex,
+    LabelRepairer,
+    PathQueryService,
+    run_loadgen,
+)
+
+MIN_P50_SPEEDUP = 100.0
+TINY_P50_SPEEDUP = 5.0
+NUM_PAIRS = 400
+NUM_BFS_PAIRS = 60  # the slow side samples fewer pairs, same prefix
+
+
+def _stack(scale: str):
+    graph = load_internet(scale, seed=1)
+    brokers = maxsg(graph, max(8, graph.num_nodes // 50), backend="bitset")
+    engine = DominationEngine(graph, brokers)
+    index = HubLabelIndex.build(engine)
+    return graph, engine, index
+
+
+def _bfs_adjacency(engine) -> list[list[int]]:
+    src, dst = engine.dominated_alive_edges()
+    adj: list[list[int]] = [[] for _ in range(engine.num_nodes)]
+    for u, v in zip(src.tolist(), dst.tolist()):
+        adj[u].append(v)
+        adj[v].append(u)
+    return adj
+
+
+def _bfs_distance(adj, alive, src: int, dst: int) -> int | None:
+    """The per-query answer a tier without an index computes."""
+    if not (alive[src] and alive[dst]):
+        return None
+    if src == dst:
+        return 0
+    dist = {src: 0}
+    queue = deque([src])
+    while queue:
+        u = queue.popleft()
+        for w in adj[u]:
+            if w not in dist:
+                if w == dst:
+                    return dist[u] + 1
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return None
+
+
+def _p50(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _speedup_case(scale: str, min_speedup: float, benchmark) -> None:
+    graph, engine, index = _stack(scale)
+    adj = _bfs_adjacency(engine)
+    alive = engine.alive_view
+    rng = np.random.default_rng(1)
+    pairs = rng.integers(0, graph.num_nodes, (NUM_PAIRS, 2)).tolist()
+
+    bfs_latencies: list[float] = []
+    for s, t in pairs[:NUM_BFS_PAIRS]:
+        t0 = time.perf_counter()
+        expected = _bfs_distance(adj, alive, s, t)
+        bfs_latencies.append(time.perf_counter() - t0)
+        assert index.distance(s, t) == expected, (
+            f"label answer diverged from BFS at ({s}, {t})"
+        )
+
+    def resolve_all() -> list[float]:
+        latencies = []
+        for s, t in pairs:
+            t0 = time.perf_counter()
+            index.distance(s, t)
+            latencies.append(time.perf_counter() - t0)
+        return latencies
+
+    label_latencies, timed = timed_once(benchmark, resolve_all)
+    bfs_p50 = _p50(bfs_latencies)
+    label_p50 = _p50(label_latencies)
+    print(
+        f"\n{scale}: per-query BFS p50 {bfs_p50 * 1e6:.1f}us, "
+        f"hub-label p50 {label_p50 * 1e6:.2f}us "
+        f"({bfs_p50 / label_p50:.0f}x, {NUM_PAIRS} pairs, "
+        f"{index.label_entries()} label entries)"
+    )
+    if timed is None:  # --benchmark-disable: equality-only smoke mode
+        return
+    assert label_p50 * min_speedup <= bfs_p50, (
+        f"expected >= {min_speedup:.0f}x p50 speedup at {scale}, "
+        f"got {bfs_p50 / label_p50:.1f}x"
+    )
+
+
+def test_hub_label_p50_speedup_small(benchmark):
+    _speedup_case("small", MIN_P50_SPEEDUP, benchmark)
+
+
+def test_hub_label_p50_speedup_tiny(benchmark):
+    _speedup_case("tiny", TINY_P50_SPEEDUP, benchmark)
+
+
+def test_loadgen_throughput_recorded(benchmark):
+    """Closed-loop loadgen on the bench profile; ledger-recorded."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    graph, engine, index = _stack(scale)
+    service = PathQueryService(LabelRepairer(engine, index), max_batch=64)
+    queries = 1000
+
+    report, _ = timed_once(
+        benchmark, run_loadgen, service, index, queries,
+        seed=1, concurrency=8,
+    )
+    print(
+        f"\nloadgen @ {scale}: {report.throughput_qps:.0f} q/s "
+        f"({report.queries} queries, {report.reachable} reachable, "
+        f"digest {report.answers_digest})"
+    )
+    assert report.errors == 0
+    assert report.queries == queries
+    # Digest determinism at benchmark scale: a rerun answers identically.
+    rerun = run_loadgen(service, index, queries, seed=1, concurrency=8)
+    assert rerun.answers_digest == report.answers_digest
+
+    ledger = _session_ledger()
+    if ledger is not None:
+        from repro.obs.ledger import (
+            RunRecord,
+            git_revision,
+            now,
+            summarize_observation,
+        )
+
+        ledger.append(RunRecord(
+            experiment="serving-loadgen-bench",
+            kind="serving",
+            scale=scale,
+            seed=1,
+            git_rev=git_revision(),
+            graph_digest=graph.digest(),
+            params={"queries": queries, "concurrency": 8, "index": "hub2"},
+            counters={
+                "serving.loadgen.reachable": report.reachable,
+                "serving.index.label_entries": index.label_entries(),
+            },
+            timings={
+                "experiment.seconds": summarize_observation(
+                    report.elapsed_seconds
+                ),
+            },
+            result_digest=report.answers_digest,
+            ts=now(),
+        ))

@@ -16,6 +16,11 @@ Subcommands:
 * ``report`` — markdown experiment reports, and (with ``--ledger`` /
   ``--check`` / ``--html`` / ``--export``) the run-ledger views: history
   table, regression gate, single-file HTML dashboard, BENCH export.
+* ``serve`` — build the hub-label serving index over a broker
+  deployment and either drive the seeded closed-loop load generator
+  (recording a ``serving`` ledger run) or expose a JSON-lines TCP
+  query endpoint (``--port``).
+* ``query`` — one-shot path queries against the serving index.
 
 ``experiment``, ``sweep`` and ``resilience`` accept ``--workers``,
 ``--backend`` and ``--cache-dir`` (the parallel executor + result cache
@@ -626,6 +631,120 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_stack(args: argparse.Namespace):
+    """Engine + repairer + service over a seeded broker deployment."""
+    from repro.core.engine import DominationEngine
+    from repro.core.maxsg import maxsg
+    from repro.parallel.cache import ResultCache
+    from repro.serving import LabelRepairer, PathQueryService, build_index
+
+    graph = load_internet(args.scale, seed=args.seed)
+    budget = args.budget or max(1, round(0.019 * graph.num_nodes))
+    brokers = maxsg(graph, budget)
+    engine = DominationEngine(graph, brokers)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    index = build_index(engine, family=args.index, cache=cache)
+    repairer = LabelRepairer(engine, index)
+    service = PathQueryService(
+        repairer, max_batch=args.max_batch, max_delay=args.max_delay
+    )
+    return graph, brokers, index, service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import Timer
+    from repro.serving import run_loadgen, serve_tcp
+
+    graph, brokers, index, service = _serving_stack(args)
+    print(
+        f"hub2 index over {args.scale}: {index.n} vertices, "
+        f"{len(brokers)} brokers, {index.label_entries()} label entries"
+    )
+    if args.port is not None:
+        import asyncio
+
+        async def forever() -> None:
+            server = await serve_tcp(service, args.host, args.port)
+            addr = server.sockets[0].getsockname()
+            print(f"serving JSON-lines path queries on {addr[0]}:{addr[1]}")
+            async with server:
+                await server.serve_forever()
+
+        try:
+            asyncio.run(forever())
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return 0
+    with Timer() as timer:
+        report = run_loadgen(
+            service, index, args.queries,
+            seed=args.seed, concurrency=args.concurrency,
+        )
+    print(
+        f"loadgen: {report.queries} queries, {report.reachable} reachable, "
+        f"{report.errors} error(s), {report.throughput_qps:.0f} q/s, "
+        f"digest {report.answers_digest}"
+    )
+    ledger = _ledger_from_args(args)
+    if ledger is not None:
+        from repro.obs import get_registry
+        from repro.obs.ledger import (
+            RunRecord,
+            git_revision,
+            now,
+            summarize_observation,
+        )
+
+        histograms = get_registry().snapshot()["histograms"]
+        timings = {"experiment.seconds": summarize_observation(timer.elapsed)}
+        if "serving.query.seconds" in histograms:
+            timings["serving.query.seconds"] = histograms[
+                "serving.query.seconds"
+            ]
+        ledger.append(RunRecord(
+            experiment="serving-loadgen",
+            kind="serving",
+            scale=args.scale,
+            seed=args.seed,
+            git_rev=git_revision(),
+            graph_digest=graph.digest(),
+            params={"index": args.index, "budget": len(brokers),
+                    "queries": args.queries,
+                    "concurrency": args.concurrency},
+            counters={
+                "serving.index.label_entries": index.label_entries(),
+                "serving.loadgen.reachable": report.reachable,
+                "serving.loadgen.errors": report.errors,
+            },
+            timings=timings,
+            result_digest=report.answers_digest,
+            ts=now(),
+        ))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import QueryRequest
+
+    if len(args.pairs) % 2:
+        print("error: queries are SRC DST pairs (got an odd id count)",
+              file=sys.stderr)
+        return 2
+    _, _, _, service = _serving_stack(args)
+    status = 0
+    for src, dst in zip(args.pairs[::2], args.pairs[1::2]):
+        response = service.resolve(QueryRequest(
+            src=src, dst=dst, max_hops=args.max_hops,
+            want_path=args.show_path,
+        ))
+        print(json.dumps(response.as_dict()))
+        if not response.ok:
+            status = 1
+    return status
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.parallel.cache import ResultCache
 
@@ -773,6 +892,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_backend_flag(p)
     _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    def _add_serving_flags(p: argparse.ArgumentParser) -> None:
+        from repro.core.registry import index_names
+
+        p.add_argument("--scale", choices=available_scales(), default="tiny")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--budget", type=int, default=None,
+                       help="broker-set size (default: 1.9%% of nodes)")
+        p.add_argument("--index", choices=index_names(), default="hub2",
+                       help="serving index family (registry-resolved)")
+        p.add_argument("--max-batch", type=int, default=256,
+                       help="flush a batch at this many pending queries")
+        p.add_argument("--max-delay", type=float, default=0.002,
+                       help="max seconds a query waits for its batch")
+        p.add_argument("--cache-dir", default=None,
+                       help="content-addressed cache for index payloads")
+
+    p = sub.add_parser("serve",
+                       help="hub-label serving tier: loadgen run or TCP "
+                            "query endpoint")
+    _add_serving_flags(p)
+    p.add_argument("--queries", type=int, default=1000,
+                   help="closed-loop loadgen query count (default 1000)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="loadgen workers, one request in flight each")
+    p.add_argument("--port", type=int, default=None,
+                   help="serve JSON-lines queries on this TCP port "
+                        "instead of running the load generator")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --port (default 127.0.0.1)")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="append a 'serving' run record to this JSONL "
+                        "ledger (default: $REPRO_LEDGER when set)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="one-shot path queries against the serving index")
+    p.add_argument("pairs", type=int, nargs="+", metavar="SRC DST",
+                   help="vertex id pairs: SRC DST [SRC DST ...]")
+    p.add_argument("--max-hops", type=int, default=None,
+                   help="hop bound folded into the reachability verdict")
+    p.add_argument("--show-path", action="store_true",
+                   help="also unfold a shortest dominated path")
+    _add_serving_flags(p)
+    p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("cache", help="inspect or clear a result cache")
     p.add_argument("action", choices=("stats", "clear"))

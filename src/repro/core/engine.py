@@ -134,6 +134,12 @@ class DominationEngine:
         self._logging = False
         self._suspend_log = False
 
+        # Mutation listeners (the serving tier's label repairer).  Each
+        # is called with ``(op, args)`` after every applied mutation —
+        # including the inverse mutations a rollback replays, so a
+        # subscriber sees the same state trajectory the engine does.
+        self._listeners: list = []
+
         for b in brokers:
             self.add_broker(int(b))
 
@@ -798,6 +804,8 @@ class DominationEngine:
         self._dsu_parent = None
         self._dsu_size = None
         self._dsu_dirty = True
+        for listener in self._listeners:
+            listener("deallocate_node", (v,))
 
     def _ensure_capacity(self, n: int) -> None:
         cap = len(self._broker)
@@ -881,6 +889,30 @@ class DominationEngine:
     def _record(self, op: str, *args) -> None:
         if self._logging and not self._suspend_log:
             self._log.append((op, *args))
+        for listener in self._listeners:
+            listener(op, args)
+
+    # -- mutation listeners --------------------------------------------
+
+    def subscribe(self, listener) -> "Callable[[], None]":
+        """Call ``listener(op, args)`` after every applied mutation.
+
+        The stream is the engine's own mutation vocabulary
+        (``add_broker`` / ``remove_broker`` / ``fail_node`` /
+        ``restore_node`` / ``cut`` / ``restore`` / ``new_ext`` /
+        ``add_node`` / ``deallocate_node``); rollbacks surface as the
+        inverse mutations they replay.  Listeners must not mutate the
+        engine.  Returns an unsubscribe callable.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     # -- union-find ----------------------------------------------------
 

@@ -33,18 +33,23 @@ __all__ = [
     "AlgorithmSpec",
     "BackendSpec",
     "DEFAULT_BACKEND",
+    "IndexSpec",
     "KERNEL_BACKEND_ENV",
     "ParamSpec",
     "algorithm_names",
     "all_backend_specs",
+    "all_index_specs",
     "all_specs",
     "backend_names",
     "canonical_params",
     "get_algorithm",
     "get_backend",
+    "get_index",
+    "index_names",
     "register_algorithm",
     "register_backend",
     "register_backend_runner",
+    "register_index",
     "registry_fingerprint",
     "resolve_backend",
     "run_algorithm",
@@ -122,8 +127,45 @@ class BackendSpec:
         }
 
 
+@dataclass(frozen=True)
+class IndexSpec:
+    """A registered serving index family.
+
+    ``builder`` has the signature ``build(engine) -> index`` where the
+    returned index offers ``to_payload()`` / ``from_payload()`` for
+    result-cache round-trips.  ``params`` document the (fixed) build
+    policy — they ride into cache keys through
+    :func:`registry_fingerprint`, so changing a family's policy
+    invalidates its cached payloads like any roster change.
+    """
+
+    name: str
+    summary: str
+    capabilities: tuple[str, ...] = ()
+    params: tuple[ParamSpec, ...] = ()
+    builder: Callable | None = field(default=None, repr=False)
+
+    def describe(self) -> dict:
+        """JSON-safe description (``repro algorithms --json`` emits it)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "capabilities": list(self.capabilities),
+            "params": [
+                {
+                    "name": p.name,
+                    "kind": p.kind,
+                    "default": p.default,
+                    "summary": p.summary,
+                }
+                for p in self.params
+            ],
+        }
+
+
 _REGISTRY: dict[str, AlgorithmSpec] = {}
 _BACKENDS: dict[str, BackendSpec] = {}
+_INDEXES: dict[str, IndexSpec] = {}
 #: ``(algorithm, backend) -> runner`` overrides; absence means fallback
 #: to the algorithm's default (python) runner.
 _BACKEND_RUNNERS: dict[tuple[str, str], Callable] = {}
@@ -188,6 +230,34 @@ def backend_runner(algorithm: str, backend: str) -> Callable:
     """The runner for ``(algorithm, backend)``, falling back to python."""
     spec = get_algorithm(algorithm)
     return _BACKEND_RUNNERS.get((algorithm, backend), spec.runner)
+
+
+def register_index(spec: IndexSpec) -> IndexSpec:
+    """Register a serving index family; duplicate names are an error."""
+    if spec.name in _INDEXES:
+        raise AlgorithmError(f"index {spec.name!r} is already registered")
+    _INDEXES[spec.name] = spec
+    return spec
+
+
+def get_index(name: str) -> IndexSpec:
+    """Look up a registered index family by name."""
+    spec = _INDEXES.get(name)
+    if spec is None:
+        raise AlgorithmError(
+            f"unknown serving index {name!r}; choose from {index_names()}"
+        )
+    return spec
+
+
+def index_names() -> tuple[str, ...]:
+    """Registered index family names in registration order."""
+    return tuple(_INDEXES)
+
+
+def all_index_specs() -> tuple[IndexSpec, ...]:
+    """All registered index families in registration order."""
+    return tuple(_INDEXES.values())
 
 
 def register_algorithm(spec: AlgorithmSpec) -> AlgorithmSpec:
@@ -261,6 +331,10 @@ def registry_fingerprint() -> str:
                 for spec in all_specs()
             ],
             [list(backend_names()), sorted(map(list, _BACKEND_RUNNERS))],
+            [
+                [spec.name, {p.name: p.default for p in spec.params}]
+                for spec in all_index_specs()
+            ],
         ],
         sort_keys=True,
     )
@@ -437,3 +511,29 @@ register_backend(BackendSpec(
 ))
 register_backend_runner("greedy", "bitset", _run_greedy_bitset)
 register_backend_runner("maxsg", "bitset", _run_maxsg_bitset)
+
+
+# ----------------------------------------------------------------------
+# Serving index families.  Builders import lazily: the serving package
+# resolves this registry at import time, so a top-level import here
+# would be circular.
+# ----------------------------------------------------------------------
+
+
+def _build_hub2(engine):
+    from repro.serving.labels import HubLabelIndex
+
+    return HubLabelIndex.build(engine)
+
+
+register_index(IndexSpec(
+    name="hub2",
+    summary="2-hop hub labels (pruned landmark labeling) over the "
+            "broker-dominated subgraph",
+    capabilities=("serving", "distance", "path", "incremental-repair"),
+    params=(
+        ParamSpec("order", "str", "degree",
+                  "root processing order (degree desc, id asc)"),
+    ),
+    builder=_build_hub2,
+))

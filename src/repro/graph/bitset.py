@@ -110,6 +110,28 @@ def popcount_blocks(blocks: np.ndarray) -> int:
     return int(_bitwise_count(np.asarray(blocks, dtype=np.uint64)).sum())
 
 
+def adjacency_masks(src, dst, n: int) -> list[int]:
+    """Per-vertex neighbor masks of an undirected edge list.
+
+    ``masks[v]`` has bit ``u`` set iff some edge joins ``u`` and ``v``.
+    One BFS level over a frontier mask is then the OR of the frontier
+    vertices' masks — the single-source twin of the batched expansion
+    inside :func:`bitset_hop_reach`.  The hub-labeling builder runs its
+    pruned BFS sweeps over these masks.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if len(src) and (
+        min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= n
+    ):
+        raise GraphValidationError(f"vertex id out of range [0, {n})")
+    masks = [0] * int(n)
+    for u, v in zip(src.tolist(), dst.tolist()):
+        masks[u] |= 1 << v
+        masks[v] |= 1 << u
+    return masks
+
+
 def bitset_hop_reach(
     matrix: sparse.csr_matrix,
     sources: np.ndarray,

@@ -1,0 +1,106 @@
+"""Broker path-query serving tier.
+
+The offline layers of this repo decide *which* brokers to deploy; this
+package answers the online question those brokers exist for: *is this
+(src, dst) pair broker-connected within ``l`` hops, and via which
+path?* — at query-serving latency, under churn:
+
+* :mod:`repro.serving.labels` — the 2-hop hub-label index (pruned
+  landmark labeling over the dominated subgraph; microsecond
+  sorted-hub-merge queries);
+* :mod:`repro.serving.repair` — incremental label repair driven by
+  :meth:`DominationEngine.subscribe` mutation deltas;
+* :mod:`repro.serving.service` — asyncio request batching, structured
+  errors, latency histograms, JSON-lines TCP endpoint;
+* :mod:`repro.serving.loadgen` — seeded closed-loop load generation
+  with a digest-pinned answer stream.
+
+:func:`build_index` is the cached entry point: index payloads are
+content-addressed in the sweep :class:`ResultCache` by the engine
+state's digest and the registry fingerprint, so re-serving an unchanged
+deployment skips construction entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.registry import get_index, registry_fingerprint
+from repro.serving.labels import UNREACHED, HubLabelIndex, QueryAnswer
+from repro.serving.loadgen import LoadgenReport, generate_queries, run_loadgen
+from repro.serving.repair import LabelRepairer
+from repro.serving.service import (
+    PathQueryService,
+    QueryRequest,
+    QueryResponse,
+    serve_tcp,
+)
+
+__all__ = [
+    "HubLabelIndex",
+    "LabelRepairer",
+    "LoadgenReport",
+    "PathQueryService",
+    "QueryAnswer",
+    "QueryRequest",
+    "QueryResponse",
+    "UNREACHED",
+    "build_index",
+    "engine_state_digest",
+    "generate_queries",
+    "run_loadgen",
+    "serve_tcp",
+]
+
+
+def engine_state_digest(engine) -> str:
+    """Digest of exactly the engine state the index depends on.
+
+    The labeling is a pure function of the dominated subgraph —
+    universe size, aliveness, and the dominated alive edge set — so two
+    engines that agree on those (whatever their broker/mutation history)
+    share one cache entry.
+    """
+    from repro.serving.labels import _snapshot
+
+    n, alive, edges = _snapshot(engine)
+    material = json.dumps(
+        {
+            "n": n,
+            "dead": [int(v) for v in range(n) if not alive[v]],
+            "edges": sorted(map(list, edges)),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def build_index(
+    engine, *, family: str = "hub2", cache=None
+) -> HubLabelIndex:
+    """Build (or cache-load) a serving index over ``engine``.
+
+    ``family`` resolves through the central registry
+    (:func:`repro.core.registry.get_index`).  With a
+    :class:`repro.parallel.cache.ResultCache`, the serialized index is
+    content-addressed by the engine state digest, the family's declared
+    parameters, and the registry fingerprint — so payloads invalidate
+    when the roster or the build policy changes, exactly like cached
+    experiment results.
+    """
+    spec = get_index(family)
+    if cache is None:
+        return spec.builder(engine)
+    params = {
+        "policy": {p.name: p.default for p in spec.params},
+        "registry": registry_fingerprint(),
+    }
+    payload = cache.get_or_compute(
+        lambda: spec.builder(engine).to_payload(),
+        graph_digest=engine_state_digest(engine),
+        algorithm=f"serving-index-{family}",
+        params=params,
+    )
+    return HubLabelIndex.from_payload(payload)

@@ -1,0 +1,246 @@
+"""Incremental hub-label repair under engine churn.
+
+Rebuilding the whole labeling after every broker add/remove or
+node/link event would put the serving tier right back in the
+batch-recompute world the index exists to escape.  The
+:class:`LabelRepairer` instead subscribes to
+:meth:`DominationEngine.subscribe` and keeps the index lazily
+synchronized: mutations only mark the index dirty, and the next query
+(or explicit :meth:`sync`) diffs the engine's dominated edge set
+against the snapshot the labels were built from and patches the
+difference:
+
+* **Grow-only deltas** (broker adds, link/node restores — the dominated
+  subgraph only gains edges and vertices) are patched *in place* with
+  the Akiba–Iwata–Yoshida incremental rule: for each new edge
+  ``(u, v)``, every hub of ``u`` resumes its pruned BFS from ``v`` at
+  ``dist(hub, u) + 1`` (and symmetrically), inserting only the entries
+  the new edge actually improves.  Edges are applied one at a time
+  against the adjacency-so-far, which makes every step's labels exact
+  by induction; patched labels may keep a few entries a from-scratch
+  rebuild would prune, but every *answer* stays bit-identical to it —
+  the differential suite pins this.
+* **Shrinking deltas** (broker removals, failures, cuts) can invalidate
+  labels arbitrarily far away, but never beyond the affected
+  *components*: labels cannot span components, so the repairer clears
+  and canonically rebuilds only the union of old and new components
+  touching the delta, leaving every other component's labels untouched.
+  Localized churn therefore costs the affected neighborhood, not the
+  graph.
+
+The repairer never mutates the engine; it only observes.  ``verify()``
+on the wrapped index remains the from-scratch oracle after any repair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import metrics as _metrics
+from repro.serving.labels import HubLabelIndex, _snapshot
+
+__all__ = ["LabelRepairer"]
+
+
+class LabelRepairer:
+    """Keeps one :class:`HubLabelIndex` synchronized with one engine."""
+
+    def __init__(self, engine, index: HubLabelIndex | None = None) -> None:
+        self._engine = engine
+        self.index = index if index is not None else HubLabelIndex.build(engine)
+        self._n, self._alive, self._edges = _snapshot(engine)
+        self._dirty = False
+        self._unsubscribe = engine.subscribe(self._on_mutation)
+
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def dirty(self) -> bool:
+        return self._dirty
+
+    def close(self) -> None:
+        """Stop observing the engine (idempotent)."""
+        self._unsubscribe()
+
+    def _on_mutation(self, op: str, args: tuple) -> None:
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+
+    def sync(self) -> bool:
+        """Patch the index up to the engine's current state.
+
+        Returns True when any repair work ran (False = clean no-op).
+        """
+        if not self._dirty:
+            return False
+        self._dirty = False
+        n, alive, edges = _snapshot(self._engine)
+        old_n, old_alive, old_edges = self._n, self._alive, self._edges
+        added = sorted(edges - old_edges)
+        removed = sorted(old_edges - edges)
+        min_n = min(n, old_n)
+        born = [
+            int(v)
+            for v in range(n)
+            if alive[v] and (v >= old_n or not old_alive[v])
+        ]
+        died = [
+            int(v)
+            for v in range(old_n)
+            if old_alive[v] and (v >= n or not alive[v])
+        ]
+        self._n, self._alive, self._edges = n, alive, edges
+        if not (added or removed or born or died or n != old_n):
+            return False
+        shrinking = bool(removed or died or n < old_n)
+        if shrinking:
+            self._rebuild_scope(
+                n, alive, old_n, old_alive, old_edges, edges,
+                added, removed, born, died,
+            )
+            _metrics.add_counter("serving.repair.scoped_rebuilds")
+        else:
+            self._grow(n, alive, born, added)
+            _metrics.add_counter("serving.repair.incremental_patches")
+        _metrics.add_counter("serving.repair.edges_added", len(added))
+        _metrics.add_counter("serving.repair.edges_removed", len(removed))
+        return True
+
+    # ------------------------------------------------------------------
+    # Grow-only patch (AIY incremental insertion)
+    # ------------------------------------------------------------------
+
+    def _grow(self, n: int, alive: np.ndarray, born: list[int],
+              added: list[tuple[int, int]]) -> None:
+        index = self.index
+        # Next free rank over the *previously* alive roster — every rank
+        # assignment anywhere starts past the current alive maximum, so
+        # alive ranks stay globally distinct (deterministic hub order).
+        next_rank = int(index.rank[index.alive].max(initial=-1)) + 1
+        self._resize(n)
+        index.alive = alive.copy()
+        for v in born:
+            # A newly alive vertex starts isolated in the dominated
+            # subgraph: its only label is itself, appended at the end of
+            # the root order.
+            index.hub_dists[v] = {v: 0}
+            index._hubs[v] = None
+            index.rank[v] = next_rank
+            next_rank += 1
+        for u, v in added:
+            self._insert_edge(u, v)
+
+    def _insert_edge(self, u: int, v: int) -> None:
+        """AIY insertion of one dominated edge into the labeling."""
+        index = self.index
+        index.adj[u] |= 1 << v
+        index.adj[v] |= 1 << u
+        for a, b in ((u, v), (v, u)):
+            # Snapshot before resuming: the sweeps themselves add entries.
+            hubs = sorted(
+                index.hub_dists[a].items(),
+                key=lambda hd: int(index.rank[hd[0]]),
+            )
+            for hub, dist in hubs:
+                index._pruned_bfs(hub, start=b, start_dist=dist + 1)
+
+    # ------------------------------------------------------------------
+    # Shrinking delta: component-scoped canonical rebuild
+    # ------------------------------------------------------------------
+
+    def _rebuild_scope(
+        self,
+        n: int,
+        alive: np.ndarray,
+        old_n: int,
+        old_alive: np.ndarray,
+        old_edges: set[tuple[int, int]],
+        edges: set[tuple[int, int]],
+        added: list[tuple[int, int]],
+        removed: list[tuple[int, int]],
+        born: list[int],
+        died: list[int],
+    ) -> None:
+        index = self.index
+        seeds = set(born) | set(died)
+        for u, v in added:
+            seeds.update((u, v))
+        for u, v in removed:
+            seeds.update((u, v))
+        # Affected scope: every old-graph and new-graph component that
+        # touches a seed.  Labels never span components, so everything
+        # outside the scope keeps its labels (and provably stays
+        # consistent: the delta only changes adjacency at seeds).
+        scope = _component_scope(old_n, old_edges, seeds)
+        scope |= _component_scope(n, edges, seeds)
+        self._resize(n)
+        scope = {v for v in scope if v < n}
+        for v in scope:
+            index.hub_dists[v] = dict()
+            index._hubs[v] = None
+            index.adj[v] = 0
+        for u, v in edges:
+            if u in scope or v in scope:
+                index.adj[u] |= 1 << v
+                index.adj[v] |= 1 << u
+        index.alive = alive.copy()
+        # Canonical rebuild within the scope: fresh degree order over
+        # the new dominated subgraph, one pruned BFS per root.  Sweeps
+        # cannot leave the scope — every component they can reach is
+        # inside it by construction.
+        roots = index._degree_order(scope)
+        base = int(index.rank[index.alive].max(initial=-1)) + 1
+        index.rank[sorted(scope)] = index.n
+        index.rank[roots] = base + np.arange(len(roots), dtype=np.int64)
+        for r in roots:
+            index._pruned_bfs(int(r))
+
+    def _resize(self, n: int) -> None:
+        """Grow or truncate the index arrays to universe size ``n``."""
+        index = self.index
+        if n > index.n:
+            index.adj.extend([0] * (n - index.n))
+            index.hub_dists.extend(dict() for _ in range(n - index.n))
+            index._hubs.extend([None] * (n - index.n))
+            index._dists.extend([None] * (n - index.n))
+            grown = np.full(n, n, dtype=np.int64)
+            grown[: index.n] = index.rank
+            index.rank = grown
+            index.alive = np.concatenate(
+                [index.alive, np.zeros(n - index.n, dtype=bool)]
+            )
+        elif n < index.n:
+            del index.adj[n:]
+            del index.hub_dists[n:]
+            del index._hubs[n:]
+            del index._dists[n:]
+            index.rank = index.rank[:n].copy()
+            index.alive = index.alive[:n].copy()
+            limit = (1 << n) - 1
+            for v in range(n):
+                index.adj[v] &= limit
+        index.n = n
+
+
+def _component_scope(n: int, edges, seeds) -> set[int]:
+    """Vertices sharing a connected component with any seed."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        if u < n and v < n:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+    seed_roots = {find(s) for s in seeds if s < n}
+    return {v for v in range(n) if find(v) in seed_roots}

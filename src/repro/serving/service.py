@@ -1,0 +1,278 @@
+"""Asyncio batched front-end over the hub-label index.
+
+:class:`PathQueryService` turns the microsecond-scale label lookups
+into an online query tier: callers ``await submit(...)`` and the
+service coalesces concurrent requests into batches (size- or
+delay-triggered), repairs the index once per batch
+(:meth:`LabelRepairer.sync`), answers every request in arrival order,
+and flushes per-batch latency histograms into the process-wide metrics
+registry:
+
+* ``serving.query.seconds`` — per-query resolve latency;
+* ``serving.batch.seconds`` / ``serving.batch.size`` — per-batch;
+* counters ``serving.queries`` / ``serving.batches`` /
+  ``serving.errors``.
+
+Malformed requests (unknown vertices, negative hop bounds, non-integer
+ids) resolve to a **structured error response** on that request's
+future only — the batch they rode in keeps going.  Batched and
+unbatched answers are bit-identical by construction: both call the same
+:meth:`resolve`; the batching layer only changes *when* the index is
+synced, and :meth:`resolve` syncs lazily too.
+
+``serve_tcp`` exposes the service as a JSON-lines TCP endpoint (one
+request object per line, one response object per line) — the ``repro
+serve --port`` surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import metrics as _metrics
+from repro.serving.labels import UNREACHED, HubLabelIndex
+from repro.serving.repair import LabelRepairer
+
+__all__ = ["PathQueryService", "QueryRequest", "QueryResponse", "serve_tcp"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One path query as submitted by a client."""
+
+    src: object
+    dst: object
+    max_hops: object = None
+    want_path: bool = False
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryRequest":
+        return cls(
+            src=data.get("src"),
+            dst=data.get("dst"),
+            max_hops=data.get("max_hops"),
+            want_path=bool(data.get("path", False)),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One resolved (or rejected) query.
+
+    ``ok`` distinguishes *answered* from *malformed*: an unreachable
+    pair is a successful answer (``ok=True, reachable=False``); a
+    request the service could not interpret is ``ok=False`` with a
+    structured ``error`` string and no answer fields.
+    """
+
+    ok: bool
+    src: object = None
+    dst: object = None
+    reachable: bool | None = None
+    distance: int | None = None
+    path: list[int] | None = None
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        if not self.ok:
+            return {"ok": False, "error": self.error,
+                    "src": self.src, "dst": self.dst}
+        return {
+            "ok": True,
+            "src": self.src,
+            "dst": self.dst,
+            "reachable": self.reachable,
+            "distance": UNREACHED if self.distance is None else self.distance,
+            "path": self.path,
+        }
+
+
+def _validated(req: QueryRequest, n: int) -> tuple[int, int, int | None]:
+    """Normalize a request or raise ``ValueError`` with a client message."""
+    out = []
+    for name, value in (("src", req.src), ("dst", req.dst)):
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise ValueError(f"{name} must be an integer vertex id, "
+                             f"got {value!r}")
+        value = int(value)
+        if not 0 <= value < n:
+            raise ValueError(f"{name}={value} outside the universe [0, {n})")
+        out.append(value)
+    max_hops = req.max_hops
+    if max_hops is not None:
+        if isinstance(max_hops, bool) or not isinstance(
+            max_hops, (int, np.integer)
+        ):
+            raise ValueError(
+                f"max_hops must be an integer or null, got {max_hops!r}"
+            )
+        max_hops = int(max_hops)
+        if max_hops < 0:
+            raise ValueError(f"max_hops must be >= 0, got {max_hops}")
+    return out[0], out[1], max_hops
+
+
+class PathQueryService:
+    """Batched query serving over one repairer-backed label index."""
+
+    def __init__(
+        self,
+        repairer: LabelRepairer | HubLabelIndex,
+        *,
+        max_batch: int = 256,
+        max_delay: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if isinstance(repairer, HubLabelIndex):
+            self._repairer = None
+            self._index = repairer
+        else:
+            self._repairer = repairer
+            self._index = repairer.index
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pending: list[tuple[QueryRequest, asyncio.Future]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+
+    # ------------------------------------------------------------------
+    # Unbatched reference path
+    # ------------------------------------------------------------------
+
+    def resolve(self, req: QueryRequest) -> QueryResponse:
+        """Answer one request synchronously (the unbatched reference).
+
+        Never raises for malformed input — that comes back as a
+        structured error response, exactly as in a batch.
+        """
+        if self._repairer is not None:
+            self._repairer.sync()
+        started = time.perf_counter()
+        try:
+            src, dst, max_hops = _validated(req, self._index.n)
+        except ValueError as exc:
+            _metrics.add_counter("serving.errors")
+            return QueryResponse(ok=False, src=req.src, dst=req.dst,
+                                 error=str(exc))
+        answer = self._index.query(
+            src, dst, max_hops, with_path=req.want_path
+        )
+        _metrics.observe(
+            "serving.query.seconds", time.perf_counter() - started
+        )
+        _metrics.add_counter("serving.queries")
+        return QueryResponse(
+            ok=True,
+            src=src,
+            dst=dst,
+            reachable=answer.reachable,
+            distance=answer.distance,
+            path=answer.path,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+
+    async def submit(self, req: QueryRequest) -> QueryResponse:
+        """Enqueue one request; resolves when its batch flushes."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((req, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.max_delay, self._flush)
+        return await future
+
+    async def submit_many(self, reqs) -> list[QueryResponse]:
+        """Submit a burst concurrently; answers keep request order."""
+        return list(await asyncio.gather(*(self.submit(r) for r in reqs)))
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        started = time.perf_counter()
+        latencies: list[float] = []
+        responses = []
+        for req, future in batch:
+            t0 = time.perf_counter()
+            if self._repairer is not None:
+                # Sync inside the loop so a mutation that lands between
+                # two requests of one batch is honored for the later
+                # ones — identical to what unbatched resolution sees.
+                self._repairer.sync()
+            try:
+                src, dst, max_hops = _validated(req, self._index.n)
+            except ValueError as exc:
+                _metrics.add_counter("serving.errors")
+                responses.append((future, QueryResponse(
+                    ok=False, src=req.src, dst=req.dst, error=str(exc)
+                )))
+                continue
+            answer = self._index.query(
+                src, dst, max_hops, with_path=req.want_path
+            )
+            latencies.append(time.perf_counter() - t0)
+            responses.append((future, QueryResponse(
+                ok=True, src=src, dst=dst, reachable=answer.reachable,
+                distance=answer.distance, path=answer.path,
+            )))
+        _metrics.observe_many("serving.query.seconds", latencies)
+        _metrics.observe(
+            "serving.batch.seconds", time.perf_counter() - started
+        )
+        _metrics.observe("serving.batch.size", len(batch))
+        _metrics.add_counter("serving.queries", len(latencies))
+        _metrics.add_counter("serving.batches")
+        for future, response in responses:
+            if not future.done():
+                future.set_result(response)
+
+
+async def serve_tcp(
+    service: PathQueryService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Start a JSON-lines TCP endpoint over ``service``.
+
+    Each request line is a JSON object (``{"src": .., "dst": ..,
+    "max_hops": .., "path": bool}``); each response line is
+    :meth:`QueryResponse.as_dict`.  A line that fails to parse gets a
+    structured error response on the same connection.  Returns the
+    ``asyncio`` server (caller owns its lifetime).
+    """
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    data = json.loads(line)
+                    if not isinstance(data, dict):
+                        raise ValueError("request must be a JSON object")
+                    request = QueryRequest.from_dict(data)
+                except (json.JSONDecodeError, ValueError) as exc:
+                    _metrics.add_counter("serving.errors")
+                    response = QueryResponse(ok=False, error=str(exc))
+                else:
+                    response = await service.submit(request)
+                writer.write(
+                    (json.dumps(response.as_dict()) + "\n").encode()
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)

@@ -1,0 +1,226 @@
+"""Differential suite: hub-label answers vs the BFS-over-dominated-subgraph oracle.
+
+The 2-hop index is only worth its microseconds if it is *exact*, so this
+suite pins every answer surface against an independently computed naive
+oracle (plain BFS over the engine's ``dominated_alive_edges``, built
+here without touching the index's own adjacency):
+
+* ``distance(s, t)`` equals the oracle for **all pairs** on random
+  graphs with random broker sets — including unreachable pairs, dead
+  vertices, and ``s == t``;
+* reachability verdicts fold hop bounds exactly;
+* returned paths are *valid* shortest dominated paths (every edge in
+  the dominated subgraph, length == distance) — path equality is not
+  pinned because shortest paths are not unique;
+* after arbitrary engine-mutation interleavings (brokers, links, node
+  failure/restore/add, checkpoint/rollback), the **incrementally
+  repaired** index answers bit-identically to one **rebuilt from
+  scratch** — and both match the oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import DominationEngine
+from repro.serving.labels import UNREACHED, HubLabelIndex
+from repro.serving.repair import LabelRepairer
+from tests.core.test_differential import random_graphs
+
+
+def naive_distances(engine, src: int) -> dict[int, int]:
+    """BFS over the dominated alive subgraph, independent of the index."""
+    if not engine.is_alive(src):
+        return {}
+    s, d = engine.dominated_alive_edges()
+    adj: dict[int, list[int]] = {}
+    for u, v in zip(s.tolist(), d.tolist()):
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    dist = {src: 0}
+    queue = deque([src])
+    while queue:
+        u = queue.popleft()
+        for w in adj.get(u, ()):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist
+
+
+def dominated_edge_set(engine) -> set[tuple[int, int]]:
+    s, d = engine.dominated_alive_edges()
+    return {
+        (min(u, v), max(u, v)) for u, v in zip(s.tolist(), d.tolist())
+    }
+
+
+def assert_index_matches_oracle(index: HubLabelIndex, engine) -> None:
+    """All-pairs distances + path validity against the naive oracle."""
+    edges = dominated_edge_set(engine)
+    for s in range(engine.num_nodes):
+        truth = naive_distances(engine, s)
+        for t in range(engine.num_nodes):
+            got = index.distance(s, t)
+            expected = truth.get(t)
+            assert got == expected, (
+                f"distance({s}, {t}) = {got}, oracle says {expected}"
+            )
+            if expected is None:
+                continue
+            path = index.path(s, t)
+            assert path is not None
+            assert path[0] == s and path[-1] == t
+            assert len(path) == expected + 1
+            for u, v in zip(path, path[1:]):
+                assert (min(u, v), max(u, v)) in edges, (
+                    f"path edge ({u}, {v}) not in the dominated subgraph"
+                )
+
+
+@st.composite
+def engines(draw, max_nodes=40):
+    graph = draw(random_graphs(max_nodes=max_nodes))
+    n = graph.num_nodes
+    brokers = draw(
+        st.lists(st.integers(0, n - 1), min_size=0, max_size=max(1, n // 3),
+                 unique=True)
+    )
+    return DominationEngine(graph, dict.fromkeys(brokers))
+
+
+class TestFreshBuildDifferential:
+    @given(engines())
+    @settings(max_examples=30, deadline=None)
+    def test_all_pairs_match_oracle(self, engine):
+        index = HubLabelIndex.build(engine)
+        assert_index_matches_oracle(index, engine)
+
+    @given(engines(max_nodes=20), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_hop_bound_folds_exactly(self, engine, max_hops):
+        index = HubLabelIndex.build(engine)
+        for s in range(engine.num_nodes):
+            truth = naive_distances(engine, s)
+            for t in range(engine.num_nodes):
+                answer = index.query(s, t, max_hops)
+                expected = truth.get(t)
+                assert answer.reachable == (
+                    expected is not None and expected <= max_hops
+                )
+                assert answer.as_dict()["distance"] == (
+                    UNREACHED if expected is None else expected
+                )
+
+    def test_scales_to_two_hundred_nodes(self):
+        """One deterministic ≤200-node instance, checked exhaustively."""
+        rng = np.random.default_rng(8)
+        n = 200
+        edges = {tuple(sorted(e)) for e in rng.integers(0, n, (3 * n, 2))
+                 if e[0] != e[1]}
+        from repro.graph.asgraph import ASGraph
+
+        graph = ASGraph.from_edges(n, sorted(edges))
+        brokers = rng.choice(n, size=12, replace=False)
+        engine = DominationEngine(graph, dict.fromkeys(map(int, brokers)))
+        index = HubLabelIndex.build(engine)
+        assert_index_matches_oracle(index, engine)
+
+
+def _apply_mutation(engine, op: int, a: int, b: int) -> None:
+    """One best-effort mutation; indices are folded into range first."""
+    n = engine.num_nodes
+    a %= n
+    b %= n
+    kind = op % 8
+    if kind == 0:
+        if not engine.is_broker(a) and engine.is_alive(a):
+            engine.add_broker(a)
+    elif kind == 1:
+        if engine.is_broker(a):
+            engine.remove_broker(a)
+    elif kind == 2:
+        engine.fail_node(a)
+    elif kind == 3:
+        engine.restore_node(a)
+    elif kind == 4 and a != b:
+        engine.cut_link(a, b)
+    elif kind == 5 and a != b:
+        engine.restore_link(a, b)
+    elif kind == 6 and a != b:
+        engine.add_link(a, b)
+    elif kind == 7:
+        engine.add_node([a, b])
+
+
+class TestRepairDifferential:
+    @given(
+        engines(max_nodes=16),
+        st.lists(st.tuples(st.integers(0, 7), st.integers(0, 63),
+                           st.integers(0, 63)),
+                 min_size=1, max_size=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_interleaved_repair_matches_rebuild_and_oracle(
+        self, engine, script
+    ):
+        repairer = LabelRepairer(engine)
+        for op, a, b in script:
+            _apply_mutation(engine, op, a, b)
+            repairer.sync()
+            rebuilt = HubLabelIndex.build(engine)
+            for s in range(engine.num_nodes):
+                for t in range(engine.num_nodes):
+                    assert repairer.index.distance(s, t) == rebuilt.distance(
+                        s, t
+                    ), f"repair drifted from rebuild at ({s}, {t})"
+        assert_index_matches_oracle(repairer.index, engine)
+
+    @given(
+        engines(max_nodes=14),
+        st.lists(st.tuples(st.integers(0, 7), st.integers(0, 63),
+                           st.integers(0, 63)),
+                 min_size=1, max_size=8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rollback_churn_repairs_clean(self, engine, script):
+        """Checkpoint/rollback inverses flow through the same repair path."""
+        repairer = LabelRepairer(engine)
+        before = {
+            (s, t): repairer.index.distance(s, t)
+            for s in range(engine.num_nodes)
+            for t in range(engine.num_nodes)
+        }
+        token = engine.checkpoint()
+        for op, a, b in script:
+            if op % 8 == 7:
+                continue  # add_node is not rolled back by design (log-less)
+            _apply_mutation(engine, op, a, b)
+        repairer.sync()
+        engine.rollback(token)
+        repairer.sync()
+        for (s, t), expected in before.items():
+            assert repairer.index.distance(s, t) == expected
+        assert_index_matches_oracle(repairer.index, engine)
+
+    @given(engines(max_nodes=16))
+    @settings(max_examples=20, deadline=None)
+    def test_lazy_sync_only_marks_dirty(self, engine):
+        repairer = LabelRepairer(engine)
+        assert repairer.sync() is False
+        before = dominated_edge_set(engine)
+        target = 0
+        if engine.is_broker(target):
+            engine.remove_broker(target)
+        else:
+            engine.add_broker(target)
+        assert repairer.dirty
+        # sync() reports whether repair *work* ran: a broker toggle that
+        # leaves the dominated subgraph unchanged is a no-op repair.
+        assert repairer.sync() == (dominated_edge_set(engine) != before)
+        assert repairer.sync() is False
+        assert_index_matches_oracle(repairer.index, engine)

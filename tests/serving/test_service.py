@@ -1,0 +1,239 @@
+"""Service-tier contract: batching, metrics, errors, loadgen, TCP framing.
+
+The batching layer must be *behaviorally invisible*: every batched
+answer bit-identical to the unbatched ``resolve`` reference, malformed
+requests resolving to structured errors on their own future without
+killing the batch they rode in, and per-batch latency histograms
+landing in the process-wide metrics registry.  The load generator must
+be deterministic end-to-end — same index + same seed, same queries and
+the same ``answers_digest`` — because ledger regression checks compare
+those digests across sessions.
+
+No ``pytest-asyncio`` in the toolchain: coroutines run via
+``asyncio.run`` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.engine import DominationEngine
+from repro.graph.asgraph import ASGraph
+from repro.obs.metrics import get_registry
+from repro.serving import (
+    LabelRepairer,
+    PathQueryService,
+    QueryRequest,
+    build_index,
+    generate_queries,
+    run_loadgen,
+    serve_tcp,
+)
+from repro.serving.labels import HubLabelIndex
+
+
+@pytest.fixture()
+def engine() -> DominationEngine:
+    graph = ASGraph.from_edges(12, [
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+        (0, 8), (8, 9), (2, 10), (10, 11), (11, 4),
+    ])
+    return DominationEngine(graph, [1, 4, 8, 10])
+
+
+@pytest.fixture()
+def service(engine) -> PathQueryService:
+    return PathQueryService(LabelRepairer(engine), max_batch=4)
+
+
+def _all_requests(n: int) -> list[QueryRequest]:
+    return [
+        QueryRequest(s, t, want_path=(s + t) % 3 == 0)
+        for s in range(n) for t in range(n)
+    ]
+
+
+class TestBatchingEquivalence:
+    def test_batched_equals_unbatched(self, engine, service):
+        requests = _all_requests(engine.num_nodes)
+        batched = asyncio.run(service.submit_many(requests))
+        for req, got in zip(requests, batched):
+            assert got.as_dict() == service.resolve(req).as_dict()
+
+    def test_batch_flushes_on_size(self, service):
+        before = get_registry().snapshot()["counters"].get(
+            "serving.batches", 0
+        )
+        asyncio.run(service.submit_many(
+            [QueryRequest(0, i % 12) for i in range(8)]
+        ))
+        after = get_registry().snapshot()["counters"]["serving.batches"]
+        # max_batch=4 and 8 concurrent submissions: at least two batches.
+        assert after - before >= 2
+
+    def test_batch_flushes_on_delay(self, service):
+        async def one() -> object:
+            return await service.submit(QueryRequest(0, 5))
+
+        response = asyncio.run(asyncio.wait_for(one(), timeout=5))
+        assert response.ok
+
+    def test_mid_batch_mutation_visible_like_unbatched(self, engine):
+        repairer = LabelRepairer(engine)
+        service = PathQueryService(repairer, max_batch=4)
+
+        async def mutate_then_query() -> list:
+            first = service.submit(QueryRequest(0, 7))
+            engine.fail_node(7)
+            second = service.submit(QueryRequest(0, 7))
+            return list(await asyncio.gather(first, second))
+
+        first, second = asyncio.run(mutate_then_query())
+        assert second.reachable is False
+        assert second.as_dict() == service.resolve(
+            QueryRequest(0, 7)
+        ).as_dict()
+
+
+class TestStructuredErrors:
+    def test_malformed_does_not_kill_the_batch(self, service):
+        requests = [
+            QueryRequest(0, 5),
+            QueryRequest("nope", 5),
+            QueryRequest(0, 10**9),
+            QueryRequest(0, 5, max_hops=-2),
+            QueryRequest(5, 0),
+        ]
+        responses = asyncio.run(service.submit_many(requests))
+        assert [r.ok for r in responses] == [True, False, False, False, True]
+        for bad in responses[1:4]:
+            assert bad.error
+            assert bad.distance is None and bad.reachable is None
+        assert responses[0].as_dict() == service.resolve(
+            requests[0]
+        ).as_dict()
+
+    def test_error_counter_increments(self, service):
+        before = get_registry().snapshot()["counters"].get(
+            "serving.errors", 0
+        )
+        assert service.resolve(QueryRequest(None, 0)).ok is False
+        assert service.resolve(QueryRequest(0, True)).ok is False
+        after = get_registry().snapshot()["counters"]["serving.errors"]
+        assert after - before == 2
+
+    def test_resolve_never_raises_on_bool(self, service):
+        response = service.resolve(QueryRequest(0, 1, max_hops=True))
+        assert response.ok is False
+        assert "max_hops" in response.error
+
+
+class TestMetrics:
+    def test_latency_histograms_recorded(self, engine):
+        service = PathQueryService(LabelRepairer(engine), max_batch=3)
+        before = {
+            name: summary["count"]
+            for name, summary in get_registry()
+            .snapshot()["histograms"].items()
+        }
+        asyncio.run(service.submit_many(
+            [QueryRequest(i % 12, (i * 5) % 12) for i in range(7)]
+        ))
+        histograms = get_registry().snapshot()["histograms"]
+        for name in ("serving.query.seconds", "serving.batch.seconds",
+                     "serving.batch.size"):
+            assert name in histograms, f"missing histogram {name}"
+            # The registry is process-global: assert *this* run observed.
+            assert histograms[name]["count"] > before.get(name, 0)
+
+
+class TestLoadgen:
+    def test_deterministic_queries_and_digest(self, engine, service):
+        index = service._index
+        q1 = generate_queries(index, 60, seed=11)
+        q2 = generate_queries(index, 60, seed=11)
+        assert q1 == q2
+        r1 = run_loadgen(service, index, 60, seed=11, concurrency=3)
+        r2 = run_loadgen(service, index, 60, seed=11, concurrency=5)
+        # Concurrency shapes timing, never answers.
+        assert r1.answers_digest == r2.answers_digest
+        assert r1.queries == 60
+        assert r1.errors == 0
+
+    def test_seed_changes_workload(self, service):
+        index = service._index
+        assert generate_queries(index, 60, seed=1) != generate_queries(
+            index, 60, seed=2
+        )
+
+    def test_loadgen_report_is_json_safe(self, engine, service):
+        report = run_loadgen(service, service._index, 20, seed=3)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["queries"] == 20
+        assert payload["answers_digest"] == report.answers_digest
+
+
+class TestIndexOnlyService:
+    def test_service_over_bare_index(self, engine):
+        index = HubLabelIndex.build(engine)
+        service = PathQueryService(index, max_batch=2)
+        responses = asyncio.run(service.submit_many(
+            [QueryRequest(0, 4), QueryRequest(4, 0)]
+        ))
+        assert responses[0].distance == responses[1].distance
+
+    def test_rejects_bad_batch_size(self, engine):
+        with pytest.raises(ValueError):
+            PathQueryService(HubLabelIndex.build(engine), max_batch=0)
+
+
+class TestTcpEndpoint:
+    def test_json_lines_round_trip(self, engine):
+        service = PathQueryService(LabelRepairer(engine), max_batch=4)
+
+        async def roundtrip() -> list[dict]:
+            server = await serve_tcp(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            lines = [
+                json.dumps({"src": 0, "dst": 4, "path": True}),
+                "this is not json",
+                json.dumps({"src": 0, "dst": "x"}),
+                json.dumps({"src": 3, "dst": 3}),
+            ]
+            out = []
+            for line in lines:
+                writer.write((line + "\n").encode())
+                await writer.drain()
+                out.append(json.loads(await reader.readline()))
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return out
+
+        ok, not_json, bad_dst, self_query = asyncio.run(roundtrip())
+        assert ok["ok"] and ok["reachable"] and ok["path"][0] == 0
+        assert not_json["ok"] is False and not_json["error"]
+        assert bad_dst["ok"] is False and "dst" in bad_dst["error"]
+        assert self_query["ok"] and self_query["distance"] == 0
+
+
+class TestCachedBuild:
+    def test_cache_round_trip_same_answers(self, engine, tmp_path):
+        from repro.parallel.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cold = build_index(engine, cache=cache)
+        warm = build_index(engine, cache=cache)
+        assert cache.misses == 1 and cache.hits == 1
+        assert cold.to_payload() == warm.to_payload()
+        assert warm.verify()
+
+    def test_unknown_family_rejected(self, engine):
+        from repro.exceptions import AlgorithmError
+
+        with pytest.raises(AlgorithmError):
+            build_index(engine, family="no-such-index")
