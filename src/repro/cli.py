@@ -10,7 +10,9 @@ Subcommands:
 * ``experiment`` — run one (or all) of the paper's tables/figures.
 * ``sweep`` — parallel, cache-aware multi-seed/budget sweeps (fig2b, table5).
 * ``cache`` — inspect or clear an on-disk result cache.
-* ``trace`` — run one experiment with span tracing on and summarize it.
+* ``trace`` — run one experiment with span tracing on and summarize it,
+  or analyze a recorded trace file (``--input`` with ``--flame`` /
+  ``--critical-path``).
 * ``metrics`` — run an experiment (cold + warm-cache) and report the
   kernel/cache/runner counters from :mod:`repro.obs`.
 * ``report`` — markdown experiment reports, and (with ``--ledger`` /
@@ -18,8 +20,10 @@ Subcommands:
   table, regression gate, single-file HTML dashboard, BENCH export.
 * ``serve`` — build the hub-label serving index over a broker
   deployment and either drive the seeded closed-loop load generator
-  (recording a ``serving`` ledger run) or expose a JSON-lines TCP
-  query endpoint (``--port``).
+  (recording ``serving`` + ``slo`` ledger runs, with per-query
+  latency/SLO summary tables) or expose a JSON-lines TCP query
+  endpoint (``--port``) whose ``/health`` / ``/metrics`` / ``/slo``
+  admin verbs serve live telemetry.
 * ``query`` — one-shot path queries against the serving index.
 
 ``experiment``, ``sweep`` and ``resilience`` accept ``--workers``,
@@ -550,10 +554,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_trace_analysis(records: list, args: argparse.Namespace) -> None:
+    """Flame / critical-path views over span records (``repro trace``)."""
+    from repro.obs.collect import (
+        build_trees,
+        render_critical_path,
+        render_flame,
+    )
+
+    trees = build_trees(records)
+    if args.flame:
+        print()
+        print(render_flame(trees))
+    if args.critical_path:
+        print()
+        print(render_critical_path(trees))
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.utils.tables import format_table
+
+    if args.input:
+        # Analyze an existing trace file (e.g. a merged multi-process
+        # trace from --trace-out) instead of running an experiment.
+        from repro.obs.collect import read_trace
+
+        meta, records = read_trace(args.input)
+        spans = [r for r in records if r.get("type") == "span"]
+        aggregate: dict[str, tuple[int, float]] = {}
+        for record in spans:
+            count, total = aggregate.get(record["name"], (0, 0.0))
+            aggregate[record["name"]] = (count + 1, total + record["dur"])
+        rows = [
+            (name, count, f"{total:.4f}", f"{total / count:.6f}")
+            for name, (count, total) in sorted(
+                aggregate.items(), key=lambda kv: -kv[1][1]
+            )
+        ]
+        print(format_table(
+            ["span", "count", "total s", "mean s"],
+            rows or [("(no spans)", "", "", "")],
+            title=f"Trace summary: {args.input} "
+                  f"({len(records)} record(s), schema "
+                  f"{meta.get('schema', 1)})",
+        ))
+        _render_trace_analysis(records, args)
+        return 0
+
+    if not args.name:
+        print("error: give an experiment name or --input FILE",
+              file=sys.stderr)
+        return 2
+
     from repro.experiments import ExperimentConfig, run_experiment
     from repro.obs import Tracer, use_tracer
-    from repro.utils.tables import format_table
 
     tracer = Tracer(metadata={
         "command": "trace",
@@ -586,6 +640,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(format_table(
             ["counter", "value"], counter_rows, title="Nonzero counters",
         ))
+    _render_trace_analysis(tracer.records, args)
     if args.output:
         count = tracer.export(args.output)
         print(f"wrote {count} trace record(s) to {args.output}")
@@ -631,6 +686,22 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _slo_monitor_from_args(args: argparse.Namespace):
+    """An :class:`SloMonitor` from ``--slo``/``--slo-window`` (or defaults)."""
+    from repro.obs.slo import DEFAULT_SLOS, SloMonitor, parse_slo_spec
+
+    specs = DEFAULT_SLOS
+    raw = getattr(args, "slo", None)
+    if raw:
+        try:
+            specs = tuple(parse_slo_spec(text) for text in raw)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    return SloMonitor(
+        specs, horizon_s=getattr(args, "slo_window", 60.0)
+    )
+
+
 def _serving_stack(args: argparse.Namespace):
     """Engine + repairer + service over a seeded broker deployment."""
     from repro.core.engine import DominationEngine
@@ -646,7 +717,8 @@ def _serving_stack(args: argparse.Namespace):
     index = build_index(engine, family=args.index, cache=cache)
     repairer = LabelRepairer(engine, index)
     service = PathQueryService(
-        repairer, max_batch=args.max_batch, max_delay=args.max_delay
+        repairer, max_batch=args.max_batch, max_delay=args.max_delay,
+        slo_monitor=_slo_monitor_from_args(args),
     )
     return graph, brokers, index, service
 
@@ -685,6 +757,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{report.errors} error(s), {report.throughput_qps:.0f} q/s, "
         f"digest {report.answers_digest}"
     )
+    from repro.utils.tables import format_table
+
+    slo_verdicts = service.slo.evaluate() if service.slo is not None else []
+    latency_rows = [
+        ("end-to-end p50", f"{report.latency_p50 * 1e3:.3f} ms"),
+        ("end-to-end p99", f"{report.latency_p99 * 1e3:.3f} ms"),
+        ("end-to-end max", f"{report.latency_max * 1e3:.3f} ms"),
+    ]
+    if service.slo is not None:
+        window = service.slo.window.snapshot()
+        latency_rows += [
+            ("rolling p50", f"{window['p50'] * 1e3:.3f} ms"),
+            ("rolling p99", f"{window['p99'] * 1e3:.3f} ms"),
+            ("rolling error rate", f"{window['error_rate']:.4f}"),
+        ]
+    print(format_table(
+        ["latency", "value"], latency_rows, title="Serving latency",
+    ))
+    if slo_verdicts:
+        print(format_table(
+            ["slo", "kind", "target", "burn rate", "alert", "status"],
+            [
+                (
+                    v.spec.name, v.spec.kind, f"{v.spec.target:g}",
+                    f"{v.burn_rate:.3f}", f"{v.spec.burn_alert:g}",
+                    "BREACHED" if v.breached else "ok",
+                )
+                for v in slo_verdicts
+            ],
+            title="SLO verdicts",
+        ))
     ledger = _ledger_from_args(args)
     if ledger is not None:
         from repro.obs import get_registry
@@ -720,6 +823,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             result_digest=report.answers_digest,
             ts=now(),
         ))
+        if slo_verdicts:
+            # A separate slo-kind record: the regression gate treats its
+            # verdicts as absolute (any breach fails, even with no
+            # baseline), so it must not share a group with the
+            # digest/timing-gated serving record.
+            breaches = sum(1 for v in slo_verdicts if v.breached)
+            ledger.append(RunRecord(
+                experiment="serving-slo",
+                kind="slo",
+                scale=args.scale,
+                seed=args.seed,
+                git_rev=git_revision(),
+                graph_digest=graph.digest(),
+                params={
+                    "slos": [v.to_dict() for v in slo_verdicts],
+                    "window": service.slo.window.snapshot(),
+                    "queries": args.queries,
+                    "concurrency": args.concurrency,
+                },
+                counters={
+                    "slo.breaches": breaches,
+                    "slo.total": len(slo_verdicts),
+                },
+                timings={
+                    "serving.request.p99": summarize_observation(
+                        report.latency_p99
+                    ),
+                },
+                ts=now(),
+            ))
+            if breaches:
+                print(
+                    f"warning: {breaches} SLO breach(es) recorded to ledger",
+                    file=sys.stderr,
+                )
     return 0
 
 
@@ -794,24 +932,42 @@ def _maybe_trace(args: argparse.Namespace):
     """Install a recording tracer for the command when ``--trace-out`` is set.
 
     The trace is exported even when the command fails, so a crashing run
-    still leaves its spans behind for debugging.
+    still leaves its spans behind for debugging.  A sibling
+    ``FILE.shards/`` directory is offered to process-pool workers for
+    their per-process span shards; after export the shards are merged
+    into the trace (clock-normalized, orphans adopted) and the shard
+    directory is removed, so the file on disk is the one canonical
+    multi-process trace.
     """
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
         yield
         return
-    from repro.obs import Tracer, use_tracer
+    import shutil
 
+    from repro.obs import Tracer, use_tracer
+    from repro.obs.collect import discover_shards, merge_into
+
+    shard_dir = f"{trace_out}.shards"
     tracer = Tracer(metadata={
         "command": args.command,
         "scale": getattr(args, "scale", None),
         "seed": getattr(args, "seed", None),
-    })
+    }, shard_dir=shard_dir)
     with use_tracer(tracer):
         try:
             yield
         finally:
             count = tracer.export(trace_out)
+            if discover_shards(shard_dir):
+                merged, adopted = merge_into(trace_out, shard_dir)
+                shutil.rmtree(shard_dir, ignore_errors=True)
+                count += merged
+                print(
+                    f"merged {merged} worker span(s) "
+                    f"({adopted} orphan(s) adopted)",
+                    file=sys.stderr,
+                )
             print(
                 f"wrote {count} trace record(s) to {trace_out}",
                 file=sys.stderr,
@@ -908,6 +1064,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max seconds a query waits for its batch")
         p.add_argument("--cache-dir", default=None,
                        help="content-addressed cache for index payloads")
+        p.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                       help="SLO spec 'latency:NAME:TARGET:THRESHOLD_MS"
+                            "[:BURN]' or 'availability:NAME:TARGET[:BURN]' "
+                            "(repeatable; default: p99<250ms@0.99 + "
+                            "availability@0.999)")
+        p.add_argument("--slo-window", type=float, default=60.0,
+                       help="sliding-window horizon in seconds for rolling "
+                            "stats and SLO burn rates (default 60)")
 
     p = sub.add_parser("serve",
                        help="hub-label serving tier: loadgen run or TCP "
@@ -923,8 +1087,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1",
                    help="bind address for --port (default 127.0.0.1)")
     p.add_argument("--ledger", default=None, metavar="FILE",
-                   help="append a 'serving' run record to this JSONL "
+                   help="append 'serving' + 'slo' run records to this JSONL "
                         "ledger (default: $REPRO_LEDGER when set)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record a JSONL span trace of the run to FILE "
+                        "(per-query serving.request span trees)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("query",
@@ -944,10 +1111,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("trace",
-                       help="run one experiment with span tracing on")
-    p.add_argument("name", help="experiment id (e.g. table1, fig5b)")
+                       help="run one experiment with span tracing on, or "
+                            "analyze a recorded trace file")
+    p.add_argument("name", nargs="?", default=None,
+                   help="experiment id (e.g. table1, fig5b); omit with "
+                        "--input to analyze an existing trace")
     p.add_argument("--scale", choices=available_scales(), default="small")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--input", default=None, metavar="FILE",
+                   help="analyze this JSONL trace (e.g. from --trace-out) "
+                        "instead of running an experiment")
+    p.add_argument("--flame", action="store_true",
+                   help="render a name-merged text flamegraph")
+    p.add_argument("--critical-path", action="store_true",
+                   help="render the critical path of the longest traces")
     p.add_argument("--output", default=None, metavar="FILE",
                    help="also write the JSONL trace to FILE")
     p.add_argument("--show-result", action="store_true",

@@ -4,12 +4,20 @@ Two halves, all stdlib-only:
 
 *In-process* (evaporates at exit):
 
-* :mod:`repro.obs.tracer` — nested spans with JSON-lines export and a
+* :mod:`repro.obs.tracer` — nested spans with JSON-lines export,
+  contextvar-carried :class:`TraceContext` (trace/span/parent ids that
+  survive asyncio task switches and serialize across processes), and a
   no-op default (:class:`NullTracer`) so hot paths pay ~nothing when
   tracing is off;
+* :mod:`repro.obs.collect` — merges worker-process span shards into
+  one canonical trace (clock normalization, orphan adoption) and
+  renders critical paths / text flamegraphs from it;
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
-  gauges and histograms (with exact quantiles) the instrumented
-  kernels/runner/executor/cache flush into;
+  gauges and histograms (with exact quantiles up to a bounded-memory
+  reservoir cutoff) the instrumented kernels/runner/executor/cache
+  flush into;
+* :mod:`repro.obs.slo` — live serving telemetry: sliding-window
+  rolling stats and declarative SLOs with burn-rate alerts;
 * :mod:`repro.obs.profile` — the ``@profiled`` decorator combining both;
 * :mod:`repro.obs.timing` — the shared :class:`Timer`;
 * :mod:`repro.obs.log` — the structured-logging bridge behind the CLI's
@@ -30,6 +38,7 @@ for the user-facing surface.
 """
 
 from repro.obs.metrics import (
+    EXACT_SAMPLE_CUTOFF,
     Counter,
     Gauge,
     Histogram,
@@ -46,12 +55,37 @@ from repro.obs.metrics import (
 from repro.obs.timing import Timer
 from repro.obs.profile import profiled
 from repro.obs.tracer import (
+    TRACE_SCHEMA_VERSION,
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
+    current_context,
     get_tracer,
     set_tracer,
+    use_span_context,
     use_tracer,
+)
+from repro.obs.collect import (
+    CriticalStep,
+    SpanNode,
+    build_trees,
+    critical_path,
+    discover_shards,
+    merge,
+    merge_into,
+    read_shard,
+    read_trace,
+    render_critical_path,
+    render_flame,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SlidingWindow,
+    SloMonitor,
+    SloSpec,
+    SloVerdict,
+    parse_slo_spec,
 )
 from repro.obs.log import (
     HumanFormatter,
@@ -88,6 +122,9 @@ from repro.obs.report import (
 __all__ = [
     "CheckResult",
     "Counter",
+    "CriticalStep",
+    "DEFAULT_SLOS",
+    "EXACT_SAMPLE_CUTOFF",
     "Gauge",
     "Histogram",
     "HumanFormatter",
@@ -99,27 +136,45 @@ __all__ = [
     "NullTracer",
     "RegressionPolicy",
     "RunRecord",
+    "SlidingWindow",
+    "SloMonitor",
+    "SloSpec",
+    "SloVerdict",
     "Span",
+    "SpanNode",
+    "TRACE_SCHEMA_VERSION",
     "Timer",
+    "TraceContext",
     "Tracer",
     "Verdict",
     "add_counter",
     "bench_document",
+    "build_trees",
     "check_records",
     "compare_run",
     "configure_logging",
+    "critical_path",
+    "current_context",
     "default_ledger_path",
+    "discover_shards",
     "export_bench",
     "get_logger",
     "get_registry",
     "get_tracer",
     "git_revision",
+    "merge",
+    "merge_into",
     "metrics_disabled",
     "metrics_enabled",
     "observe",
     "observe_many",
+    "parse_slo_spec",
     "profiled",
+    "read_shard",
+    "read_trace",
+    "render_critical_path",
     "render_dashboard",
+    "render_flame",
     "render_ledger_table",
     "render_verdicts",
     "set_gauge",
@@ -127,6 +182,7 @@ __all__ = [
     "set_tracer",
     "sparkline_svg",
     "summarize_observation",
+    "use_span_context",
     "use_tracer",
     "write_dashboard",
 ]

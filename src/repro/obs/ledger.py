@@ -128,7 +128,7 @@ class RunRecord:
     """
 
     experiment: str
-    kind: str = "experiment"  # experiment | sweep | benchmark | session | serving
+    kind: str = "experiment"  # experiment | sweep | benchmark | session | serving | slo
     scale: str = ""
     seed: int = 0
     algorithm: str = ""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import math
+import random
 import threading
 from typing import Iterator
 
@@ -52,25 +53,40 @@ class Gauge:
         self.value = float(value)
 
 
+#: Observations kept verbatim up to this many samples; beyond it the
+#: histogram switches to a fixed-size uniform reservoir (Algorithm R).
+EXACT_SAMPLE_CUTOFF = 8192
+
+
 class Histogram:
     """Summary of observations: count / sum / min / max / quantiles.
 
     Deliberately bucket-free — observations are kept verbatim (a Python
-    list append per ``observe``), which stays cheap because call sites
-    flush per kernel *call*, and lets :meth:`quantile` report **exact**
-    nearest-rank percentiles rather than bucket-boundary approximations.
-    The run ledger persists these summaries, so regression checks compare
-    exact p50s across sessions.
+    list append per ``observe``), which lets :meth:`quantile` report
+    **exact** nearest-rank percentiles rather than bucket-boundary
+    approximations.  The sample list is bounded: past
+    :data:`EXACT_SAMPLE_CUTOFF` observations the histogram degrades to a
+    uniform reservoir (Vitter's Algorithm R, deterministically seeded
+    per metric name so runs stay reproducible), after which quantiles
+    are unbiased estimates over a fixed-size sample while ``count`` /
+    ``total`` / ``min`` / ``max`` (and hence ``mean``) remain exact.
+    The switch point is generous: every kernel-side metric flushes a
+    handful of values per *call*, so only open-ended streams (loadgen
+    per-query latencies) ever cross it — exactly the case where an
+    unbounded list would grow without limit under sustained traffic.
+    The run ledger persists these summaries, so regression checks
+    compare exact p50s across sessions below the cutoff.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_values")
+    __slots__ = ("count", "total", "min", "max", "_values", "_rng")
 
-    def __init__(self) -> None:
+    def __init__(self, seed: object = 0) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
         self._values: list[float] = []
+        self._rng = random.Random(repr(seed))
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -80,19 +96,33 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        self._values.append(value)
+        if self.count <= EXACT_SAMPLE_CUTOFF:
+            self._values.append(value)
+        else:
+            # Algorithm R: keep each of the n observations so far with
+            # probability cutoff/n — memory stays O(cutoff) forever.
+            slot = self._rng.randrange(self.count)
+            if slot < EXACT_SAMPLE_CUTOFF:
+                self._values[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def exact_quantiles(self) -> bool:
+        """Whether :meth:`quantile` is still exact (below the cutoff)."""
+        return self.count <= EXACT_SAMPLE_CUTOFF
+
     def quantile(self, q: float) -> float:
-        """Exact nearest-rank quantile of everything observed so far.
+        """Nearest-rank quantile of the retained sample.
 
         ``q`` in [0, 1]; returns 0.0 for an empty histogram (summaries
-        stay finite).  Nearest-rank means every returned value is one
-        that was actually observed — duplicates and single-observation
-        histograms behave exactly as expected.
+        stay finite).  Exact over everything observed while ``count``
+        ≤ :data:`EXACT_SAMPLE_CUTOFF`; past that, computed over the
+        uniform reservoir.  Nearest-rank means every returned value is
+        one that was actually observed — duplicates and
+        single-observation histograms behave exactly as expected.
         """
         if not self._values:
             return 0.0
@@ -153,7 +183,7 @@ class MetricsRegistry:
         metric = self._histograms.get(name)
         if metric is None:
             self._check_unique(name, self._histograms)
-            metric = self._histograms[name] = Histogram()
+            metric = self._histograms[name] = Histogram(seed=name)
         return metric
 
     # ------------------------------------------------------------------

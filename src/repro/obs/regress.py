@@ -18,6 +18,10 @@ returns structured :class:`Verdict` objects:
   workloads.
 * The ``result_digest`` (SHA-256 of the rendered table) gets the same
   exact gate, catching drift in any cell the coverage numbers miss.
+* ``slo``-kind records are **absolute** gates: they carry the serving
+  tier's own verdicts (burn rate vs alert threshold, computed live by
+  :mod:`repro.obs.slo`), so any recorded breach is a regression even
+  for the first record of its group — there is no baseline to earn.
 
 ``repro report --check`` turns any regression verdict into a non-zero
 exit code so CI can gate on it.
@@ -62,7 +66,7 @@ class Verdict:
 
     experiment: str
     metric: str
-    kind: str  # "timing" | "coverage" | "digest" | "group"
+    kind: str  # "timing" | "coverage" | "digest" | "group" | "slo"
     status: str  # STATUS_OK | STATUS_REGRESSION | STATUS_NO_BASELINE
     baseline: float | str | None = None
     current: float | str | None = None
@@ -128,6 +132,41 @@ def compare_run(
     common = {"experiment": current.experiment, "scale": current.scale,
               "seed": current.seed}
     verdicts: list[Verdict] = []
+
+    # SLO records carry absolute pass/fail verdicts computed by the
+    # serving tier itself — gate them before the baseline check so a
+    # breach fails even on the very first record of its group.
+    if current.kind == "slo":
+        slos = current.params.get("slos")
+        if isinstance(slos, list) and slos:
+            for slo in slos:
+                breached = bool(slo.get("breached"))
+                burn = slo.get("burn_rate")
+                alert = slo.get("burn_alert")
+                verdicts.append(Verdict(
+                    metric=f"slo[{slo.get('name', '?')}]", kind="slo",
+                    status=STATUS_REGRESSION if breached else STATUS_OK,
+                    current=burn, baseline=alert,
+                    ratio=(float(burn) / float(alert))
+                    if burn is not None and alert else None,
+                    message=(
+                        f"burn rate {float(burn):.2f} >= alert "
+                        f"{float(alert):.2f}" if breached else ""
+                    ),
+                    **common,
+                ))
+        else:
+            breaches = int(current.counters.get("slo.breaches", 0))
+            verdicts.append(Verdict(
+                metric="slo.breaches", kind="slo",
+                status=STATUS_REGRESSION if breaches else STATUS_OK,
+                current=breaches,
+                message=f"{breaches} SLO breach(es) recorded"
+                if breaches else "",
+                **common,
+            ))
+        return verdicts
+
     if not baselines:
         return [Verdict(
             metric="*", kind="group", status=STATUS_NO_BASELINE,

@@ -419,6 +419,62 @@ def _verdict_rows(verdicts: Sequence[Verdict]) -> str:
     return "".join(rows)
 
 
+def _slo_section(records: Sequence[RunRecord]) -> str:
+    """A card summarizing the newest ``slo``-kind record per group.
+
+    Shows each declared SLO's windowed burn rate against its alert
+    threshold — the live serving telemetry as it was captured at
+    record time (the same verdicts the regression gate judges).
+    """
+    newest: dict[tuple, RunRecord] = {}
+    for record in records:
+        if record.kind == "slo":
+            newest[record.group_key()] = record
+    if not newest:
+        return ""
+    rows: list[str] = []
+    for key in sorted(newest, key=str):
+        record = newest[key]
+        slos = record.params.get("slos")
+        if not isinstance(slos, list):
+            continue
+        for slo in slos:
+            breached = bool(slo.get("breached"))
+            badge = (
+                '<span class="status bad">&#9888; breached</span>'
+                if breached
+                else '<span class="status good">&#10003; ok</span>'
+            )
+            burn = slo.get("burn_rate")
+            alert = slo.get("burn_alert")
+            burn_cell = f"{float(burn):.3f}" if burn is not None else "-"
+            if alert is not None:
+                burn_cell += f" / {float(alert):.2f}"
+            rows.append(
+                "<tr>"
+                f"<td>{badge}</td>"
+                f"<td>{_html.escape(record.experiment)}</td>"
+                f"<td>{_html.escape(str(slo.get('name', '?')))}</td>"
+                f"<td>{_html.escape(str(slo.get('kind', '?')))}</td>"
+                f"<td>{float(slo.get('target', 0.0)):.4g}</td>"
+                f"<td>{burn_cell}</td>"
+                f"<td>{int(slo.get('bad', 0))}/{int(slo.get('total', 0))}"
+                "</td></tr>"
+            )
+    if not rows:
+        return ""
+    return f"""
+<div class="card">
+  <h2>Serving SLOs <span class="meta">burn rate = windowed bad fraction
+    / error budget; breach at burn &ge; alert</span></h2>
+  <table>
+    <thead><tr><th>status</th><th>experiment</th><th>slo</th><th>kind</th>
+      <th>target</th><th>burn / alert</th><th>bad/total</th></tr></thead>
+    <tbody>{''.join(rows)}</tbody>
+  </table>
+</div>"""
+
+
 def render_dashboard(
     records: Sequence[RunRecord],
     check: CheckResult | None = None,
@@ -556,6 +612,7 @@ def render_dashboard(
 latest record {generated} UTC</p>
 {tiles}
 {verdict_section}
+{_slo_section(records)}
 {''.join(cards)}
 </body>
 </html>

@@ -1,17 +1,33 @@
-"""Nested-span tracing with JSON-lines export and a free no-op default.
+"""Context-propagated span tracing with JSON-lines export (schema v2).
 
-The tracing model is deliberately tiny — a :class:`Tracer` keeps a
-per-thread stack of open spans and a flat list of finished records.  A
-span is opened with :meth:`Tracer.span` (a context manager), nests under
-whatever span is open on the same thread, and on exit appends one record
-with monotonic start/duration timings.  :meth:`Tracer.to_jsonl` emits the
-whole trace as JSON lines: one ``meta`` record (run metadata — seed,
-scale, command line, package version) followed by one record per span or
-event, children *before* their parents because records are written at
-span close (see docs/observability.md for the schema).
+The tracing model stays deliberately tiny — a :class:`Tracer` collects
+finished span records; a span is opened with :meth:`Tracer.span` (a
+context manager), nests under the *current trace context*, and on exit
+appends one record with monotonic start/duration timings.  What changed
+in schema v2 is **where the current context lives**: a
+:class:`contextvars.ContextVar` instead of a per-thread stack, so every
+asyncio task gets an independent span stack (two tasks interleaving on
+one thread can no longer mis-parent each other's spans) and the context
+is an explicit, serializable value — :class:`TraceContext` with
+``trace_id`` / ``span_id`` / ``parent_id`` — that can be carried across
+process boundaries (the parallel executor injects it into task
+envelopes; worker processes append their spans to per-process JSONL
+*shards* that :mod:`repro.obs.collect` merges back into one trace).
 
-The hot-path contract: the process-wide default tracer is a
-:class:`NullTracer` whose :meth:`~NullTracer.span` returns one shared,
+Span ids are strings of the form ``"<prefix>.<n>"`` where the prefix is
+unique per tracer (pid + random suffix), so ids from different
+processes never collide and a merged trace needs no renumbering.  Every
+root span (opened with no enclosing context) starts a fresh
+``trace_id``; children inherit it — one loadgen query, one trace.
+
+:meth:`Tracer.to_jsonl` emits the whole trace as JSON lines: one
+``meta`` record (run metadata, schema version, the wall-clock epoch the
+monotonic ``start`` offsets are anchored to) followed by one record per
+span or event, children *before* their parents because records are
+written at span close (see docs/observability.md for the schema).
+
+The hot-path contract is unchanged: the process-wide default tracer is
+a :class:`NullTracer` whose :meth:`~NullTracer.span` returns one shared,
 stateless context manager — instrumented kernels pay a single attribute
 check (or one no-op ``with`` per *iteration*, never per inner-loop
 evaluation), which the overhead-guard benchmark pins at < 3 %.
@@ -22,12 +38,15 @@ Activation is explicit: ``set_tracer(Tracer(...))`` or the
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import logging
+import os
 import threading
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -36,11 +55,75 @@ from repro.obs.log import get_logger
 
 _log = get_logger("tracer")
 
+#: Version of the JSONL trace layout (meta record ``schema`` field).
+TRACE_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The serializable position of "here" inside a distributed trace.
+
+    ``trace_id`` names the whole tree (one per request / root span),
+    ``span_id`` the innermost open span, ``parent_id`` that span's own
+    parent.  A context round-trips through :meth:`to_dict` /
+    :meth:`from_dict`, which is how the parallel executor carries it
+    into worker processes and the serving tier pins batch-flushed work
+    back onto the submitting request's span.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=str(data["span_id"]),
+            parent_id=data.get("parent_id"),
+        )
+
+
+#: The ambient trace context.  A ContextVar so asyncio tasks (which run
+#: in copies of their creator's context) get independent span stacks —
+#: thread-locals interleaved spans of concurrent tasks on one loop.
+_CONTEXT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> TraceContext | None:
+    """The ambient :class:`TraceContext` (``None`` outside any span)."""
+    return _CONTEXT.get()
+
+
+@contextmanager
+def use_span_context(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Scoped override of the ambient context (cross-task/process adoption)."""
+    token = _CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        try:
+            _CONTEXT.reset(token)
+        except ValueError:  # pragma: no cover - reset from another context
+            pass
+
 
 class NullSpan:
     """Shared do-nothing span; the disabled-path cost of instrumentation."""
 
     __slots__ = ()
+
+    #: Mirrors :attr:`Span.context` so guarded call sites stay branch-free.
+    context = None
 
     def __enter__(self) -> "NullSpan":
         return self
@@ -49,6 +132,12 @@ class NullSpan:
         return False
 
     def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def start(self) -> "NullSpan":
+        return self
+
+    def finish(self) -> "NullSpan":
         return self
 
 
@@ -77,77 +166,127 @@ class NullTracer:
 
 
 class Span:
-    """One open span; created by :meth:`Tracer.span`, closed by ``with``."""
+    """One open span; created by :meth:`Tracer.span`, closed by ``with``.
 
-    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs", "_t0")
+    Two lifecycles are supported:
+
+    * ``with tracer.span(...)`` — the span becomes the ambient context
+      for its body (children nest automatically);
+    * explicit :meth:`start` / :meth:`finish` — for spans whose open and
+      close happen in *different* contexts (e.g. a serving request span
+      opened at submit time and finished when its batch flushes).  These
+      never touch the ambient context; children attach via an explicit
+      ``parent=span.context``.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "trace_id", "span_id", "parent_id", "attrs",
+        "_t0", "_token",
+    )
 
     def __init__(
-        self, tracer: "Tracer", name: str, span_id: int,
-        parent_id: int | None, attrs: dict,
+        self, tracer: "Tracer", name: str, trace_id: str, span_id: str,
+        parent_id: str | None, attrs: dict,
     ) -> None:
         self._tracer = tracer
         self.name = name
+        self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
         self.attrs = attrs
         self._t0 = 0
+        self._token: contextvars.Token | None = None
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's position, for explicit propagation to children."""
+        return TraceContext(self.trace_id, self.span_id, self.parent_id)
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes before the span closes."""
         self.attrs.update(attrs)
         return self
 
-    def __enter__(self) -> "Span":
-        self._tracer._push(self)
+    # ------------------------------------------------------------------
+    # Explicit lifecycle (no ambient-context mutation)
+    # ------------------------------------------------------------------
+    def start(self) -> "Span":
         self._t0 = time.perf_counter_ns()
         return self
 
+    def finish(self) -> "Span":
+        self._tracer._record_span(self, time.perf_counter_ns() - self._t0)
+        return self
+
+    # ------------------------------------------------------------------
+    # Context-manager lifecycle (span becomes the ambient context)
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = _CONTEXT.set(self.context)
+        return self.start()
+
     def __exit__(self, exc_type, exc, tb) -> bool:
-        dur = time.perf_counter_ns() - self._t0
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
-        self._tracer._pop(self, dur)
+        if self._token is not None:
+            try:
+                _CONTEXT.reset(self._token)
+            except ValueError:  # pragma: no cover - exited in another context
+                pass
+            self._token = None
+        self.finish()
         return False
 
 
 class Tracer:
-    """Collects nested spans from any number of threads.
+    """Collects spans from any number of threads, tasks, and (via
+    shards) processes.
 
     ``metadata`` (seed, scale, command, ...) is carried into the trace's
-    leading ``meta`` record.  Span parenthood follows the per-thread stack
-    of open spans; ids are unique across threads.
+    leading ``meta`` record.  Span parenthood follows the ambient
+    :class:`TraceContext` (a contextvar — concurrent asyncio tasks and
+    threads each see their own), or an explicit ``parent=`` override.
+    Ids carry a per-tracer prefix unique across processes.
+
+    ``shard_dir`` opts distributed collection in: the parallel executor
+    reads it off the active tracer and tells worker processes where to
+    append their per-process span shards (merged back by
+    :mod:`repro.obs.collect`).
     """
 
     enabled = True
 
-    def __init__(self, metadata: dict | None = None) -> None:
+    def __init__(
+        self,
+        metadata: dict | None = None,
+        *,
+        shard_dir: str | Path | None = None,
+    ) -> None:
         self.metadata = dict(metadata or {})
+        self.shard_dir = str(shard_dir) if shard_dir is not None else None
         self._records: list[dict] = []
         self._lock = threading.Lock()
-        self._local = threading.local()
         self._ids = itertools.count(1)
+        self._prefix = f"{os.getpid():x}-{os.urandom(3).hex()}"
+        # One wall-clock/monotonic epoch pair: record starts are offsets
+        # from _epoch; wall_epoch lets collect.merge align traces whose
+        # monotonic clocks (other processes) are not comparable.
         self._epoch = time.perf_counter_ns()
+        self.wall_epoch = time.time()
 
     # ------------------------------------------------------------------
     # Span lifecycle
     # ------------------------------------------------------------------
-    def _stack(self) -> list[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    def _next_id(self) -> str:
+        with self._lock:
+            return f"{self._prefix}.{next(self._ids)}"
 
-    def _push(self, span: Span) -> None:
-        self._stack().append(span)
-
-    def _pop(self, span: Span, dur_ns: int) -> None:
-        stack = self._stack()
-        if stack and stack[-1] is span:
-            stack.pop()
+    def _record_span(self, span: Span, dur_ns: int) -> None:
         record = {
             "type": "span",
             "name": span.name,
             "id": span.span_id,
+            "trace": span.trace_id,
             "parent": span.parent_id,
             "start": (span._t0 - self._epoch) / 1e9,
             "dur": dur_ns / 1e9,
@@ -161,28 +300,39 @@ class Tracer:
                 extra={"span": span.name, "dur": round(dur_ns / 1e9, 6)},
             )
 
-    def span(self, name: str, **attrs: Any) -> Span:
-        """Open a span nested under the current thread's innermost span."""
-        stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
-        with self._lock:
-            span_id = next(self._ids)
-        return Span(self, name, span_id, parent_id, dict(attrs))
+    def span(
+        self, name: str, *, parent: TraceContext | None = None, **attrs: Any
+    ) -> Span:
+        """Open a span under ``parent`` (default: the ambient context).
 
-    def event(self, name: str, **attrs: Any) -> None:
+        With neither, the span roots a **new trace** — it gets a fresh
+        ``trace_id`` that all its descendants inherit.
+        """
+        ctx = parent if parent is not None else _CONTEXT.get()
+        span_id = self._next_id()
+        if ctx is None:
+            trace_id, parent_id = f"t{span_id}", None
+        else:
+            trace_id, parent_id = ctx.trace_id, ctx.span_id
+        return Span(self, name, trace_id, span_id, parent_id, dict(attrs))
+
+    def event(
+        self, name: str, *, parent: TraceContext | None = None, **attrs: Any
+    ) -> None:
         """Record a zero-duration point event under the current span."""
-        stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
+        ctx = parent if parent is not None else _CONTEXT.get()
+        span_id = self._next_id()
+        record = {
+            "type": "event",
+            "name": name,
+            "id": span_id,
+            "trace": ctx.trace_id if ctx is not None else f"t{span_id}",
+            "parent": ctx.span_id if ctx is not None else None,
+            "start": (time.perf_counter_ns() - self._epoch) / 1e9,
+            "dur": 0.0,
+            "attrs": dict(attrs),
+        }
         with self._lock:
-            record = {
-                "type": "event",
-                "name": name,
-                "id": next(self._ids),
-                "parent": parent_id,
-                "start": (time.perf_counter_ns() - self._epoch) / 1e9,
-                "dur": 0.0,
-                "attrs": dict(attrs),
-            }
             self._records.append(record)
 
     # ------------------------------------------------------------------
@@ -207,14 +357,19 @@ class Tracer:
 
         The ``meta`` record embeds a snapshot of the process-wide
         metrics registry, so one trace file carries both the span tree
-        and the counters/histograms the traced run accumulated.
+        and the counters/histograms the traced run accumulated, plus
+        the ``wall_epoch``/``prefix`` pair :mod:`repro.obs.collect`
+        uses to align shards from other processes.
         """
         from repro.obs.metrics import get_registry
 
         meta = {
             "type": "meta",
+            "schema": TRACE_SCHEMA_VERSION,
             "version": __version__,
             "metadata": self.metadata,
+            "prefix": self._prefix,
+            "wall_epoch": self.wall_epoch,
             "num_records": len(self.records),
             "metrics": get_registry().snapshot(),
         }
@@ -228,6 +383,38 @@ class Tracer:
         """Write the JSONL trace to ``path``; returns the record count."""
         Path(path).write_text(self.to_jsonl())
         return len(self.records)
+
+    def export_shard(self, shard_dir: str | Path | None = None) -> Path:
+        """Append this tracer's records to a per-process shard file.
+
+        The shard format is one ``clock`` record — carrying this
+        tracer's ``prefix`` and ``wall_epoch`` so the collector can
+        normalize its monotonic offsets onto the root trace's clock —
+        followed by the span/event records.  The whole chunk goes down
+        in a single ``os.write`` on an ``O_APPEND`` descriptor (the
+        ledger's atomicity trick), so any number of chunks from any
+        number of pool workers can share one ``shard-<pid>.jsonl``.
+        """
+        directory = Path(shard_dir if shard_dir is not None else self.shard_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"shard-{os.getpid()}.jsonl"
+        clock = {
+            "type": "clock",
+            "prefix": self._prefix,
+            "wall_epoch": self.wall_epoch,
+            "pid": os.getpid(),
+        }
+        lines = [json.dumps(clock, sort_keys=True)]
+        lines.extend(
+            json.dumps(r, sort_keys=True, default=str) for r in self.records
+        )
+        payload = ("\n".join(lines) + "\n").encode()
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+        return path
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,19 @@ Failures are captured per task as :class:`TaskFailure` records that
 convert directly into the experiment runner's ``ExperimentFailure``
 machinery instead of aborting the whole sweep.
 
+Tracing crosses the backend boundary.  When a :class:`~repro.obs.Tracer`
+is active, the whole map runs under one ``parallel.map`` span and each
+task gets a ``parallel.task`` child.  The ``thread`` backend carries the
+caller's trace context into workers by submitting chunks under a
+:func:`contextvars.copy_context` snapshot; the ``process`` backend —
+where the parent's tracer object cannot follow — serializes the map
+span's :class:`~repro.obs.TraceContext` into a *trace envelope* handed
+to :func:`_run_chunk`, and each worker opens a local tracer whose spans
+are appended to a per-process JSONL shard in the active tracer's
+``shard_dir`` (merged back into the main trace by
+:mod:`repro.obs.collect`).  Without a ``shard_dir`` the process backend
+simply doesn't collect worker-side spans, exactly as before.
+
 :func:`run_with_timeout` is the wall-clock guard used by the hardened
 experiment runner.  Unlike the previous per-experiment
 ``ThreadPoolExecutor`` (whose non-daemon worker leaked and kept running
@@ -29,6 +42,7 @@ from __future__ import annotations
 
 import atexit
 import concurrent.futures
+import contextvars
 import math
 import threading
 import time
@@ -39,7 +53,7 @@ from typing import Any, Callable, Iterable, Literal, Sequence
 import numpy as np
 
 from repro.exceptions import ExperimentTimeoutError, ReproError
-from repro.obs import add_counter, get_logger, observe, set_gauge
+from repro.obs import add_counter, get_logger, get_tracer, observe, set_gauge
 from repro.utils.rng import SeedLike
 
 _log = get_logger("parallel")
@@ -125,12 +139,47 @@ def _chunk_bounds(total: int, chunk_size: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + chunk_size, total)) for lo in range(0, total, chunk_size)]
 
 
+def _execute_tasks(
+    fn: Callable,
+    indexed_items: Sequence[tuple[int, Any]],
+    seeds: Sequence[np.random.SeedSequence] | None,
+    capture_errors: bool,
+) -> list[tuple[int, bool, Any, float]]:
+    """The task loop shared by every backend (runs in the worker)."""
+    tracer = get_tracer()
+    out: list[tuple[int, bool, Any, float]] = []
+    for pos, (index, item) in enumerate(indexed_items):
+        started = time.perf_counter()
+        with tracer.span("parallel.task", index=index):
+            try:
+                if seeds is not None:
+                    rng = np.random.default_rng(seeds[pos])
+                    value = fn(item, rng)
+                else:
+                    value = fn(item)
+            except Exception as exc:  # noqa: BLE001 — captured per task
+                if not capture_errors:
+                    raise
+                out.append(
+                    (
+                        index,
+                        False,
+                        (type(exc).__name__, str(exc), _traceback.format_exc()),
+                        time.perf_counter() - started,
+                    )
+                )
+            else:
+                out.append((index, True, value, time.perf_counter() - started))
+    return out
+
+
 def _run_chunk(
     fn: Callable,
     indexed_items: Sequence[tuple[int, Any]],
     seeds: Sequence[np.random.SeedSequence] | None,
     capture_errors: bool,
     submitted_at: float | None = None,
+    trace_envelope: dict | None = None,
 ) -> tuple[list[tuple[int, bool, Any, float]], float]:
     """Execute one chunk; returns ``(results, queue_seconds)``.
 
@@ -140,34 +189,42 @@ def _run_chunk(
     ``queue_seconds`` is how long the chunk waited between submission and
     its first task starting (``time.monotonic`` is system-wide on the
     platforms the process backend targets; clamped at zero otherwise).
+
+    ``trace_envelope`` (process backend only) is
+    ``{"context": TraceContext dict, "shard_dir": path}``: the chunk
+    runs under a fresh worker-local tracer with a ``parallel.chunk``
+    span parented at the serialized context, and the collected spans are
+    appended to the worker's shard file before returning.
     """
     queue_seconds = (
         max(0.0, time.monotonic() - submitted_at)
         if submitted_at is not None
         else 0.0
     )
-    out: list[tuple[int, bool, Any, float]] = []
-    for pos, (index, item) in enumerate(indexed_items):
-        started = time.perf_counter()
+    if trace_envelope is None:
+        return (
+            _execute_tasks(fn, indexed_items, seeds, capture_errors),
+            queue_seconds,
+        )
+
+    from repro.obs.tracer import TraceContext, Tracer, use_tracer
+
+    shard_tracer = Tracer()
+    parent = TraceContext.from_dict(trace_envelope["context"])
+    try:
+        with use_tracer(shard_tracer):
+            with shard_tracer.span(
+                "parallel.chunk",
+                parent=parent,
+                tasks=len(indexed_items),
+                queue_seconds=round(queue_seconds, 6),
+            ):
+                out = _execute_tasks(fn, indexed_items, seeds, capture_errors)
+    finally:
         try:
-            if seeds is not None:
-                rng = np.random.default_rng(seeds[pos])
-                value = fn(item, rng)
-            else:
-                value = fn(item)
-        except Exception as exc:  # noqa: BLE001 — captured per task
-            if not capture_errors:
-                raise
-            out.append(
-                (
-                    index,
-                    False,
-                    (type(exc).__name__, str(exc), _traceback.format_exc()),
-                    time.perf_counter() - started,
-                )
-            )
-        else:
-            out.append((index, True, value, time.perf_counter() - started))
+            shard_tracer.export_shard(trace_envelope["shard_dir"])
+        except OSError:  # pragma: no cover - shard dir vanished mid-run
+            _log.warning("failed to write trace shard", exc_info=True)
     return out, queue_seconds
 
 
@@ -223,6 +280,7 @@ def parallel_map(
 
     results: list = [None] * total
     failures: list[TaskFailure] = []
+    tracer = get_tracer()
 
     def absorb(chunk: tuple[list[tuple[int, bool, Any, float]], float]) -> None:
         chunk_out, queue_seconds = chunk
@@ -246,58 +304,85 @@ def parallel_map(
                     )
                 )
 
-    if backend == "serial" or total == 0:
-        if initializer is not None:
-            initializer(*initargs)
-        absorb(_run_chunk(fn, list(enumerate(items)), seeds, capture_errors))
+    with tracer.span(
+        "parallel.map", backend=backend, tasks=total
+    ) as map_span:
+        if backend == "serial" or total == 0:
+            if initializer is not None:
+                initializer(*initargs)
+            absorb(
+                _run_chunk(fn, list(enumerate(items)), seeds, capture_errors)
+            )
+            failures.sort(key=lambda f: f.index)
+            return ParallelResult(results=results, failures=tuple(failures))
+
+        # Process workers cannot see the parent tracer; hand them the map
+        # span's serialized context plus a shard directory to append
+        # their spans to (only when the active tracer opted in).
+        envelope = None
+        if (
+            backend == "process"
+            and tracer.enabled
+            and getattr(tracer, "shard_dir", None)
+        ):
+            envelope = {
+                "context": map_span.context.to_dict(),
+                "shard_dir": tracer.shard_dir,
+            }
+
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(total / (workers * 4)))
+        bounds = _chunk_bounds(total, chunk_size)
+        if backend == "thread":
+            pool_cls = concurrent.futures.ThreadPoolExecutor
+            pool_kwargs = dict(
+                max_workers=workers, initializer=initializer, initargs=initargs
+            )
+        else:
+            pool_cls = concurrent.futures.ProcessPoolExecutor
+            pool_kwargs = dict(
+                max_workers=workers, initializer=initializer, initargs=initargs
+            )
+        with pool_cls(**pool_kwargs) as pool:
+            futures = {}
+            for lo, hi in bounds:
+                indexed = [(i, items[i]) for i in range(lo, hi)]
+                chunk_seeds = seeds[lo:hi] if seeds is not None else None
+                chunk_args = (
+                    fn,
+                    indexed,
+                    chunk_seeds,
+                    capture_errors,
+                    time.monotonic(),
+                    envelope,
+                )
+                if backend == "thread":
+                    # Threads share the tracer object but not the ambient
+                    # context; a per-chunk contextvars snapshot keeps each
+                    # chunk's spans nested under this parallel.map span.
+                    ctx = contextvars.copy_context()
+                    fut = pool.submit(ctx.run, _run_chunk, *chunk_args)
+                else:
+                    fut = pool.submit(_run_chunk, *chunk_args)
+                futures[fut] = (lo, hi)
+            for fut in concurrent.futures.as_completed(futures):
+                lo, hi = futures[fut]
+                try:
+                    absorb(fut.result())
+                except Exception as exc:  # noqa: BLE001 — BrokenProcessPool
+                    if not capture_errors:
+                        raise
+                    for i in range(lo, hi):
+                        failures.append(
+                            TaskFailure(
+                                index=i,
+                                item_repr=repr(items[i])[:200],
+                                error_type=type(exc).__name__,
+                                message=str(exc),
+                            )
+                        )
         failures.sort(key=lambda f: f.index)
         return ParallelResult(results=results, failures=tuple(failures))
-
-    if chunk_size is None:
-        chunk_size = max(1, math.ceil(total / (workers * 4)))
-    bounds = _chunk_bounds(total, chunk_size)
-    if backend == "thread":
-        pool_cls = concurrent.futures.ThreadPoolExecutor
-        pool_kwargs = dict(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        )
-    else:
-        pool_cls = concurrent.futures.ProcessPoolExecutor
-        pool_kwargs = dict(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        )
-    with pool_cls(**pool_kwargs) as pool:
-        futures = {}
-        for lo, hi in bounds:
-            indexed = [(i, items[i]) for i in range(lo, hi)]
-            chunk_seeds = seeds[lo:hi] if seeds is not None else None
-            fut = pool.submit(
-                _run_chunk,
-                fn,
-                indexed,
-                chunk_seeds,
-                capture_errors,
-                time.monotonic(),
-            )
-            futures[fut] = (lo, hi)
-        for fut in concurrent.futures.as_completed(futures):
-            lo, hi = futures[fut]
-            try:
-                absorb(fut.result())
-            except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
-                if not capture_errors:
-                    raise
-                for i in range(lo, hi):
-                    failures.append(
-                        TaskFailure(
-                            index=i,
-                            item_repr=repr(items[i])[:200],
-                            error_type=type(exc).__name__,
-                            message=str(exc),
-                        )
-                    )
-    failures.sort(key=lambda f: f.index)
-    return ParallelResult(results=results, failures=tuple(failures))
 
 
 # ----------------------------------------------------------------------

@@ -31,13 +31,16 @@ from repro.serving.labels import UNREACHED, HubLabelIndex, QueryAnswer
 from repro.serving.loadgen import LoadgenReport, generate_queries, run_loadgen
 from repro.serving.repair import LabelRepairer
 from repro.serving.service import (
+    ADMIN_VERBS,
     PathQueryService,
     QueryRequest,
     QueryResponse,
+    admin_response,
     serve_tcp,
 )
 
 __all__ = [
+    "ADMIN_VERBS",
     "HubLabelIndex",
     "LabelRepairer",
     "LoadgenReport",
@@ -46,6 +49,7 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "UNREACHED",
+    "admin_response",
     "build_index",
     "engine_state_digest",
     "generate_queries",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import math
 import time
 from dataclasses import dataclass
 
@@ -46,7 +47,14 @@ UNBOUNDED_FRACTION = 0.25
 
 @dataclass(frozen=True)
 class LoadgenReport:
-    """Outcome of one closed-loop run (JSON-safe via :meth:`as_dict`)."""
+    """Outcome of one closed-loop run (JSON-safe via :meth:`as_dict`).
+
+    ``latency_p50`` / ``latency_p99`` / ``latency_max`` are end-to-end
+    per-query seconds sampled at the submit call sites (what a client
+    experiences, queue wait included) — the inputs the serving SLO
+    checks run against.  The digest stays a pure function of the
+    answers, never of the timings.
+    """
 
     queries: int
     concurrency: int
@@ -56,6 +64,9 @@ class LoadgenReport:
     reachable: int
     errors: int
     answers_digest: str
+    latency_p50: float = 0.0
+    latency_p99: float = 0.0
+    latency_max: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -67,6 +78,9 @@ class LoadgenReport:
             "reachable": self.reachable,
             "errors": self.errors,
             "answers_digest": self.answers_digest,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "latency_max": self.latency_max,
         }
 
 
@@ -142,8 +156,9 @@ def answers_digest(responses) -> str:
 
 async def _closed_loop(
     service: PathQueryService, queries: list[QueryRequest], concurrency: int
-) -> list:
+) -> tuple[list, list[float]]:
     responses: list = [None] * len(queries)
+    latencies: list[float] = [0.0] * len(queries)
     cursor = 0
 
     async def worker() -> None:
@@ -151,10 +166,12 @@ async def _closed_loop(
         while cursor < len(queries):
             i = cursor
             cursor += 1
+            t0 = time.perf_counter()
             responses[i] = await service.submit(queries[i])
+            latencies[i] = time.perf_counter() - t0
 
     await asyncio.gather(*(worker() for _ in range(concurrency)))
-    return responses
+    return responses, latencies
 
 
 def run_loadgen(
@@ -180,8 +197,18 @@ def run_loadgen(
     else:
         queries = list(queries_or_index)
     started = time.perf_counter()
-    responses = asyncio.run(_closed_loop(service, queries, concurrency))
+    responses, latencies = asyncio.run(
+        _closed_loop(service, queries, concurrency)
+    )
     elapsed = time.perf_counter() - started
+    ordered = sorted(latencies)
+
+    def rank(q: float) -> float:
+        if not ordered:
+            return 0.0
+        idx = math.ceil(q * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(0, idx))]
+
     report = LoadgenReport(
         queries=len(queries),
         concurrency=concurrency,
@@ -191,7 +218,11 @@ def run_loadgen(
         reachable=sum(1 for r in responses if r.ok and r.reachable),
         errors=sum(1 for r in responses if not r.ok),
         answers_digest=answers_digest(responses),
+        latency_p50=rank(0.50),
+        latency_p99=rank(0.99),
+        latency_max=ordered[-1] if ordered else 0.0,
     )
     _metrics.add_counter("serving.loadgen.runs")
     _metrics.observe("serving.loadgen.qps", report.throughput_qps)
+    _metrics.observe_many("serving.loadgen.query.seconds", latencies)
     return report

@@ -9,7 +9,9 @@ and flushes per-batch latency histograms into the process-wide metrics
 registry:
 
 * ``serving.query.seconds`` — per-query resolve latency;
+* ``serving.request.seconds`` — end-to-end (enqueue → respond) latency;
 * ``serving.batch.seconds`` / ``serving.batch.size`` — per-batch;
+* gauge ``serving.queue.depth`` — pending requests after each enqueue;
 * counters ``serving.queries`` / ``serving.batches`` /
   ``serving.errors``.
 
@@ -20,9 +22,22 @@ unbatched answers are bit-identical by construction: both call the same
 :meth:`resolve`; the batching layer only changes *when* the index is
 synced, and :meth:`resolve` syncs lazily too.
 
+When a tracer is active every request yields a span tree —
+``serving.request`` (enqueue to respond, opened with the explicit
+start/finish lifecycle because it crosses task contexts) with
+``serving.enqueue`` (queue wait), ``serving.repair.sync`` and
+``serving.query`` children plus a ``serving.respond`` event — and each
+flush a sibling ``serving.batch`` span.  When an
+:class:`~repro.obs.SloMonitor` is attached, every finished request
+feeds its end-to-end latency and success flag into the monitor's
+sliding window, which is what the admin channel and the ledger's
+``slo`` records report.
+
 ``serve_tcp`` exposes the service as a JSON-lines TCP endpoint (one
 request object per line, one response object per line) — the ``repro
-serve --port`` surface.
+serve --port`` surface.  Lines starting with ``/`` are **admin verbs**
+(``/health``, ``/metrics``, ``/slo``) answered from live telemetry
+without touching the query path.
 """
 
 from __future__ import annotations
@@ -35,10 +50,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs import metrics as _metrics
+from repro.obs.slo import SloMonitor
+from repro.obs.tracer import get_tracer
 from repro.serving.labels import UNREACHED, HubLabelIndex
 from repro.serving.repair import LabelRepairer
 
-__all__ = ["PathQueryService", "QueryRequest", "QueryResponse", "serve_tcp"]
+__all__ = [
+    "PathQueryService",
+    "QueryRequest",
+    "QueryResponse",
+    "admin_response",
+    "serve_tcp",
+]
 
 
 @dataclass(frozen=True)
@@ -126,6 +149,7 @@ class PathQueryService:
         *,
         max_batch: int = 256,
         max_delay: float = 0.002,
+        slo_monitor: SloMonitor | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -137,8 +161,34 @@ class PathQueryService:
             self._index = repairer.index
         self.max_batch = max_batch
         self.max_delay = max_delay
-        self._pending: list[tuple[QueryRequest, asyncio.Future]] = []
+        self.slo = slo_monitor
+        self._started = time.monotonic()
+        self._pending: list[tuple] = []
         self._flush_handle: asyncio.TimerHandle | None = None
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a batch flush."""
+        return len(self._pending)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def _finish_request(
+        self, latency_s: float, ok: bool, spans: dict | None
+    ) -> None:
+        """Common end-of-request bookkeeping for both serving paths."""
+        _metrics.observe("serving.request.seconds", latency_s)
+        if self.slo is not None:
+            self.slo.observe(latency_s, ok=ok)
+        if spans is not None:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "serving.respond", parent=spans["request"].context, ok=ok
+                )
+            spans["request"].set(ok=ok).finish()
 
     # ------------------------------------------------------------------
     # Unbatched reference path
@@ -150,30 +200,48 @@ class PathQueryService:
         Never raises for malformed input — that comes back as a
         structured error response, exactly as in a batch.
         """
-        if self._repairer is not None:
-            self._repairer.sync()
-        started = time.perf_counter()
-        try:
-            src, dst, max_hops = _validated(req, self._index.n)
-        except ValueError as exc:
-            _metrics.add_counter("serving.errors")
-            return QueryResponse(ok=False, src=req.src, dst=req.dst,
-                                 error=str(exc))
-        answer = self._index.query(
-            src, dst, max_hops, with_path=req.want_path
-        )
-        _metrics.observe(
-            "serving.query.seconds", time.perf_counter() - started
-        )
-        _metrics.add_counter("serving.queries")
-        return QueryResponse(
-            ok=True,
-            src=src,
-            dst=dst,
-            reachable=answer.reachable,
-            distance=answer.distance,
-            path=answer.path,
-        )
+        tracer = get_tracer()
+        arrived = time.perf_counter()
+        with tracer.span("serving.request", mode="unbatched") as req_span:
+            if self._repairer is not None:
+                with tracer.span("serving.repair.sync"):
+                    self._repairer.sync()
+            started = time.perf_counter()
+            try:
+                src, dst, max_hops = _validated(req, self._index.n)
+            except ValueError as exc:
+                _metrics.add_counter("serving.errors")
+                response = QueryResponse(ok=False, src=req.src, dst=req.dst,
+                                         error=str(exc))
+            else:
+                with tracer.span("serving.query"):
+                    answer = self._index.query(
+                        src, dst, max_hops, with_path=req.want_path
+                    )
+                _metrics.observe(
+                    "serving.query.seconds", time.perf_counter() - started
+                )
+                _metrics.add_counter("serving.queries")
+                response = QueryResponse(
+                    ok=True,
+                    src=src,
+                    dst=dst,
+                    reachable=answer.reachable,
+                    distance=answer.distance,
+                    path=answer.path,
+                )
+            latency = time.perf_counter() - arrived
+            _metrics.observe("serving.request.seconds", latency)
+            if self.slo is not None:
+                self.slo.observe(latency, ok=response.ok)
+            if tracer.enabled:
+                tracer.event(
+                    "serving.respond",
+                    parent=req_span.context,
+                    ok=response.ok,
+                )
+                req_span.set(ok=response.ok)
+        return response
 
     # ------------------------------------------------------------------
     # Batched path
@@ -183,7 +251,21 @@ class PathQueryService:
         """Enqueue one request; resolves when its batch flushes."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((req, future))
+        tracer = get_tracer()
+        spans = None
+        if tracer.enabled:
+            # The request span crosses contexts (opened here, finished
+            # by the flush callback), so it uses the explicit lifecycle
+            # and never becomes the ambient context.
+            request_span = tracer.span("serving.request", mode="batched")
+            request_span.start()
+            enqueue_span = tracer.span(
+                "serving.enqueue", parent=request_span.context
+            )
+            enqueue_span.start()
+            spans = {"request": request_span, "enqueue": enqueue_span}
+        self._pending.append((req, future, time.perf_counter(), spans))
+        _metrics.set_gauge("serving.queue.depth", len(self._pending))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._flush_handle is None:
@@ -201,42 +283,112 @@ class PathQueryService:
         batch, self._pending = self._pending, []
         if not batch:
             return
+        tracer = get_tracer()
         started = time.perf_counter()
         latencies: list[float] = []
         responses = []
-        for req, future in batch:
-            t0 = time.perf_counter()
-            if self._repairer is not None:
-                # Sync inside the loop so a mutation that lands between
-                # two requests of one batch is honored for the later
-                # ones — identical to what unbatched resolution sees.
-                self._repairer.sync()
-            try:
-                src, dst, max_hops = _validated(req, self._index.n)
-            except ValueError as exc:
-                _metrics.add_counter("serving.errors")
+        with tracer.span("serving.batch", size=len(batch)):
+            for req, future, enqueued_at, spans in batch:
+                t0 = time.perf_counter()
+                if spans is not None:
+                    spans["enqueue"].set(
+                        wait_seconds=round(t0 - enqueued_at, 6)
+                    ).finish()
+                if self._repairer is not None:
+                    # Sync inside the loop so a mutation that lands
+                    # between two requests of one batch is honored for
+                    # the later ones — identical to what unbatched
+                    # resolution sees.
+                    if spans is not None:
+                        sync_span = tracer.span(
+                            "serving.repair.sync",
+                            parent=spans["request"].context,
+                        ).start()
+                    self._repairer.sync()
+                    if spans is not None:
+                        sync_span.finish()
+                try:
+                    src, dst, max_hops = _validated(req, self._index.n)
+                except ValueError as exc:
+                    _metrics.add_counter("serving.errors")
+                    responses.append((future, QueryResponse(
+                        ok=False, src=req.src, dst=req.dst, error=str(exc)
+                    ), enqueued_at, spans))
+                    continue
+                if spans is not None:
+                    query_span = tracer.span(
+                        "serving.query", parent=spans["request"].context
+                    ).start()
+                answer = self._index.query(
+                    src, dst, max_hops, with_path=req.want_path
+                )
+                if spans is not None:
+                    query_span.finish()
+                latencies.append(time.perf_counter() - t0)
                 responses.append((future, QueryResponse(
-                    ok=False, src=req.src, dst=req.dst, error=str(exc)
-                )))
-                continue
-            answer = self._index.query(
-                src, dst, max_hops, with_path=req.want_path
+                    ok=True, src=src, dst=dst, reachable=answer.reachable,
+                    distance=answer.distance, path=answer.path,
+                ), enqueued_at, spans))
+            _metrics.observe_many("serving.query.seconds", latencies)
+            _metrics.observe(
+                "serving.batch.seconds", time.perf_counter() - started
             )
-            latencies.append(time.perf_counter() - t0)
-            responses.append((future, QueryResponse(
-                ok=True, src=src, dst=dst, reachable=answer.reachable,
-                distance=answer.distance, path=answer.path,
-            )))
-        _metrics.observe_many("serving.query.seconds", latencies)
-        _metrics.observe(
-            "serving.batch.seconds", time.perf_counter() - started
-        )
-        _metrics.observe("serving.batch.size", len(batch))
-        _metrics.add_counter("serving.queries", len(latencies))
-        _metrics.add_counter("serving.batches")
-        for future, response in responses:
-            if not future.done():
-                future.set_result(response)
+            _metrics.observe("serving.batch.size", len(batch))
+            _metrics.add_counter("serving.queries", len(latencies))
+            _metrics.add_counter("serving.batches")
+            _metrics.set_gauge("serving.queue.depth", len(self._pending))
+            for future, response, enqueued_at, spans in responses:
+                if not future.done():
+                    future.set_result(response)
+                self._finish_request(
+                    time.perf_counter() - enqueued_at, response.ok, spans
+                )
+
+
+# ----------------------------------------------------------------------
+# JSON-lines TCP endpoint + admin channel
+# ----------------------------------------------------------------------
+
+ADMIN_VERBS = ("/health", "/metrics", "/slo")
+
+
+def admin_response(service: PathQueryService, verb: str) -> dict:
+    """Answer one admin verb from live telemetry (JSON-safe).
+
+    * ``/health`` — liveness + queue depth + breach count: ``status`` is
+      ``"ok"`` until any attached SLO is burning over its alert rate,
+      then ``"breached"``.
+    * ``/metrics`` — the process-wide registry snapshot plus the rolling
+      window stats (when a monitor is attached).
+    * ``/slo`` — the full :meth:`SloMonitor.snapshot`: rolling window,
+      lifetime counts, and one verdict per SLO spec with its burn rate.
+    """
+    verb = verb.strip()
+    if verb == "/health":
+        breaches = len(service.slo.breaches()) if service.slo else 0
+        return {
+            "ok": True,
+            "status": "breached" if breaches else "ok",
+            "uptime_s": service.uptime_s,
+            "queue_depth": service.queue_depth,
+            "slo_breaches": breaches,
+        }
+    if verb == "/metrics":
+        payload = {
+            "ok": True,
+            "metrics": _metrics.get_registry().snapshot(),
+        }
+        if service.slo is not None:
+            payload["window"] = service.slo.window.snapshot()
+        return payload
+    if verb == "/slo":
+        if service.slo is None:
+            return {"ok": False, "error": "no SLO monitor attached"}
+        return {"ok": True, **service.slo.snapshot()}
+    return {
+        "ok": False,
+        "error": f"unknown admin verb {verb!r}; try {', '.join(ADMIN_VERBS)}",
+    }
 
 
 async def serve_tcp(
@@ -247,7 +399,10 @@ async def serve_tcp(
     Each request line is a JSON object (``{"src": .., "dst": ..,
     "max_hops": .., "path": bool}``); each response line is
     :meth:`QueryResponse.as_dict`.  A line that fails to parse gets a
-    structured error response on the same connection.  Returns the
+    structured error response on the same connection.  Lines starting
+    with ``/`` are admin verbs (see :func:`admin_response`) answered
+    out-of-band — they never enter the batch pipeline, so health checks
+    stay responsive while the query queue is deep.  Returns the
     ``asyncio`` server (caller owns its lifetime).
     """
 
@@ -258,6 +413,16 @@ async def serve_tcp(
                 line = await reader.readline()
                 if not line:
                     break
+                stripped = line.strip()
+                if stripped.startswith(b"/"):
+                    payload = admin_response(
+                        service, stripped.decode("utf-8", "replace")
+                    )
+                    writer.write(
+                        (json.dumps(payload, sort_keys=True) + "\n").encode()
+                    )
+                    await writer.drain()
+                    continue
                 try:
                     data = json.loads(line)
                     if not isinstance(data, dict):

@@ -14,7 +14,11 @@ from repro.obs import (
     set_gauge,
     set_metrics_enabled,
 )
-from repro.obs.metrics import iter_nonzero_counters
+from repro.obs.metrics import (
+    EXACT_SAMPLE_CUTOFF,
+    Histogram,
+    iter_nonzero_counters,
+)
 
 
 class TestRegistry:
@@ -160,3 +164,57 @@ class TestModuleHelpers:
         fired = dict(iter_nonzero_counters())
         assert fired["test.nonzero.counter"] >= 2
         assert "test.zero.counter" not in fired
+
+
+class TestHistogramReservoir:
+    def _fill(self, hist, n):
+        for i in range(n):
+            hist.observe(float(i))
+
+    def test_exact_below_cutoff(self):
+        hist = Histogram()
+        self._fill(hist, 1000)
+        assert hist.exact_quantiles
+        assert len(hist._values) == 1000
+        assert hist.quantile(0.5) == 499.0  # nearest-rank, exact
+
+    def test_memory_bounded_above_cutoff(self):
+        hist = Histogram()
+        self._fill(hist, EXACT_SAMPLE_CUTOFF + 5000)
+        assert not hist.exact_quantiles
+        assert len(hist._values) == EXACT_SAMPLE_CUTOFF
+
+    def test_scalar_stats_stay_exact_above_cutoff(self):
+        hist = Histogram()
+        n = EXACT_SAMPLE_CUTOFF + 1234
+        self._fill(hist, n)
+        assert hist.count == n
+        assert hist.total == pytest.approx(n * (n - 1) / 2)
+        assert hist.min == 0.0
+        assert hist.max == float(n - 1)
+        assert hist.mean == pytest.approx((n - 1) / 2)
+
+    def test_reservoir_deterministic_per_seed(self):
+        a, b = Histogram(seed="same"), Histogram(seed="same")
+        n = EXACT_SAMPLE_CUTOFF + 2000
+        self._fill(a, n)
+        self._fill(b, n)
+        assert a._values == b._values
+        c = Histogram(seed="other")
+        self._fill(c, n)
+        assert c._values != a._values
+
+    def test_reservoir_quantiles_remain_plausible(self):
+        # Uniform stream 0..N: the sampled p50 must land near N/2, not
+        # at an extreme — a sanity check that sampling is uniform.
+        hist = Histogram()
+        n = EXACT_SAMPLE_CUTOFF * 3
+        self._fill(hist, n)
+        p50 = hist.quantile(0.5)
+        assert 0.3 * n < p50 < 0.7 * n
+
+    def test_registry_seeds_reservoir_by_metric_name(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("test.seeded.one")
+        h2 = reg.histogram("test.seeded.one")
+        assert h1 is h2  # same name → same metric, not re-seeded

@@ -144,3 +144,76 @@ class TestCheckRecords:
         data = verdict.as_dict()
         assert data["status"] == STATUS_NO_BASELINE
         assert data["experiment"] == "table1"
+
+
+def _slo_run(*, breached: bool = False, burn: float = 0.5,
+             **overrides) -> RunRecord:
+    base = dict(
+        experiment="serving-slo",
+        kind="slo",
+        scale="tiny",
+        seed=1,
+        params={"slos": [{
+            "name": "latency-p99", "kind": "latency", "target": 0.99,
+            "threshold": 0.25, "burn_alert": 1.0, "total": 100,
+            "bad": int(burn), "burn_rate": burn, "breached": breached,
+        }]},
+        counters={"slo.breaches": 1 if breached else 0},
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestSloGate:
+    def test_breach_is_regression_even_with_no_baselines(self):
+        """SLO gates are absolute: the very first record can fail."""
+        verdicts = compare_run(_slo_run(breached=True, burn=3.0), [])
+        (verdict,) = verdicts
+        assert verdict.kind == "slo"
+        assert verdict.metric == "slo[latency-p99]"
+        assert verdict.status == STATUS_REGRESSION
+        assert verdict.ratio == 3.0
+        assert "burn rate" in verdict.message
+
+    def test_healthy_slo_record_passes(self):
+        verdicts = compare_run(_slo_run(breached=False, burn=0.2), [])
+        (verdict,) = verdicts
+        assert verdict.status == STATUS_OK
+        assert verdict.ok
+
+    def test_one_breached_among_many(self):
+        record = _slo_run(params={"slos": [
+            {"name": "ok-one", "burn_rate": 0.1, "burn_alert": 1.0,
+             "breached": False},
+            {"name": "bad-one", "burn_rate": 9.0, "burn_alert": 1.0,
+             "breached": True},
+        ]})
+        verdicts = _by_metric(compare_run(record, []))
+        assert verdicts["slo[ok-one]"].status == STATUS_OK
+        assert verdicts["slo[bad-one]"].status == STATUS_REGRESSION
+
+    def test_counters_fallback_when_params_missing(self):
+        record = _slo_run(params={}, counters={"slo.breaches": 2})
+        (verdict,) = compare_run(record, [])
+        assert verdict.metric == "slo.breaches"
+        assert verdict.status == STATUS_REGRESSION
+        record = _slo_run(params={}, counters={"slo.breaches": 0})
+        (verdict,) = compare_run(record, [])
+        assert verdict.status == STATUS_OK
+
+    def test_slo_records_skip_baseline_comparison(self):
+        # Even with baselines present, slo records never produce timing
+        # or coverage verdicts — only the absolute gate.
+        verdicts = compare_run(
+            _slo_run(breached=False), [_slo_run(breached=True)]
+        )
+        assert all(v.kind == "slo" for v in verdicts)
+        assert all(v.ok for v in verdicts)
+
+    def test_check_records_gates_newest_slo_record(self):
+        result = check_records([
+            _slo_run(breached=False),
+            _slo_run(breached=True, burn=2.0),
+        ])
+        assert not result.ok
+        assert result.regressions[0].metric == "slo[latency-p99]"

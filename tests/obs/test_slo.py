@@ -1,0 +1,222 @@
+"""SLO telemetry tests: sliding windows, burn rates, spec parsing."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SlidingWindow,
+    SloMonitor,
+    SloSpec,
+    parse_slo_spec,
+)
+
+
+class FakeClock:
+    """Deterministic injectable clock."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSloSpec:
+    def test_error_budget(self):
+        spec = SloSpec(name="x", kind="availability", target=0.999)
+        assert spec.error_budget == pytest.approx(0.001)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="throughput", target=0.9)
+
+    def test_rejects_target_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="availability", target=1.0)
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="availability", target=0.0)
+
+    def test_latency_needs_positive_threshold(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="latency", target=0.99)
+
+    def test_defaults_are_valid_and_json_safe(self):
+        assert len(DEFAULT_SLOS) == 2
+        json.dumps([s.to_dict() for s in DEFAULT_SLOS])
+
+
+class TestSlidingWindow:
+    def test_evicts_by_age(self):
+        clock = FakeClock()
+        window = SlidingWindow(horizon_s=10.0, clock=clock)
+        window.observe(0.1)
+        clock.tick(5.0)
+        window.observe(0.2)
+        assert len(window) == 2
+        clock.tick(6.0)  # first sample is now 11 s old
+        assert len(window) == 1
+        assert window.snapshot()["p50"] == pytest.approx(0.2)
+
+    def test_evicts_by_capacity(self):
+        window = SlidingWindow(horizon_s=1e9, capacity=4, clock=FakeClock())
+        for i in range(10):
+            window.observe(float(i))
+        assert len(window) == 4
+        assert window.snapshot()["max"] == 9.0  # newest retained
+
+    def test_empty_snapshot_is_zeros(self):
+        snap = SlidingWindow(clock=FakeClock()).snapshot()
+        assert snap["count"] == 0
+        assert snap["error_rate"] == 0.0
+        assert snap["p99"] == 0.0
+        json.dumps(snap)
+
+    def test_quantiles_nearest_rank(self):
+        window = SlidingWindow(clock=FakeClock())
+        for v in range(1, 101):  # 1..100 ms
+            window.observe(v / 1000.0)
+        snap = window.snapshot()
+        assert snap["p50"] == pytest.approx(0.050)
+        assert snap["p90"] == pytest.approx(0.090)
+        assert snap["p99"] == pytest.approx(0.099)
+        assert snap["max"] == pytest.approx(0.100)
+
+    def test_error_rate_counts_not_ok(self):
+        window = SlidingWindow(clock=FakeClock())
+        for i in range(10):
+            window.observe(0.01, ok=(i % 5 != 0))
+        snap = window.snapshot()
+        assert snap["errors"] == 2
+        assert snap["error_rate"] == pytest.approx(0.2)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            SlidingWindow(capacity=0)
+
+
+class TestSloMonitor:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        # 100 requests, 3 slower than threshold, target 0.99 → budget
+        # 1 %, bad fraction 3 % → burn 3.0, breached at alert 1.0.
+        clock = FakeClock()
+        monitor = SloMonitor(
+            [SloSpec(name="lat", kind="latency", target=0.99,
+                     threshold=0.100)],
+            clock=clock,
+        )
+        for i in range(100):
+            monitor.observe(0.500 if i < 3 else 0.010)
+        (verdict,) = monitor.evaluate()
+        assert verdict.total == 100
+        assert verdict.bad == 3
+        assert verdict.bad_fraction == pytest.approx(0.03)
+        assert verdict.burn_rate == pytest.approx(3.0)
+        assert verdict.breached
+
+    def test_burn_alert_raises_the_bar(self):
+        monitor = SloMonitor(
+            [SloSpec(name="lat", kind="latency", target=0.99,
+                     threshold=0.100, burn_alert=5.0)],
+            clock=FakeClock(),
+        )
+        for i in range(100):
+            monitor.observe(0.500 if i < 3 else 0.010)
+        (verdict,) = monitor.evaluate()
+        assert verdict.burn_rate == pytest.approx(3.0)
+        assert not verdict.breached  # 3.0 < alert 5.0
+
+    def test_availability_counts_errors(self):
+        monitor = SloMonitor(
+            [SloSpec(name="avail", kind="availability", target=0.999)],
+            clock=FakeClock(),
+        )
+        for i in range(1000):
+            monitor.observe(0.01, ok=(i >= 2))
+        (verdict,) = monitor.evaluate()
+        assert verdict.bad == 2
+        assert verdict.burn_rate == pytest.approx(2.0)
+        assert verdict.breached  # burn >= alert
+
+    def test_empty_window_never_breaches(self):
+        monitor = SloMonitor(clock=FakeClock())
+        assert monitor.breaches() == []
+        for verdict in monitor.evaluate():
+            assert verdict.total == 0
+            assert verdict.burn_rate == 0.0
+            assert not verdict.breached
+
+    def test_old_bad_requests_age_out_of_the_window(self):
+        clock = FakeClock()
+        monitor = SloMonitor(
+            [SloSpec(name="avail", kind="availability", target=0.99)],
+            horizon_s=10.0, clock=clock,
+        )
+        monitor.observe(0.01, ok=False)
+        assert monitor.breaches()
+        clock.tick(11.0)
+        for _ in range(5):
+            monitor.observe(0.01)
+        assert monitor.breaches() == []
+        # Lifetime totals still remember the aged-out error.
+        snap = monitor.snapshot()
+        assert snap["lifetime"] == {"count": 6, "errors": 1}
+
+    def test_snapshot_json_round_trips(self):
+        clock = FakeClock()
+        monitor = SloMonitor(clock=clock)
+        monitor.observe(0.02)
+        clock.tick(3.0)
+        snap = json.loads(json.dumps(monitor.snapshot()))
+        assert snap["uptime_s"] == pytest.approx(3.0)
+        assert snap["window"]["count"] == 1
+        assert [s["name"] for s in snap["slos"]] == [
+            s.name for s in DEFAULT_SLOS
+        ]
+
+    def test_verdict_to_dict_flattens_spec(self):
+        monitor = SloMonitor(clock=FakeClock())
+        monitor.observe(0.01)
+        d = monitor.evaluate()[0].to_dict()
+        for key in ("name", "kind", "target", "burn_alert", "total", "bad",
+                    "burn_rate", "breached", "bad_fraction"):
+            assert key in d
+
+
+class TestParseSloSpec:
+    def test_latency_form(self):
+        spec = parse_slo_spec("latency:p99:0.99:250")
+        assert spec == SloSpec(name="p99", kind="latency", target=0.99,
+                               threshold=0.250)
+
+    def test_latency_with_burn_alert(self):
+        spec = parse_slo_spec("latency:p99:0.95:100:2.5")
+        assert spec.burn_alert == 2.5
+        assert spec.threshold == pytest.approx(0.100)
+
+    def test_availability_form(self):
+        spec = parse_slo_spec("availability:avail:0.999")
+        assert spec == SloSpec(name="avail", kind="availability",
+                               target=0.999)
+
+    def test_availability_with_burn_alert(self):
+        assert parse_slo_spec("availability:a:0.99:3").burn_alert == 3.0
+
+    @pytest.mark.parametrize("text", [
+        "latency:p99",              # too few fields
+        "latency:p99:0.99",        # missing threshold
+        "latency:p99:0.99:250:1:9",  # too many fields
+        "availability:a:0.999:1:2",  # too many fields
+        "throughput:t:0.9:1",       # unknown kind
+        "latency:p99:nope:250",     # non-numeric target
+        "latency:p99:0.99:0",       # zero threshold
+    ])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_slo_spec(text)

@@ -1,12 +1,22 @@
 """Unit tests for the span tracer (repro.obs.tracer)."""
 
+import asyncio
 import json
 import threading
 
 import pytest
 
 from repro._version import __version__
-from repro.obs import NullTracer, Tracer, get_tracer, set_tracer, use_tracer
+from repro.obs import (
+    NullTracer,
+    TraceContext,
+    Tracer,
+    current_context,
+    get_tracer,
+    set_tracer,
+    use_span_context,
+    use_tracer,
+)
 from repro.obs.tracer import NullSpan, _NULL_SPAN
 
 
@@ -112,6 +122,174 @@ class TestTracer:
                 pass
         ids = [r["id"] for r in tracer.records]
         assert len(set(ids)) == len(ids)
+
+
+class TestTraceContext:
+    def test_round_trips_through_dict(self):
+        ctx = TraceContext("t1", "s1", "p1")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_current_context_follows_open_span(self):
+        tracer = Tracer()
+        assert current_context() is None
+        with tracer.span("outer") as outer:
+            ctx = current_context()
+            assert ctx.span_id == outer.span_id
+            assert ctx.trace_id == outer.trace_id
+        assert current_context() is None
+
+    def test_use_span_context_adopts_and_restores(self):
+        tracer = Tracer()
+        foreign = TraceContext("tX", "sX")
+        with use_span_context(foreign):
+            with tracer.span("child"):
+                pass
+        (record,) = tracer.records
+        assert record["parent"] == "sX"
+        assert record["trace"] == "tX"
+        assert current_context() is None
+
+    def test_explicit_parent_overrides_ambient(self):
+        tracer = Tracer()
+        with tracer.span("ambient"):
+            with tracer.span("child", parent=TraceContext("tZ", "sZ")):
+                pass
+        child = next(r for r in tracer.records if r["name"] == "child")
+        assert child["parent"] == "sZ"
+        assert child["trace"] == "tZ"
+
+    def test_root_spans_start_fresh_traces(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        traces = {r["trace"] for r in tracer.records}
+        assert len(traces) == 2
+
+    def test_children_inherit_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("mid"):
+                with tracer.span("leaf"):
+                    pass
+        assert {r["trace"] for r in tracer.records} == {root.trace_id}
+
+
+class TestExplicitLifecycle:
+    def test_start_finish_records_without_ambient_context(self):
+        tracer = Tracer()
+        span = tracer.span("request").start()
+        # Explicit lifecycle must not leak into the ambient context.
+        assert current_context() is None
+        span.finish()
+        (record,) = tracer.records
+        assert record["name"] == "request"
+        assert record["dur"] >= 0.0
+
+    def test_children_attach_via_span_context(self):
+        tracer = Tracer()
+        req = tracer.span("request").start()
+        child = tracer.span("stage", parent=req.context).start()
+        child.finish()
+        req.finish()
+        stage = next(r for r in tracer.records if r["name"] == "stage")
+        assert stage["parent"] == req.span_id
+        assert stage["trace"] == req.trace_id
+
+
+class TestAsyncioIsolation:
+    def test_interleaved_tasks_get_independent_span_stacks(self):
+        """Regression: two tasks sharing one loop must not mis-parent.
+
+        With the old thread-local stack, task B's span opened while task
+        A's span was still on the shared stack, so B's span was parented
+        under A's — and A's close popped B's span.  Contextvars give
+        every task its own stack.
+        """
+        tracer = Tracer()
+
+        async def request(name: str, gate_in: asyncio.Event,
+                          gate_out: asyncio.Event):
+            with tracer.span(name) as span:
+                gate_out.set()
+                await gate_in.wait()
+                with tracer.span(f"{name}.child"):
+                    pass
+            return span
+
+        async def main():
+            a_entered, b_entered = asyncio.Event(), asyncio.Event()
+            task_a = asyncio.create_task(
+                request("req-a", b_entered, a_entered)
+            )
+            task_b = asyncio.create_task(
+                request("req-b", a_entered, b_entered)
+            )
+            return await asyncio.gather(task_a, task_b)
+
+        span_a, span_b = asyncio.run(main())
+        records = {r["name"]: r for r in tracer.records}
+        # Both requests are roots of their own traces...
+        assert records["req-a"]["parent"] is None
+        assert records["req-b"]["parent"] is None
+        assert span_a.trace_id != span_b.trace_id
+        # ...and each child is parented under ITS OWN task's span.
+        assert records["req-a.child"]["parent"] == span_a.span_id
+        assert records["req-b.child"]["parent"] == span_b.span_id
+        assert records["req-a.child"]["trace"] == span_a.trace_id
+        assert records["req-b.child"]["trace"] == span_b.trace_id
+
+    def test_gathered_tasks_inherit_creating_context(self):
+        tracer = Tracer()
+
+        async def leaf(n: int):
+            with tracer.span(f"leaf-{n}"):
+                await asyncio.sleep(0)
+
+        async def main():
+            with tracer.span("batch") as batch:
+                await asyncio.gather(*(leaf(i) for i in range(3)))
+            return batch
+
+        batch = asyncio.run(main())
+        leaves = [r for r in tracer.records if r["name"].startswith("leaf")]
+        assert len(leaves) == 3
+        assert all(r["parent"] == batch.span_id for r in leaves)
+
+
+class TestShardExport:
+    def test_export_shard_writes_clock_then_records(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        path = tracer.export_shard(tmp_path)
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert lines[0]["type"] == "clock"
+        assert lines[0]["wall_epoch"] == tracer.wall_epoch
+        assert lines[1]["type"] == "span"
+        assert lines[1]["name"] == "work"
+
+    def test_shard_appends_accumulate(self, tmp_path):
+        for _ in range(2):
+            tracer = Tracer()
+            with tracer.span("chunk"):
+                pass
+            path = tracer.export_shard(tmp_path)
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert sum(1 for r in lines if r["type"] == "clock") == 2
+        assert sum(1 for r in lines if r["type"] == "span") == 2
+
+    def test_ids_carry_process_unique_prefix(self):
+        a, b = Tracer(), Tracer()
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        id_a = a.records[0]["id"]
+        id_b = b.records[0]["id"]
+        assert id_a != id_b
+        assert id_a.rsplit(".", 1)[0] != id_b.rsplit(".", 1)[0]
 
 
 class TestExport:
