@@ -474,6 +474,61 @@ def _cmd_convergence(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_admission(args: argparse.Namespace) -> int:
+    from repro.experiments.admission import run_admission_study
+    from repro.experiments.config import ExperimentConfig
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    study = run_admission_study(
+        config,
+        flows_per_level=args.flows,
+        num_pairs=args.pairs,
+    )
+    rendered = study.result.render()
+    print(rendered)
+    print(
+        f"kernel: {study.total_flows:,} flows in "
+        f"{study.kernel_seconds:.2f}s "
+        f"({study.flows_per_second:,.0f} flows/s), "
+        f"{study.total_admitted:,} admitted"
+    )
+    ledger = _ledger_from_args(args)
+    if ledger is not None:
+        import hashlib
+
+        from repro.obs.ledger import (
+            RunRecord,
+            git_revision,
+            now,
+            summarize_observation,
+        )
+
+        ledger.append(RunRecord(
+            experiment="admission",
+            kind="admission",
+            scale=args.scale,
+            seed=args.seed,
+            git_rev=git_revision(),
+            graph_digest=study.multigraph_digest,
+            params={
+                "flows_per_level": args.flows,
+                "num_pairs": args.pairs,
+                "state_digest": study.state_digest,
+            },
+            coverage=dict(study.result.paper_values),
+            counters={
+                "admission.flows": study.total_flows,
+                "admission.admitted": study.total_admitted,
+            },
+            timings={
+                "kernel.seconds": summarize_observation(study.kernel_seconds),
+            },
+            result_digest=hashlib.sha256(rendered.encode()).hexdigest(),
+            ts=now(),
+        ))
+    return 0
+
+
 def _quantile_row(times: list[float]) -> tuple[str, str, str, str, str]:
     import statistics
 
@@ -1195,6 +1250,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="broker control-message loss probability")
     _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_convergence)
+
+    p = sub.add_parser(
+        "admission",
+        help="guaranteed-bandwidth FCFS admission over the broker "
+             "multigraph (vectorized batch kernel)",
+    )
+    p.add_argument("--scale", choices=available_scales(), default="small")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--flows", type=int, default=250_000,
+                   help="flows per load level (5 levels; default 250000 "
+                        "= 1.94M offered flows)")
+    p.add_argument("--pairs", type=int, default=None,
+                   help="pooled dominated paths (default: nodes/8, "
+                        "clamped to [32, 512])")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="append a run record to this JSONL ledger "
+                        "(default: $REPRO_LEDGER when set)")
+    p.set_defaults(fn=_cmd_admission)
 
     p = sub.add_parser(
         "report",

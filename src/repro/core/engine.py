@@ -100,6 +100,22 @@ class DominationEngine:
         self._base_dst = graph.edge_dst
         self._edge_alive = np.ones(len(self._base_src), dtype=bool)
 
+        # Residual-capacity accounting over base edges — enabled when the
+        # graph carries edge attributes (a simplified multigraph or an
+        # annotated ASGraph).  ``reserve``/``release`` mutate ``_reserved``
+        # and participate in the same checkpoint/rollback log as topology
+        # mutations.
+        if graph.edge_attrs is not None:
+            self._capacity: np.ndarray | None = (
+                graph.edge_attrs.capacity_gbps.copy()
+            )
+            self._reserved: np.ndarray | None = np.zeros(
+                len(self._base_src), dtype=np.float64
+            )
+        else:
+            self._capacity = None
+            self._reserved = None
+
         cap = max(n, 1)
         self._broker = np.zeros(cap, dtype=bool)
         self._alive = np.ones(cap, dtype=bool)
@@ -142,6 +158,20 @@ class DominationEngine:
 
         for b in brokers:
             self.add_broker(int(b))
+
+    @classmethod
+    def from_multigraph(
+        cls, multigraph, brokers=(), *, backend: str = "python"
+    ) -> "DominationEngine":
+        """Build an engine over a multigraph's **simplified view**.
+
+        Domination, coverage and connectivity are parallel-edge-blind (a
+        bundle of links dominates exactly what one link dominates), so
+        the engine runs on :meth:`MultiGraph.simplify` — with aggregated
+        per-edge capacities, which enables the residual-capacity state
+        (:meth:`reserve` / :meth:`release`) over bundle totals.
+        """
+        return cls(multigraph.simplify().graph, brokers, backend=backend)
 
     # ------------------------------------------------------------------
     # Read-only views and simple queries
@@ -636,6 +666,95 @@ class DominationEngine:
         return pairs
 
     # ------------------------------------------------------------------
+    # Residual link capacity (annotated graphs only)
+    # ------------------------------------------------------------------
+
+    @property
+    def has_capacity_state(self) -> bool:
+        """True when the underlying graph carries edge attributes."""
+        return self._capacity is not None
+
+    def _require_capacity(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._capacity is None or self._reserved is None:
+            raise AlgorithmError(
+                "graph carries no edge attributes; build the engine from an "
+                "annotated ASGraph or via DominationEngine.from_multigraph"
+            )
+        return self._capacity, self._reserved
+
+    def residual_capacity(self) -> np.ndarray:
+        """Unreserved Gbps per base edge (a fresh array, safe to mutate)."""
+        capacity, reserved = self._require_capacity()
+        return capacity - reserved
+
+    def reserved_view(self) -> np.ndarray:
+        """Read-only view of the per-edge reserved Gbps."""
+        _, reserved = self._require_capacity()
+        view = reserved.view()
+        view.flags.writeable = False
+        return view
+
+    def _coerce_reservation(
+        self, edge_ids, amounts
+    ) -> tuple[np.ndarray, np.ndarray]:
+        edge_ids = np.atleast_1d(np.asarray(edge_ids, dtype=np.int64))
+        amounts = np.atleast_1d(np.asarray(amounts, dtype=np.float64))
+        if amounts.shape != edge_ids.shape:
+            raise AlgorithmError(
+                f"edge_ids/amounts shape mismatch: {edge_ids.shape} vs "
+                f"{amounts.shape}"
+            )
+        m = len(self._base_src)
+        if len(edge_ids) and (edge_ids.min() < 0 or edge_ids.max() >= m):
+            raise AlgorithmError(f"edge id out of range [0, {m})")
+        if len(amounts) and ((amounts <= 0).any() or not np.isfinite(amounts).all()):
+            raise AlgorithmError("reservation amounts must be positive and finite")
+        return edge_ids, amounts
+
+    def reserve(self, edge_ids, amounts) -> None:
+        """Atomically reserve ``amounts`` Gbps on base edges ``edge_ids``.
+
+        Vectorized and all-or-nothing: repeated edge ids accumulate, and
+        if *any* edge would exceed its capacity (or is currently cut)
+        the whole reservation is rejected with an :class:`AlgorithmError`
+        and no state changes.  Logged for :meth:`rollback` like every
+        other mutation.
+        """
+        capacity, reserved = self._require_capacity()
+        edge_ids, amounts = self._coerce_reservation(edge_ids, amounts)
+        if not self._edge_alive[edge_ids].all():
+            raise AlgorithmError("cannot reserve capacity on a cut link")
+        demand = np.zeros(len(capacity), dtype=np.float64)
+        np.add.at(demand, edge_ids, amounts)
+        touched = np.flatnonzero(demand)
+        over = reserved[touched] + demand[touched] > capacity[touched] + 1e-9
+        if over.any():
+            bad = int(touched[np.argmax(over)])
+            raise AlgorithmError(
+                f"insufficient residual capacity on edge {bad}: "
+                f"{capacity[bad] - reserved[bad]:.3f} Gbps free, "
+                f"{demand[bad]:.3f} Gbps requested"
+            )
+        reserved[touched] += demand[touched]
+        self._record("reserve", edge_ids.copy(), amounts.copy())
+
+    def release(self, edge_ids, amounts) -> None:
+        """Release previously reserved capacity (inverse of :meth:`reserve`).
+
+        Atomic like :meth:`reserve`: releasing more than is currently
+        reserved on any edge rejects the whole call.
+        """
+        capacity, reserved = self._require_capacity()
+        edge_ids, amounts = self._coerce_reservation(edge_ids, amounts)
+        refund = np.zeros(len(capacity), dtype=np.float64)
+        np.add.at(refund, edge_ids, amounts)
+        touched = np.flatnonzero(refund)
+        if (refund[touched] > reserved[touched] + 1e-9).any():
+            raise AlgorithmError("cannot release more capacity than is reserved")
+        reserved[touched] = np.maximum(reserved[touched] - refund[touched], 0.0)
+        self._record("release", edge_ids.copy(), amounts.copy())
+
+    # ------------------------------------------------------------------
     # Checkpoint / rollback
     # ------------------------------------------------------------------
 
@@ -681,6 +800,21 @@ class DominationEngine:
                     self.cut_link(entry[1], entry[2])
                 elif op == "add_node":
                     self._deallocate_node(entry[1])
+                elif op in ("reserve", "release"):
+                    # Apply the inverse delta directly: the public methods
+                    # re-validate against *current* aliveness, which may
+                    # legitimately differ mid-rollback.  LIFO order makes
+                    # the inverse always consistent.
+                    ids, amts = entry[1], entry[2]
+                    _, reserved = self._require_capacity()
+                    delta = np.zeros(len(reserved), dtype=np.float64)
+                    np.add.at(delta, ids, amts)
+                    if op == "reserve":
+                        np.maximum(reserved - delta, 0.0, out=reserved)
+                        self._record("release", ids, amts)
+                    else:
+                        reserved += delta
+                        self._record("reserve", ids, amts)
                 else:  # pragma: no cover - defensive
                     raise AlgorithmError(f"unknown log entry {op!r}")
         finally:
@@ -730,6 +864,11 @@ class DominationEngine:
                     "engine connectivity diverged from recomputation: "
                     f"{got!r} != {expected!r}"
                 )
+        if self._capacity is not None and self._reserved is not None:
+            if (self._reserved < -1e-9).any():
+                raise AlgorithmError("negative reserved capacity")
+            if (self._reserved > self._capacity + 1e-9).any():
+                raise AlgorithmError("reserved capacity exceeds link capacity")
         return True
 
     # ------------------------------------------------------------------

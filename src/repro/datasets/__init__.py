@@ -1,20 +1,29 @@
 """Dataset substrate: calibrated synthetic Internet + registry + summaries."""
 
-from repro.datasets.loader import available_scales, load_internet
+from repro.datasets.loader import (
+    available_scales,
+    load_internet,
+    load_multigraph_internet,
+)
 from repro.datasets.stats import DatasetSummary, summarize
 from repro.datasets.synthetic_internet import (
     FULL_SCALE_AS_COUNT,
     FULL_SCALE_IXP_COUNT,
     InternetConfig,
+    expand_internet_multigraph,
     generate_internet,
+    generate_multigraph_internet,
 )
 
 __all__ = [
     "InternetConfig",
     "generate_internet",
+    "generate_multigraph_internet",
+    "expand_internet_multigraph",
     "FULL_SCALE_AS_COUNT",
     "FULL_SCALE_IXP_COUNT",
     "load_internet",
+    "load_multigraph_internet",
     "available_scales",
     "DatasetSummary",
     "summarize",

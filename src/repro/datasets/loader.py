@@ -14,11 +14,13 @@ from pathlib import Path
 from repro.datasets.synthetic_internet import (
     FULL_SCALE_AS_COUNT,
     InternetConfig,
+    expand_internet_multigraph,
     generate_internet,
 )
 from repro.exceptions import DatasetError
 from repro.graph.asgraph import ASGraph
 from repro.graph.io import load_graph, save_graph
+from repro.graph.multigraph import MultiGraph
 
 #: Scale name -> fraction of the paper's full AS count.
 _SCALE_FACTORS: dict[str, float] = {
@@ -28,6 +30,13 @@ _SCALE_FACTORS: dict[str, float] = {
     "large": 26_000 / FULL_SCALE_AS_COUNT,
     "full": 1.0,
 }
+
+
+#: Seed offset separating the multigraph fabric expansion's RNG stream
+#: from the base topology generator's, so callers who already hold the
+#: cached base graph can reproduce :func:`load_multigraph_internet`
+#: bit-for-bit via ``expand_internet_multigraph(graph, seed=seed + SALT)``.
+MULTIGRAPH_SEED_SALT = 0x5EED
 
 
 def available_scales() -> list[str]:
@@ -69,3 +78,20 @@ def load_internet(
         cache_path.parent.mkdir(parents=True, exist_ok=True)
         save_graph(graph, cache_path)
     return graph
+
+
+def load_multigraph_internet(
+    scale: str = "small",
+    *,
+    seed: int = 0,
+    cache_dir: str | Path | None = None,
+) -> MultiGraph:
+    """The inter-IXP multigraph for ``scale``: :func:`load_internet` plus
+    seeded parallel IXP-fabric expansion.
+
+    The simple base topology goes through the normal on-disk cache; the
+    multigraph lift is recomputed (it is a fast vectorized pass) with a
+    seed derived from ``seed``, so repeat calls are bit-identical.
+    """
+    graph = load_internet(scale, seed=seed, cache_dir=cache_dir)
+    return expand_internet_multigraph(graph, seed=seed + MULTIGRAPH_SEED_SALT)

@@ -32,8 +32,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.exceptions import DatasetError
-from repro.graph.asgraph import ASGraph
-from repro.types import BusinessCategory, NodeKind, Relationship, Tier
+from repro.graph.asgraph import ASGraph, EdgeAttributes
+from repro.graph.multigraph import MultiGraph, synthesize_edge_attributes
+from repro.types import BusinessCategory, LinkKind, NodeKind, Relationship, Tier
 from repro.utils.rng import SeedLike, ensure_rng
 
 #: Table 2 headline counts for the full-scale 2014 topology.
@@ -428,4 +429,116 @@ def generate_internet(
         categories=categories,
         relationships=np.asarray(builder.rels, dtype=np.uint8),
         names=names,
+    )
+
+def expand_internet_multigraph(
+    graph: ASGraph,
+    *,
+    seed: SeedLike = 0,
+    fabric_duplication: float = 0.25,
+    max_extra_ports: int = 3,
+) -> "MultiGraph":
+    """Lift a synthetic Internet to its inter-IXP **multigraph**.
+
+    The measurement papers behind this refactor observe that the IXP
+    substrate is a multigraph: a large member provisions several parallel
+    ports (or an aggregated LAG bundle) into the same fabric, each with
+    its own capacity.  This pass annotates every edge of ``graph`` with
+    seeded capacity/latency/kind attributes and then adds parallel
+    instances to IXP-membership edges — the probability of extra ports
+    grows with the member AS's degree (big carriers and CDNs buy more
+    fabric capacity), and the extra instances are ``IXP_LAG`` bundles
+    with independently drawn, upward-biased capacity.
+
+    Everything is drawn from one generator seeded by ``seed``, so the
+    expansion is bit-reproducible, and the base instances stay in edge-
+    list order so ``simplify()`` reproduces ``graph``'s topology exactly.
+    """
+    if not 0.0 <= fabric_duplication <= 1.0:
+        raise DatasetError(
+            f"fabric_duplication must be in [0,1], got {fabric_duplication}"
+        )
+    if max_extra_ports < 1:
+        raise DatasetError(f"max_extra_ports must be >= 1, got {max_extra_ports}")
+    rng = ensure_rng(seed)
+    attrs = graph.edge_attrs
+    if attrs is None:
+        attrs = synthesize_edge_attributes(graph, seed=rng)
+
+    member = graph.edge_rels == int(Relationship.IXP_MEMBERSHIP)
+    member_ids = np.flatnonzero(member)
+    degrees = graph.degrees()
+    # The AS endpoint of a membership edge (orientation is AS -> IXP in the
+    # builder, but be robust to either).
+    src_is_ixp = graph.kinds[graph.edge_src[member_ids]] == int(NodeKind.IXP)
+    as_end = np.where(
+        src_is_ixp, graph.edge_dst[member_ids], graph.edge_src[member_ids]
+    )
+    # Degree-weighted duplication probability, capped at 4x the base rate.
+    deg = degrees[as_end].astype(np.float64)
+    weight = np.minimum(1.0 + deg / max(float(np.median(deg)) if len(deg) else 1.0, 1.0), 4.0)
+    p = np.minimum(fabric_duplication * weight, 1.0)
+    extra = np.where(
+        rng.random(len(member_ids)) < p,
+        rng.integers(1, max_extra_ports + 1, size=len(member_ids)),
+        0,
+    ).astype(np.int64)
+    dup_of = np.repeat(member_ids, extra)
+
+    src = np.concatenate([graph.edge_src, graph.edge_src[dup_of]])
+    dst = np.concatenate([graph.edge_dst, graph.edge_dst[dup_of]])
+    rels = np.concatenate([graph.edge_rels, graph.edge_rels[dup_of]])
+    # LAG bundles: base-attr draw, capacity biased up 1-4x (aggregated ports).
+    dup_attrs = synthesize_edge_attributes(
+        graph,
+        seed=rng,
+        src=graph.edge_src[dup_of],
+        dst=graph.edge_dst[dup_of],
+        rels=graph.edge_rels[dup_of],
+    )
+    boost = 1.0 + 3.0 * rng.random(len(dup_of))
+    all_attrs = EdgeAttributes(
+        capacity_gbps=np.concatenate(
+            [attrs.capacity_gbps, dup_attrs.capacity_gbps * boost]
+        ),
+        latency_ms=np.concatenate([attrs.latency_ms, dup_attrs.latency_ms]),
+        link_kind=np.concatenate(
+            [
+                attrs.link_kind,
+                np.full(len(dup_of), int(LinkKind.IXP_LAG), dtype=np.uint8),
+            ]
+        ),
+    )
+    return MultiGraph.from_arrays(
+        graph.num_nodes,
+        src,
+        dst,
+        attrs=all_attrs,
+        relationships=rels,
+        kinds=graph.kinds,
+        tiers=graph.tiers,
+        categories=graph.categories,
+        names=graph.names if graph.names else None,
+    )
+
+
+def generate_multigraph_internet(
+    config: InternetConfig | None = None,
+    *,
+    seed: SeedLike = 0,
+    fabric_duplication: float = 0.25,
+    max_extra_ports: int = 3,
+) -> "MultiGraph":
+    """Generate the synthetic Internet and lift it to the IXP multigraph.
+
+    Equivalent to :func:`generate_internet` followed by
+    :func:`expand_internet_multigraph` with one shared seed.
+    """
+    rng = ensure_rng(seed)
+    graph = generate_internet(config, seed=rng)
+    return expand_internet_multigraph(
+        graph,
+        seed=rng,
+        fabric_duplication=fabric_duplication,
+        max_extra_ports=max_extra_ports,
     )

@@ -89,6 +89,7 @@ def _ensure_loaded() -> None:
     # Experiment modules self-register on import.
     from repro.experiments import (  # noqa: F401
         ablations,
+        admission,
         convergence,
         dynamics,
         economics,

@@ -1,15 +1,26 @@
 """Graph substrate: topology model, kernels, metrics, generators, IO."""
 
-from repro.graph.asgraph import ASGraph
-from repro.graph.csr import CSRAdjacency, build_csr
+from repro.graph.asgraph import ASGraph, EdgeAttributes
+from repro.graph.csr import (
+    CSRAdjacency,
+    MultiCSRAdjacency,
+    build_csr,
+    build_multi_csr,
+)
 from repro.graph.generators import (
     barabasi_albert,
     complete_graph,
     cycle_graph,
     erdos_renyi,
+    parallel_multigraph,
     path_graph,
     star_graph,
     watts_strogatz,
+)
+from repro.graph.multigraph import (
+    MultiGraph,
+    SimplifiedView,
+    synthesize_edge_attributes,
 )
 from repro.graph.export import write_dot, write_gexf
 from repro.graph.io import load_caida_asrel, load_graph, save_graph
@@ -19,8 +30,15 @@ from repro.graph.paths import estimate_alpha_beta, hop_distribution, shortest_pa
 
 __all__ = [
     "ASGraph",
+    "EdgeAttributes",
     "CSRAdjacency",
+    "MultiCSRAdjacency",
+    "MultiGraph",
+    "SimplifiedView",
     "build_csr",
+    "build_multi_csr",
+    "parallel_multigraph",
+    "synthesize_edge_attributes",
     "erdos_renyi",
     "watts_strogatz",
     "barabasi_albert",

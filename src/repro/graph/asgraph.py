@@ -35,6 +35,87 @@ def _as_uint8(values: np.ndarray | Sequence[int], n: int, what: str) -> np.ndarr
     return arr
 
 
+def _edge_float(values, m: int, what: str) -> np.ndarray:
+    """Validate one per-edge float attribute array (shape/dtype/domain)."""
+    arr = np.asarray(values)
+    if arr.ndim != 1 or arr.shape != (m,):
+        raise GraphValidationError(
+            f"{what} must be a 1-D array of shape ({m},), got {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.floating) and not np.issubdtype(
+        arr.dtype, np.integer
+    ):
+        raise GraphValidationError(
+            f"{what} must be numeric, got dtype {arr.dtype}"
+        )
+    arr = np.ascontiguousarray(arr, dtype=np.float64)
+    if len(arr) and not np.isfinite(arr).all():
+        raise GraphValidationError(f"{what} must be finite")
+    if len(arr) and (arr <= 0).any():
+        raise GraphValidationError(f"{what} must be strictly positive")
+    return arr
+
+
+@dataclass(frozen=True)
+class EdgeAttributes:
+    """Per-edge-instance capacity/latency/kind annotations.
+
+    One row per edge instance, aligned with the owning graph's canonical
+    edge list (``edge_src``/``edge_dst`` for an :class:`ASGraph`, the
+    instance arrays for a :class:`~repro.graph.multigraph.MultiGraph`).
+    Arrays are coerced to canonical dtypes (``float64``/``float64``/
+    ``uint8``) so the digest below is representation-independent, and
+    validated eagerly: shapes must agree, capacity and latency must be
+    strictly positive finite numbers.
+    """
+
+    capacity_gbps: np.ndarray
+    latency_ms: np.ndarray
+    link_kind: np.ndarray
+
+    def __post_init__(self) -> None:
+        cap = np.asarray(self.capacity_gbps)
+        if cap.ndim != 1:
+            raise GraphValidationError(
+                f"capacity_gbps must be 1-D, got shape {cap.shape}"
+            )
+        m = len(cap)
+        object.__setattr__(
+            self, "capacity_gbps", _edge_float(cap, m, "capacity_gbps")
+        )
+        object.__setattr__(
+            self, "latency_ms", _edge_float(self.latency_ms, m, "latency_ms")
+        )
+        kind = np.asarray(self.link_kind)
+        if kind.shape != (m,):
+            raise GraphValidationError(
+                f"link_kind must have shape ({m},), got {kind.shape}"
+            )
+        if not np.issubdtype(kind.dtype, np.integer):
+            raise GraphValidationError(
+                f"link_kind must be an integer array, got dtype {kind.dtype}"
+            )
+        object.__setattr__(
+            self, "link_kind", np.ascontiguousarray(kind, dtype=np.uint8)
+        )
+
+    def __len__(self) -> int:
+        return len(self.capacity_gbps)
+
+    def take(self, index: np.ndarray) -> "EdgeAttributes":
+        """Attributes of the edge instances selected by ``index``."""
+        index = np.asarray(index, dtype=np.int64)
+        return EdgeAttributes(
+            capacity_gbps=self.capacity_gbps[index],
+            latency_ms=self.latency_ms[index],
+            link_kind=self.link_kind[index],
+        )
+
+    def digest_arrays(self) -> tuple[np.ndarray, ...]:
+        """The arrays a content digest must cover, in canonical order."""
+        return (self.capacity_gbps, self.latency_ms, self.link_kind)
+
+
 @dataclass(frozen=True)
 class ASGraph:
     """Immutable AS-level topology.
@@ -51,6 +132,11 @@ class ASGraph:
     edge_dst: np.ndarray
     edge_rels: np.ndarray
     names: tuple[str, ...] = field(default=())
+    #: Optional capacity/latency/kind annotations aligned with the
+    #: canonical edge list.  ``None`` (the default) keeps the graph a
+    #: pure topology; annotated and unannotated graphs digest differently
+    #: so they can never alias each other in the result cache.
+    edge_attrs: EdgeAttributes | None = field(default=None)
 
     # ------------------------------------------------------------------
     # Construction
@@ -66,6 +152,7 @@ class ASGraph:
         categories: np.ndarray | Sequence[int] | None = None,
         relationships: np.ndarray | Sequence[int] | None = None,
         names: Sequence[str] | None = None,
+        edge_attrs: "EdgeAttributes | None" = None,
     ) -> "ASGraph":
         """Create a validated :class:`ASGraph`.
 
@@ -119,6 +206,10 @@ class ASGraph:
             raise GraphValidationError(
                 f"names must have length {num_nodes}, got {len(names)}"
             )
+        if edge_attrs is not None and len(edge_attrs) != len(src):
+            raise GraphValidationError(
+                f"edge_attrs must carry {len(src)} rows, got {len(edge_attrs)}"
+            )
 
         adj = build_csr(num_nodes, src, dst, symmetric=True)
         return cls(
@@ -130,6 +221,7 @@ class ASGraph:
             edge_dst=dst,
             edge_rels=rels_arr,
             names=tuple(names) if names is not None else (),
+            edge_attrs=edge_attrs,
         )
 
     # ------------------------------------------------------------------
@@ -161,9 +253,14 @@ class ASGraph:
         """SHA-256 content digest of the topology and all metadata.
 
         Two graphs have equal digests iff their CSR arrays, metadata
-        arrays, canonical edge lists and names are identical — the
-        content address the result cache uses to invalidate entries when
-        the underlying topology changes in any way.
+        arrays, canonical edge lists, names and edge attributes are
+        identical — the content address the result cache uses to
+        invalidate entries when the underlying topology changes in any
+        way.  Edge attributes (capacity/latency/kind) are folded in
+        behind a domain tag, so an annotated graph can never alias the
+        unannotated graph with the same adjacency — and a graph without
+        attributes digests exactly as it did before attributes existed,
+        keeping historical ledger baselines valid.
         """
         h = hashlib.sha256()
         arrays = (
@@ -182,7 +279,37 @@ class ASGraph:
             h.update(str(arr.shape).encode())
             h.update(arr.tobytes())
         h.update(json.dumps(list(self.names)).encode())
+        if self.edge_attrs is not None:
+            h.update(b"edge_attrs:v1")
+            for arr in self.edge_attrs.digest_arrays():
+                arr = np.ascontiguousarray(arr)
+                h.update(str(arr.dtype).encode())
+                h.update(str(arr.shape).encode())
+                h.update(arr.tobytes())
         return h.hexdigest()
+
+    def with_edge_attrs(self, edge_attrs: EdgeAttributes | None) -> "ASGraph":
+        """A copy of this graph carrying ``edge_attrs`` (or none).
+
+        The adjacency and node metadata are shared, not copied; only the
+        attribute block (and hence the digest) changes.
+        """
+        if edge_attrs is not None and len(edge_attrs) != self.num_edges:
+            raise GraphValidationError(
+                f"edge_attrs must carry {self.num_edges} rows, "
+                f"got {len(edge_attrs)}"
+            )
+        return ASGraph(
+            adj=self.adj,
+            kinds=self.kinds,
+            tiers=self.tiers,
+            categories=self.categories,
+            edge_src=self.edge_src,
+            edge_dst=self.edge_dst,
+            edge_rels=self.edge_rels,
+            names=self.names,
+            edge_attrs=edge_attrs,
+        )
 
     # ------------------------------------------------------------------
     # Node-class masks
@@ -233,6 +360,11 @@ class ASGraph:
             categories=self.categories[nodes],
             relationships=self.edge_rels[keep],
             names=[self.names[i] for i in nodes] if self.names else None,
+            edge_attrs=(
+                self.edge_attrs.take(np.flatnonzero(keep))
+                if self.edge_attrs is not None
+                else None
+            ),
         )
         return sub, nodes
 

@@ -113,6 +113,83 @@ def build_csr(
     )
 
 
+@dataclass(frozen=True)
+class MultiCSRAdjacency:
+    """CSR adjacency that *keeps* parallel edges, with per-slot edge ids.
+
+    Unlike :class:`CSRAdjacency` (whose builder deduplicates), every edge
+    instance of a multigraph occupies its own slot: the neighbours of
+    ``v`` are ``indices[indptr[v]:indptr[v+1]]`` and the *edge-instance
+    id* carried by each slot is ``edge_ids`` at the same position.  Edge
+    ids are stable: they index the multigraph's attribute arrays
+    (capacity, latency, kind), so a traversal can score each parallel
+    instance separately — the min-latency-over-max-capacity selection the
+    QoS layer needs.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_slots(self) -> int:
+        """Directed slot count (2x the undirected instance count)."""
+        return len(self.indices)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def incident_edge_ids(self, v: int) -> np.ndarray:
+        """Edge-instance ids of ``v``'s slots, aligned with :meth:`neighbors`."""
+        return self.edge_ids[self.indptr[v] : self.indptr[v + 1]]
+
+
+def build_multi_csr(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    symmetric: bool = True,
+) -> MultiCSRAdjacency:
+    """Build a :class:`MultiCSRAdjacency`, preserving parallel edges.
+
+    Edge instance ``i`` (the row of ``src``/``dst``) keeps id ``i`` in
+    every slot it occupies; self-loops are rejected rather than silently
+    dropped — an attributed edge instance vanishing would desynchronize
+    the attribute arrays from the adjacency.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise GraphValidationError(
+            f"src/dst length mismatch: {src.shape} vs {dst.shape}"
+        )
+    if len(src) and (src.min() < 0 or dst.min() < 0 or src.max() >= n or dst.max() >= n):
+        raise GraphValidationError(f"edge endpoint out of range [0, {n})")
+    if np.any(src == dst):
+        raise GraphValidationError("self-loops are not allowed in a multigraph")
+    ids = np.arange(len(src), dtype=np.int64)
+    if symmetric:
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        all_ids = np.concatenate([ids, ids])
+    else:
+        all_src, all_dst, all_ids = src, dst, ids
+    order = np.argsort(all_src, kind="stable")
+    counts = np.bincount(all_src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return MultiCSRAdjacency(
+        indptr=indptr,
+        indices=all_dst[order].astype(np.int64),
+        edge_ids=all_ids[order].astype(np.int64),
+    )
+
+
 def bfs_levels(
     adj: CSRAdjacency,
     source: int,

@@ -12,7 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import GraphValidationError
-from repro.graph.asgraph import ASGraph
+from repro.graph.asgraph import ASGraph, EdgeAttributes
+from repro.graph.multigraph import MultiGraph, synthesize_edge_attributes
+from repro.types import LinkKind, Relationship
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -145,3 +147,71 @@ def complete_graph(n: int) -> ASGraph:
         raise GraphValidationError("complete graph needs n >= 2")
     edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
     return ASGraph.from_edges(n, edges)
+
+
+def parallel_multigraph(
+    base: ASGraph,
+    *,
+    duplication_rate: float = 0.3,
+    max_extra: int = 3,
+    seed: SeedLike = None,
+) -> MultiGraph:
+    """Lift ``base`` to a :class:`MultiGraph` with seeded parallel instances.
+
+    Every base edge keeps its original instance (in edge-list order, so the
+    lifted multigraph's ``simplify()`` reproduces ``base``'s topology
+    byte-for-byte); a fraction ``duplication_rate`` of edges additionally
+    receive ``1..max_extra`` parallel instances with independently drawn
+    capacity/latency.  IXP-membership duplicates are ``IXP_LAG`` bundles
+    (extra fabric ports), everything else gets a second
+    ``PRIVATE_PEERING``-style circuit.  The property suite uses this to
+    fuzz the simplify projection against arbitrary duplication patterns.
+    """
+    if not 0.0 <= duplication_rate <= 1.0:
+        raise GraphValidationError(
+            f"duplication_rate must be in [0,1], got {duplication_rate}"
+        )
+    if max_extra < 1:
+        raise GraphValidationError(f"max_extra must be >= 1, got {max_extra}")
+    rng = ensure_rng(seed)
+    m = base.num_edges
+    attrs = base.edge_attrs
+    if attrs is None:
+        attrs = synthesize_edge_attributes(base, seed=rng)
+    extra = np.where(
+        rng.random(m) < duplication_rate,
+        rng.integers(1, max_extra + 1, size=m),
+        0,
+    ).astype(np.int64)
+    dup_of = np.repeat(np.arange(m, dtype=np.int64), extra)
+    src = np.concatenate([base.edge_src, base.edge_src[dup_of]])
+    dst = np.concatenate([base.edge_dst, base.edge_dst[dup_of]])
+    rels = np.concatenate([base.edge_rels, base.edge_rels[dup_of]])
+    dup_attrs = synthesize_edge_attributes(
+        base,
+        seed=rng,
+        src=base.edge_src[dup_of],
+        dst=base.edge_dst[dup_of],
+        rels=base.edge_rels[dup_of],
+    )
+    dup_kind = np.where(
+        base.edge_rels[dup_of] == int(Relationship.IXP_MEMBERSHIP),
+        int(LinkKind.IXP_LAG),
+        dup_attrs.link_kind,
+    ).astype(np.uint8)
+    all_attrs = EdgeAttributes(
+        capacity_gbps=np.concatenate([attrs.capacity_gbps, dup_attrs.capacity_gbps]),
+        latency_ms=np.concatenate([attrs.latency_ms, dup_attrs.latency_ms]),
+        link_kind=np.concatenate([attrs.link_kind, dup_kind]),
+    )
+    return MultiGraph.from_arrays(
+        base.num_nodes,
+        src,
+        dst,
+        attrs=all_attrs,
+        relationships=rels,
+        kinds=base.kinds,
+        tiers=base.tiers,
+        categories=base.categories,
+        names=base.names if base.names else None,
+    )

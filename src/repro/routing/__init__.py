@@ -17,7 +17,9 @@ from repro.routing.policies import (
 )
 from repro.routing.qos import (
     LinkMetrics,
+    MultiQoSPath,
     QoSPath,
+    multigraph_qos_path,
     qos_coverage,
     qos_shortest_path,
     synthesize_link_metrics,
@@ -46,7 +48,9 @@ __all__ = [
     "valley_free_shortest_path",
     "LinkMetrics",
     "QoSPath",
+    "MultiQoSPath",
     "synthesize_link_metrics",
     "qos_shortest_path",
+    "multigraph_qos_path",
     "qos_coverage",
 ]

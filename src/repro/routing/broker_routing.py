@@ -20,6 +20,8 @@ from repro.core.engine import DominationEngine
 from repro.exceptions import AlgorithmError
 from repro.graph.asgraph import ASGraph
 from repro.graph.csr import UNREACHABLE, bfs_levels, bfs_parents, build_csr
+from repro.graph.multigraph import MultiGraph
+from repro.routing.qos import MultiQoSPath, multigraph_qos_path
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -96,12 +98,65 @@ class BrokerRouter:
         router._init_from_engine(engine)
         return router
 
+    @classmethod
+    def over_multigraph(
+        cls, multigraph: MultiGraph, brokers: list[int]
+    ) -> "BrokerRouter":
+        """Router over a multigraph's dominated simplified view.
+
+        Hop-count routes (:meth:`route`) behave exactly as on the simple
+        projection; :meth:`route_demand` additionally serves guaranteed-
+        bandwidth requests by picking, on every hop, the min-latency
+        parallel instance whose capacity meets the demand.
+        """
+        if not brokers:
+            raise AlgorithmError("broker set must be non-empty")
+        engine = DominationEngine(
+            multigraph.simplify().graph,
+            dict.fromkeys(int(b) for b in brokers),
+        )
+        router = cls.from_engine(engine)
+        router._multigraph = multigraph
+        router._engine = engine
+        return router
+
+    def route_demand(
+        self,
+        source: int,
+        destination: int,
+        demand_gbps: float,
+        *,
+        residual_gbps=None,
+    ) -> MultiQoSPath | None:
+        """Min-latency dominated route meeting a bandwidth demand.
+
+        Only available on routers built via :meth:`over_multigraph`.
+        ``residual_gbps`` (per edge instance) routes against currently
+        *unreserved* capacity — the admission layer threads its residual
+        accounting through here.
+        """
+        if self._multigraph is None or self._engine is None:
+            raise AlgorithmError(
+                "capacity-aware routing needs a multigraph; build the "
+                "router with BrokerRouter.over_multigraph()"
+            )
+        return multigraph_qos_path(
+            self._multigraph,
+            source,
+            destination,
+            demand_gbps=demand_gbps,
+            engine=self._engine,
+            residual_gbps=residual_gbps,
+        )
+
     def _init_from_engine(self, engine: DominationEngine) -> None:
         n = engine.num_nodes
         self._graph = engine.graph
         self._num_nodes = n
         self._brokers = engine.brokers()
         self._mask = engine.effective_broker_mask().copy()
+        self._multigraph: MultiGraph | None = None
+        self._engine: DominationEngine | None = None
         src, dst = engine.dominated_alive_edges()
         self._dominated = build_csr(n, src, dst)
         # Broker-interior adjacency: edges whose *interior use* is free for

@@ -70,6 +70,28 @@ class Relationship(enum.IntEnum):
     IXP_MEMBERSHIP = 2
 
 
+class LinkKind(enum.IntEnum):
+    """Physical flavour of one edge *instance* in the inter-IXP multigraph.
+
+    The real substrate is a multigraph: two networks meeting at several
+    exchanges (or over both a transit contract and a public fabric) have
+    several parallel links with very different capacity/latency.  Each
+    parallel edge instance carries one of these kinds:
+
+    * ``TRANSIT_CIRCUIT`` — a provisioned long-haul transit circuit
+      backing a customer/provider contract;
+    * ``PRIVATE_PEERING`` — a bilateral private network interconnect;
+    * ``IXP_PORT`` — a single access port into an IXP switching fabric;
+    * ``IXP_LAG`` — an aggregated multi-port bundle at an IXP (the
+      high-capacity parallel instances big members provision).
+    """
+
+    TRANSIT_CIRCUIT = 0
+    PRIVATE_PEERING = 1
+    IXP_PORT = 2
+    IXP_LAG = 3
+
+
 class RoutingDirectionality(enum.Enum):
     """How business relationships constrain edge traversal (Section 6.2).
 

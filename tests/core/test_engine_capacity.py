@@ -1,0 +1,164 @@
+"""Residual-capacity state on the engine: reserve/release/rollback."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DominationEngine
+from repro.exceptions import AlgorithmError
+from repro.graph.asgraph import ASGraph, EdgeAttributes
+from repro.graph.multigraph import MultiGraph
+from repro.types import LinkKind
+
+
+def annotated_path(capacities=(10.0, 4.0, 10.0)):
+    """0-1-2-3 with per-edge capacities."""
+    m = len(capacities)
+    return ASGraph.from_edges(
+        m + 1, [(i, i + 1) for i in range(m)]
+    ).with_edge_attrs(
+        EdgeAttributes(
+            capacity_gbps=np.asarray(capacities, dtype=np.float64),
+            latency_ms=np.full(m, 5.0),
+            link_kind=np.full(m, int(LinkKind.PRIVATE_PEERING), dtype=np.uint8),
+        )
+    )
+
+
+class TestCapacityState:
+    def test_unannotated_graph_has_no_state(self):
+        engine = DominationEngine(ASGraph.from_edges(3, [(0, 1), (1, 2)]), {1: None})
+        assert not engine.has_capacity_state
+        with pytest.raises(AlgorithmError):
+            engine.reserve(0, 1.0)
+        with pytest.raises(AlgorithmError):
+            engine.residual_capacity()
+
+    def test_reserve_release_round_trip(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        assert engine.has_capacity_state
+        engine.reserve([0, 1], [3.0, 2.0])
+        np.testing.assert_allclose(engine.residual_capacity(), [7.0, 2.0, 10.0])
+        engine.release([0, 1], [3.0, 2.0])
+        np.testing.assert_allclose(engine.residual_capacity(), [10.0, 4.0, 10.0])
+        assert engine.verify()
+
+    def test_duplicate_edge_ids_accumulate(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        engine.reserve([2, 2, 2], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(engine.residual_capacity()[2], 4.0)
+
+    def test_overbooking_is_atomic(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        # Edge 1 only has 4 Gbps: the whole batch must be rejected,
+        # leaving edge 0 untouched too.
+        with pytest.raises(AlgorithmError):
+            engine.reserve([0, 1], [1.0, 5.0])
+        np.testing.assert_allclose(engine.residual_capacity(), [10.0, 4.0, 10.0])
+        assert engine.verify()
+
+    def test_release_more_than_reserved_rejected(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        engine.reserve(0, 2.0)
+        with pytest.raises(AlgorithmError):
+            engine.release(0, 3.0)
+        np.testing.assert_allclose(engine.residual_capacity()[0], 8.0)
+
+    def test_reserve_on_cut_link_rejected(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        assert engine.cut_link(1, 2)
+        with pytest.raises(AlgorithmError):
+            engine.reserve(1, 1.0)
+        engine.restore_link(1, 2)
+        engine.reserve(1, 1.0)
+        assert engine.verify()
+
+    def test_validation(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        with pytest.raises(AlgorithmError):
+            engine.reserve([0, 1], [1.0])  # shape mismatch
+        with pytest.raises(AlgorithmError):
+            engine.reserve(99, 1.0)  # edge id out of range
+        with pytest.raises(AlgorithmError):
+            engine.reserve(0, -1.0)  # non-positive amount
+        with pytest.raises(AlgorithmError):
+            engine.reserve(0, np.inf)  # non-finite amount
+
+    def test_reserved_view_is_read_only(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        view = engine.reserved_view()
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+
+class TestCapacityRollback:
+    def test_rollback_restores_residuals(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        engine.reserve(0, 5.0)
+        token = engine.checkpoint()
+        engine.reserve([0, 1], [2.0, 1.0])
+        engine.release(0, 4.0)
+        engine.rollback(token)
+        np.testing.assert_allclose(engine.residual_capacity(), [5.0, 4.0, 10.0])
+        assert engine.verify()
+
+    def test_rollback_across_link_cut(self):
+        """A release logged before a cut still rolls back cleanly."""
+        engine = DominationEngine(annotated_path(), {1: None})
+        engine.reserve(1, 3.0)
+        token = engine.checkpoint()
+        engine.release(1, 3.0)
+        engine.cut_link(1, 2)  # edge 1 now dead — public reserve() would refuse
+        engine.rollback(token)
+        np.testing.assert_allclose(engine.residual_capacity()[1], 1.0)
+        assert engine.verify()
+
+    def test_rollback_interleaved_with_topology_ops(self):
+        engine = DominationEngine(annotated_path(), {1: None})
+        token = engine.checkpoint()
+        engine.reserve([0, 2], [4.0, 6.0])
+        engine.fail_node(3)
+        engine.add_broker(2)
+        engine.rollback(token)
+        np.testing.assert_allclose(engine.residual_capacity(), [10.0, 4.0, 10.0])
+        assert engine.brokers() == [1]
+        assert engine.verify()
+
+
+class TestFromMultigraph:
+    def test_capacity_is_bundle_aggregate(self):
+        # Two parallel 0-1 instances (3 + 7 Gbps) and one 1-2 (5 Gbps).
+        mg = MultiGraph.from_arrays(
+            3,
+            [0, 0, 1],
+            [1, 1, 2],
+            attrs=EdgeAttributes(
+                capacity_gbps=np.array([3.0, 7.0, 5.0]),
+                latency_ms=np.array([1.0, 2.0, 3.0]),
+                link_kind=np.zeros(3, dtype=np.uint8),
+            ),
+        )
+        engine = DominationEngine.from_multigraph(mg, {1: None})
+        assert engine.has_capacity_state
+        np.testing.assert_allclose(engine.residual_capacity(), [10.0, 5.0])
+        engine.reserve(0, 10.0)  # the full bundle aggregate fits
+        with pytest.raises(AlgorithmError):
+            engine.reserve(0, 0.5)
+        assert engine.verify()
+
+    def test_matches_engine_over_projection(self):
+        mg = MultiGraph.from_arrays(
+            4,
+            [0, 0, 1, 2],
+            [1, 1, 2, 3],
+            attrs=EdgeAttributes(
+                capacity_gbps=np.array([3.0, 7.0, 5.0, 2.0]),
+                latency_ms=np.full(4, 1.0),
+                link_kind=np.zeros(4, dtype=np.uint8),
+            ),
+        )
+        a = DominationEngine.from_multigraph(mg, {1: None, 2: None})
+        b = DominationEngine(mg.simplify().graph, {1: None, 2: None})
+        np.testing.assert_array_equal(a.hits_view, b.hits_view)
+        np.testing.assert_allclose(
+            a.residual_capacity(), b.residual_capacity()
+        )

@@ -40,3 +40,53 @@ class TestLoading:
         load_internet("tiny", seed=1, cache_dir=tmp_path)
         load_internet("tiny", seed=2, cache_dir=tmp_path)
         assert len(list(tmp_path.glob("*.json.gz"))) == 2
+
+
+class TestMultigraphLoading:
+    def test_salt_reproduces_loader(self):
+        """expand(load_internet(), seed+SALT) IS load_multigraph_internet."""
+        from repro.datasets.loader import (
+            MULTIGRAPH_SEED_SALT,
+            load_multigraph_internet,
+        )
+        from repro.datasets.synthetic_internet import expand_internet_multigraph
+
+        base = load_internet("tiny", seed=1)
+        direct = load_multigraph_internet("tiny", seed=1)
+        via_salt = expand_internet_multigraph(
+            base, seed=1 + MULTIGRAPH_SEED_SALT
+        )
+        assert direct.digest() == via_salt.digest()
+
+    def test_projection_recovers_base_topology(self):
+        from repro.datasets.loader import load_multigraph_internet
+
+        base = load_internet("tiny", seed=1)
+        mg = load_multigraph_internet("tiny", seed=1)
+        assert mg.num_edge_instances > base.num_edges
+        assert mg.simplify(annotate=False).graph.digest() == base.digest()
+
+    def test_seeded_determinism(self):
+        from repro.datasets.loader import load_multigraph_internet
+
+        a = load_multigraph_internet("tiny", seed=2)
+        b = load_multigraph_internet("tiny", seed=2)
+        c = load_multigraph_internet("tiny", seed=3)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_fabric_extras_are_ixp_lags(self):
+        import numpy as np
+
+        from repro.datasets.loader import load_multigraph_internet
+        from repro.types import LinkKind, Relationship
+
+        base = load_internet("tiny", seed=1)
+        mg = load_multigraph_internet("tiny", seed=1)
+        extras = np.arange(base.num_edges, mg.num_edge_instances)
+        assert (
+            mg.attrs.link_kind[extras] == int(LinkKind.IXP_LAG)
+        ).all()
+        assert (
+            mg.edge_rels[extras] == int(Relationship.IXP_MEMBERSHIP)
+        ).all()

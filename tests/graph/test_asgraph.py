@@ -132,3 +132,67 @@ class TestInterop:
         assert back.num_nodes == 4
         assert back.num_edges == 4
         assert back.kinds[3] == int(NodeKind.IXP)
+
+
+class TestEdgeAttributeDigest:
+    """Regression: the digest must cover edge attributes.
+
+    Historically ``digest()`` ignored ``edge_attrs``, so an annotated
+    graph aliased its unannotated twin in every content-addressed cache —
+    a capacity-aware run could be served a cached result computed without
+    capacities (and vice versa).
+    """
+
+    @staticmethod
+    def annotated(capacity=10.0):
+        from repro.graph.asgraph import EdgeAttributes
+        from repro.types import LinkKind
+
+        g = make_mixed_graph()
+        m = g.num_edges
+        return g.with_edge_attrs(
+            EdgeAttributes(
+                capacity_gbps=np.full(m, capacity),
+                latency_ms=np.full(m, 5.0),
+                link_kind=np.full(
+                    m, int(LinkKind.PRIVATE_PEERING), dtype=np.uint8
+                ),
+            )
+        )
+
+    def test_annotated_digest_differs_from_unannotated(self):
+        assert self.annotated().digest() != make_mixed_graph().digest()
+
+    def test_digest_sensitive_to_attribute_values(self):
+        assert self.annotated(10.0).digest() != self.annotated(20.0).digest()
+        assert self.annotated(10.0).digest() == self.annotated(10.0).digest()
+
+    def test_unannotated_digest_unchanged(self):
+        """Attribute folding must not disturb historical digests."""
+        g = make_mixed_graph()
+        assert g.with_edge_attrs(None).digest() == g.digest()
+
+    def test_result_cache_does_not_alias(self, tmp_path):
+        from repro.parallel.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        plain, annotated = make_mixed_graph(), self.annotated()
+        cache.put(
+            [1, 2, 3],
+            graph_digest=plain.digest(),
+            algorithm="greedy",
+            params={"budget": 3},
+        )
+        assert (
+            cache.get(
+                graph_digest=annotated.digest(),
+                algorithm="greedy",
+                params={"budget": 3},
+            )
+            is None
+        )
+        assert cache.get(
+            graph_digest=plain.digest(),
+            algorithm="greedy",
+            params={"budget": 3},
+        ) == [1, 2, 3]

@@ -121,3 +121,82 @@ class TestBrokerOnlyFraction:
         brokers = maxsg(tiny_internet, 41)
         frac = broker_only_fraction(tiny_internet, brokers, num_pairs=150, seed=0)
         assert frac > 0.9
+
+
+class TestCapacityAwareRouting:
+    @staticmethod
+    def demand_multigraph():
+        """0-1-2 where 1-2 is a two-instance bundle: fast/thin + slow/fat."""
+        import numpy as np
+
+        from repro.graph.asgraph import EdgeAttributes
+        from repro.graph.multigraph import MultiGraph
+
+        return MultiGraph.from_arrays(
+            3,
+            [0, 1, 1],
+            [1, 2, 2],
+            attrs=EdgeAttributes(
+                capacity_gbps=np.array([100.0, 2.0, 50.0]),
+                latency_ms=np.array([1.0, 1.0, 10.0]),
+                link_kind=np.zeros(3, dtype=np.uint8),
+            ),
+        )
+
+    def test_route_demand_picks_min_latency_qualifying_instance(self):
+        from repro.routing.broker_routing import BrokerRouter
+
+        mg = self.demand_multigraph()
+        router = BrokerRouter.over_multigraph(mg, [1])
+        # Small demand: the fast thin instance (id 1) qualifies.
+        small = router.route_demand(0, 2, 1.0)
+        assert small.path == [0, 1, 2]
+        assert small.instance_ids == (0, 1)
+        # Big demand: only the fat slow instance (id 2) can carry it.
+        big = router.route_demand(0, 2, 10.0)
+        assert big.instance_ids == (0, 2)
+        assert big.latency_ms > small.latency_ms
+
+    def test_route_demand_respects_residuals(self):
+        import numpy as np
+
+        from repro.routing.broker_routing import BrokerRouter
+
+        mg = self.demand_multigraph()
+        router = BrokerRouter.over_multigraph(mg, [1])
+        residual = mg.attrs.capacity_gbps.copy()
+        residual[1] = 0.5  # the thin instance is nearly exhausted
+        rerouted = router.route_demand(0, 2, 1.0, residual_gbps=residual)
+        assert rerouted.instance_ids == (0, 2)
+        # Exhaust both instances of the bundle: the demand goes dark.
+        residual[2] = 0.5
+        assert router.route_demand(0, 2, 1.0, residual_gbps=residual) is None
+        np.testing.assert_array_equal(
+            residual, [100.0, 0.5, 0.5]
+        )  # routing never mutates the residual state
+
+    def test_route_demand_requires_multigraph(self, tiny_internet):
+        import pytest
+
+        from repro.exceptions import AlgorithmError
+        from repro.routing.broker_routing import BrokerRouter
+
+        router = BrokerRouter(tiny_internet, [0, 1, 2])
+        with pytest.raises(AlgorithmError):
+            router.route_demand(0, 5, 1.0)
+
+    def test_hop_routes_match_simple_projection(self, tiny_internet):
+        from repro.graph.generators import parallel_multigraph
+        from repro.routing.broker_routing import BrokerRouter
+
+        mg = parallel_multigraph(tiny_internet, seed=9)
+        brokers = list(range(0, 40))
+        over_mg = BrokerRouter.over_multigraph(mg, brokers)
+        direct = BrokerRouter(tiny_internet, brokers)
+        for s, t in [(3, 9), (50, 200), (7, 400)]:
+            a, b = over_mg.route(s, t), direct.route(s, t)
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert a.path == b.path
+                assert a.hired_transits == b.hired_transits

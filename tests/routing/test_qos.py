@@ -120,3 +120,135 @@ class TestQoSCoverage:
         m = synthesize_link_metrics(tiny_internet, seed=0)
         with pytest.raises(AlgorithmError):
             qos_coverage(tiny_internet, m, None, max_latency_ms=0.0)
+
+
+class TestLinkMetricsValidation:
+    """Regression tests for the historical ``__post_init__`` crashes."""
+
+    def test_accepts_plain_lists(self):
+        m = LinkMetrics(latency_ms=[1.0, 2.0], bandwidth_gbps=[3.0, 4.0])
+        assert isinstance(m.latency_ms, np.ndarray)
+        assert m.latency_ms.dtype == np.float64
+
+    def test_accepts_empty_edge_list(self):
+        m = LinkMetrics(latency_ms=[], bandwidth_gbps=[])
+        assert len(m.latency_ms) == 0
+
+    def test_rejects_non_numeric_dtype(self):
+        with pytest.raises(AlgorithmError):
+            LinkMetrics(
+                latency_ms=np.array(["fast", "slow"]),
+                bandwidth_gbps=np.array([1.0, 2.0]),
+            )
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(AlgorithmError):
+            LinkMetrics(
+                latency_ms=np.array([1.0, np.nan]),
+                bandwidth_gbps=np.array([1.0, 2.0]),
+            )
+        with pytest.raises(AlgorithmError):
+            LinkMetrics(
+                latency_ms=np.array([1.0, np.inf]),
+                bandwidth_gbps=np.array([1.0, 2.0]),
+            )
+
+    def test_rejects_2d(self):
+        with pytest.raises(AlgorithmError):
+            LinkMetrics(
+                latency_ms=np.ones((2, 2)), bandwidth_gbps=np.ones((2, 2))
+            )
+
+    def test_edge_attrs_adapter_round_trip(self):
+        from repro.graph.asgraph import EdgeAttributes
+        from repro.types import LinkKind
+
+        attrs = EdgeAttributes(
+            capacity_gbps=np.array([10.0, 20.0]),
+            latency_ms=np.array([1.0, 2.0]),
+            link_kind=np.full(2, int(LinkKind.IXP_PORT), dtype=np.uint8),
+        )
+        m = LinkMetrics.from_edge_attrs(attrs)
+        np.testing.assert_array_equal(m.bandwidth_gbps, attrs.capacity_gbps)
+        back = m.to_edge_attrs(link_kind=attrs.link_kind)
+        np.testing.assert_array_equal(back.capacity_gbps, attrs.capacity_gbps)
+        np.testing.assert_array_equal(back.link_kind, attrs.link_kind)
+
+    def test_metrics_none_reads_graph_attrs(self):
+        g, m = line_with_metrics()
+        annotated = g.with_edge_attrs(m.to_edge_attrs())
+        with_explicit = qos_shortest_path(g, m, 0, 3)
+        from_graph = qos_shortest_path(annotated, None, 0, 3)
+        assert from_graph.path == with_explicit.path
+        assert from_graph.latency_ms == with_explicit.latency_ms
+
+    def test_metrics_none_without_attrs_rejected(self):
+        g, _ = line_with_metrics()
+        with pytest.raises(AlgorithmError):
+            qos_shortest_path(g, None, 0, 3)
+        with pytest.raises(AlgorithmError):
+            qos_coverage(g, None, None, max_latency_ms=10.0)
+
+    def test_misaligned_metrics_rejected(self):
+        g, _ = line_with_metrics()
+        short = LinkMetrics(latency_ms=[1.0], bandwidth_gbps=[1.0])
+        with pytest.raises(AlgorithmError):
+            qos_shortest_path(g, short, 0, 3)
+
+
+class TestQoSEdgeCases:
+    def test_infeasible_bandwidth_floor_path(self):
+        """A floor above every link's bandwidth leaves no path at all."""
+        g, m = line_with_metrics()
+        assert qos_shortest_path(g, m, 0, 3, min_bandwidth_gbps=1e6) is None
+
+    def test_infeasible_bandwidth_floor_coverage_is_zero(self):
+        g, m = line_with_metrics()
+        cov = qos_coverage(
+            g, m, None, max_latency_ms=1e6, min_bandwidth_gbps=1e6,
+            num_pairs=50, seed=0,
+        )
+        assert cov == 0.0
+
+    def test_disconnected_dominated_graph(self):
+        """Brokers covering only one side leave cross-side pairs dark."""
+        # Two triangles 0-1-2 and 3-4-5 with no bridge.
+        g = ASGraph.from_edges(
+            6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        )
+        m = LinkMetrics(latency_ms=np.ones(6), bandwidth_gbps=np.ones(6))
+        assert qos_shortest_path(g, m, 0, 4, brokers=[1]) is None
+        # Domination by a broker in the left triangle never reaches the
+        # right one, whatever the budget.
+        cov = qos_coverage(
+            g, m, [1], max_latency_ms=100.0, num_pairs=100, seed=3
+        )
+        assert cov < 1.0
+
+    def test_zero_admissible_pairs(self):
+        """A broker set dominating nothing serves nothing."""
+        # Path 0-1-2-3 with the only broker isolated from the middle:
+        # brokers=[0] dominates only edge 0-1.
+        g, m = line_with_metrics()
+        assert qos_shortest_path(g, m, 1, 3, brokers=[0]) is None
+        cov = qos_coverage(
+            g, m, [0], max_latency_ms=1e6, num_pairs=50, seed=0
+        )
+        assert cov < 1.0
+
+    def test_engine_degradation_reroutes(self):
+        """Cutting the direct link forces the detour (or darkness)."""
+        from repro.core.engine import DominationEngine
+
+        g = ASGraph.from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        m = LinkMetrics(
+            latency_ms=np.array([1.0, 1.0, 50.0, 50.0]),
+            bandwidth_gbps=np.ones(4),
+        )
+        engine = DominationEngine(g, {1: None, 2: None})
+        fast = qos_shortest_path(g, m, 0, 3, engine=engine)
+        assert fast.path == [0, 1, 3]
+        engine.cut_link(1, 3)
+        slow = qos_shortest_path(g, m, 0, 3, engine=engine)
+        assert slow.path == [0, 2, 3]
+        assert slow.edge_ids == (2, 3)

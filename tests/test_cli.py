@@ -407,3 +407,48 @@ class TestLedgerCommands:
         err = capsys.readouterr().err
         assert "retrying" not in err  # warning suppressed at error level
         assert "exhausted" in err  # error-level event shown
+
+
+class TestAdmission:
+    def test_admission_runs_and_reports(self, capsys):
+        code = main([
+            "admission", "--scale", "tiny", "--seed", "1",
+            "--flows", "400", "--pairs", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Guaranteed-bandwidth admission" in out
+        assert "accept ratio" in out
+        assert "state digest" in out
+        assert "flows/s" in out
+
+    def test_admission_ledger_record(self, tmp_path, capsys):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            assert main([
+                "admission", "--scale", "tiny", "--seed", "1",
+                "--flows", "400", "--pairs", "40",
+                "--ledger", str(ledger),
+            ]) == 0
+        capsys.readouterr()
+        records = [json.loads(l) for l in ledger.read_text().splitlines()]
+        assert len(records) == 2
+        first, second = records
+        assert first["kind"] == "admission"
+        assert first["graph_digest"] == second["graph_digest"]
+        # Repeat runs are bit-identical: the digest-gated table and the
+        # admission state digest both match exactly.
+        assert first["result_digest"] == second["result_digest"]
+        assert (
+            first["params"]["state_digest"] == second["params"]["state_digest"]
+        )
+        assert set(first["coverage"]) == {
+            "accept@0.25x", "accept@0.5x", "accept@1x", "accept@2x",
+            "accept@4x",
+        }
+
+    def test_admission_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["admission", "--scale", "galactic"])

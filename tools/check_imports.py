@@ -15,7 +15,7 @@ The expected layer order (low imports high is the violation)::
       < obs/utils (1)                 # utils.Timer aliases obs.timing
       < graph (2) < datasets (3) < core (4)
       < routing/economics/parallel (5)
-      < resilience/simulation (6)     # dynamics sit on routing + core
+      < resilience/simulation/serving (6)  # dynamics + query tier
       < experiments (7) < cli (8)
 
 Findings are compared against ``baselines/import-lint.json``: new
@@ -58,6 +58,7 @@ LAYER_RANKS = {
     "parallel": 5,
     "resilience": 6,
     "simulation": 6,
+    "serving": 6,
     "experiments": 7,
     "cli": 8,
     "__init__": 9,
